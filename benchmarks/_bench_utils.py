@@ -1,0 +1,30 @@
+"""Helpers shared by the benchmark modules (kept separate from conftest so
+imports are unambiguous even when tests and benches run in one session)."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+#: Document counts used by the Table 2/3 benches.  The paper sweeps
+#: 100..2000 real ENA files; we sweep a scaled version of that range on the
+#: synthetic archive (pure-Python document synthesis is the slow part, and
+#: the scaling shape is already visible at these sizes).
+TABLE2_FILE_COUNTS = (25, 50, 100)
+
+#: k-mer length for the benches; 15 keeps pure-Python document synthesis fast
+#: while behaving identically to k = 31 from the index structures' viewpoint
+#: (both are just 2-bit-encoded integer terms).
+BENCH_K = 15
+
+
+def print_table(title: str, rows: Dict[str, Dict[str, float]]) -> None:
+    """Print a paper-style comparison table to stdout (visible with ``-s``)."""
+    if not rows:
+        return
+    columns = sorted({key for row in rows.values() for key in row})
+    header = f"{'method':<12}" + "".join(f"{col:>18}" for col in columns)
+    print(f"\n== {title} ==")
+    print(header)
+    for name, row in rows.items():
+        line = f"{name:<12}" + "".join(f"{row.get(col, float('nan')):>18.6g}" for col in columns)
+        print(line)

@@ -1,0 +1,105 @@
+"""Figure 4 — false-positive rate vs k-mer multiplicity V and memory (folds).
+
+Figure 4 in the paper plots RAMBO's measured false-positive rate as a
+function of the planted query multiplicity V, with one curve per memory level
+(fold factor).  The findings it supports are:
+
+* the FP rate is very low for rare queries (small V) and rises with V,
+* folding the index (less memory) shifts every curve upward,
+* the measured curves track the Lemma 4.1 analytic prediction.
+
+This bench regenerates both sweeps on the synthetic archive and asserts those
+three shapes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.folding import fold_rambo
+from repro.core.rambo import Rambo, RamboConfig
+from repro.experiments.false_positives import FalsePositiveExperiment
+from repro.simulate.datasets import ENADatasetBuilder
+
+from _bench_utils import print_table
+
+MULTIPLICITIES = (1, 2, 5, 10, 20)
+
+
+@pytest.fixture(scope="module")
+def fpr_experiment() -> FalsePositiveExperiment:
+    builder = ENADatasetBuilder(k=15, genome_length=900, num_ancestors=4, seed=29)
+    dataset = builder.build(60, file_format="mccortex")
+    config = RamboConfig(
+        num_partitions=16, repetitions=3, bfu_bits=1 << 16, bfu_hashes=2, k=15, seed=29
+    )
+    return FalsePositiveExperiment(dataset=dataset, config=config, seed=29)
+
+
+@pytest.mark.benchmark(group="figure4-fpr")
+def test_figure4_fpr_vs_multiplicity(benchmark, fpr_experiment):
+    """The V-axis of Figure 4: FP rate grows with multiplicity, matches Lemma 4.1."""
+    points = benchmark.pedantic(
+        fpr_experiment.sweep_multiplicity,
+        kwargs={"multiplicities": MULTIPLICITIES, "num_terms": 60},
+        rounds=1,
+        iterations=1,
+    )
+    print_table(
+        "Figure 4 (FP rate vs multiplicity V)",
+        {f"V={p.multiplicity}": p.as_row() for p in points},
+    )
+
+    measured = [p.measured_fp_rate for p in points]
+    predicted = [p.predicted_fp_rate for p in points]
+
+    # Rare queries are near-exact; the paper's headline claim.
+    assert measured[0] < 0.02
+    # Both the measured and the modelled curves rise with V (weak monotonicity
+    # for the measured curve to tolerate sampling noise).
+    assert predicted == sorted(predicted)
+    assert measured[-1] >= measured[0]
+    # Measured values stay within a small additive band of the model.
+    for point in points:
+        assert point.measured_fp_rate <= point.predicted_fp_rate + 0.1
+
+
+@pytest.mark.benchmark(group="figure4-fpr")
+def test_figure4_fpr_vs_memory(benchmark, fpr_experiment):
+    """The memory axis of Figure 4: folding (less memory) raises the FP curve."""
+    multiplicity = 5
+
+    def sweep_folds():
+        documents, truth = fpr_experiment._plant_fixed_multiplicity(multiplicity, 60)
+        base = Rambo(fpr_experiment.config)
+        base.add_documents(documents)
+        results = {}
+        for folds in (0, 1, 2):
+            version = fold_rambo(base, folds) if folds else base
+            false_positives = 0
+            comparisons = 0
+            for term, members in truth.items():
+                reported = version.query_term(term).documents
+                for name in fpr_experiment.dataset.names:
+                    if name not in members:
+                        comparisons += 1
+                        if name in reported:
+                            false_positives += 1
+            results[2**folds] = {
+                "size_bytes": float(version.size_in_bytes()),
+                "fp_rate": false_positives / comparisons,
+            }
+        return results
+
+    results = benchmark.pedantic(sweep_folds, rounds=1, iterations=1)
+    print_table(
+        f"Figure 4 (FP rate vs memory, V={multiplicity})",
+        {f"fold {factor}": row for factor, row in results.items()},
+    )
+
+    folds = sorted(results)
+    sizes = [results[f]["size_bytes"] for f in folds]
+    fps = [results[f]["fp_rate"] for f in folds]
+    # Memory decreases monotonically with folding; FP rate may only grow.
+    assert sizes == sorted(sizes, reverse=True)
+    assert fps == sorted(fps)

@@ -1,0 +1,50 @@
+"""Table 1 — theoretical comparison of sequence-search index structures.
+
+The paper's Table 1 is analytic; this bench evaluates the same cost model at
+several collection sizes, asserts the qualitative orderings the paper states
+(RAMBO query cost sub-linear vs COBS linear; RAMBO size discounted by Γ < 1
+relative to the SBT family), and times the model evaluation itself so the
+bench integrates with pytest-benchmark like every other table.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.theory import relative_speedup, theory_table
+
+from _bench_utils import print_table
+
+SCALES = [10_000, 100_000, 1_000_000]
+
+
+@pytest.mark.benchmark(group="table1-theory")
+@pytest.mark.parametrize("num_documents", SCALES)
+def test_table1_theory_model(benchmark, num_documents):
+    """Evaluate the Table 1 cost model and check the paper's orderings."""
+    total_terms = num_documents * 10_000  # ~10k unique terms per document
+
+    table = benchmark(theory_table, num_documents, total_terms, 0.01)
+
+    print_table(f"Table 1 (K={num_documents})", table)
+
+    # Query-time ordering: inverted < RAMBO < COBS (and RAMBO sub-linear).
+    assert table["rambo"]["query_time"] < table["cobs"]["query_time"]
+    assert table["inverted_index"]["query_time"] <= table["rambo"]["query_time"]
+    # Size ordering: COBS (optimal array of Bloom filters) <= RAMBO <= SBT.
+    assert table["cobs"]["size"] <= table["sbt"]["size"]
+    assert table["rambo"]["size"] < table["sbt"]["size"]
+
+
+@pytest.mark.benchmark(group="table1-theory")
+def test_table1_speedup_grows_with_scale(benchmark):
+    """The RAMBO-over-COBS advantage must widen as the archive grows."""
+
+    def speedups():
+        return [
+            relative_speedup(theory_table(k, k * 10_000), "cobs") for k in SCALES
+        ]
+
+    values = benchmark(speedups)
+    assert values[0] > 1.0
+    assert values == sorted(values)

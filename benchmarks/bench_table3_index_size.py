@@ -1,0 +1,103 @@
+"""Table 3 — index size comparison at the Table 2 scales.
+
+The paper's Table 3 reports serialized/resident index size: the SBT family is
+the largest (a full-size filter — or two bit-vectors — per tree node), COBS is
+the practical lower bound (one optimally-sized filter per document), and RAMBO
+sits within an O(log K) factor of COBS (it pays R merged tables but each table
+is discounted by Γ < 1 thanks to k-mer sharing).
+
+This bench measures ``size_in_bytes()`` of every structure on identical
+collections and asserts those orderings, plus the Lemma 4.6 prediction that
+RAMBO's per-table unique-insertion count is discounted by Γ relative to the
+raw term count.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import analysis
+from repro.experiments.genomics import build_all_indexes
+
+from _bench_utils import TABLE2_FILE_COUNTS, print_table
+
+METHODS = ("rambo", "cobs", "sbt", "ssbt", "howdesbt", "inverted")
+
+
+def _build_and_size(experiment, method):
+    factory = build_all_indexes(experiment.dataset, seed=experiment.seed, include=[method])[method]
+    index = factory()
+    index.add_documents(experiment.dataset.documents)
+    if hasattr(index, "rebuild"):
+        index.rebuild()
+    return index.size_in_bytes()
+
+
+@pytest.mark.benchmark(group="table3-size")
+@pytest.mark.parametrize("num_files", TABLE2_FILE_COUNTS)
+def test_table3_index_sizes(benchmark, genomics_experiments, num_files):
+    """Size of every structure at one Table 3 scale, with ordering checks."""
+    experiment = genomics_experiments[num_files]
+
+    def measure_sizes():
+        return {method: _build_and_size(experiment, method) for method in METHODS}
+
+    sizes = benchmark.pedantic(measure_sizes, rounds=1, iterations=1)
+    print_table(
+        f"Table 3 (index size in bytes, {num_files} files, McCortex)",
+        {name: {"size_bytes": float(size)} for name, size in sizes.items()},
+    )
+
+    # COBS is the practical lower bound among the Bloom-filter structures.
+    assert sizes["cobs"] <= sizes["rambo"]
+    assert sizes["cobs"] <= sizes["sbt"]
+    # RAMBO stays within a log-K-flavoured constant of COBS (generous cap).
+    assert sizes["rambo"] <= sizes["cobs"] * 16
+    # The SBT-family trees pay ~2 filters/vectors per document and sit above COBS.
+    assert sizes["sbt"] >= sizes["cobs"]
+    assert sizes["ssbt"] >= sizes["cobs"]
+    assert sizes["howdesbt"] >= sizes["cobs"]
+
+
+@pytest.mark.benchmark(group="table3-size-model")
+@pytest.mark.parametrize("num_files", TABLE2_FILE_COUNTS)
+def test_table3_gamma_discount_visible(benchmark, genomics_experiments, num_files):
+    """Lemma 4.6: merging shared k-mers discounts RAMBO's per-table load.
+
+    The unique insertions actually landing in one RAMBO table must be fewer
+    than the raw total term count whenever documents share k-mers — the Γ < 1
+    memory discount the paper derives.
+    """
+    experiment = genomics_experiments[num_files]
+    dataset = experiment.dataset
+
+    def measure_discount():
+        factory = build_all_indexes(dataset, seed=experiment.seed, include=["rambo"])["rambo"]
+        index = factory()
+        index.add_documents(dataset.documents)
+        total_terms = sum(len(doc) for doc in dataset.documents)
+        # Unique insertions per table = sum of distinct terms per BFU; the
+        # BFU filters do not expose distinct counts directly, so use the
+        # partition membership to recompute them exactly.
+        unique_per_table = []
+        for r in range(index.repetitions):
+            unique = 0
+            for b in range(index.num_partitions):
+                members = index.partition_members(r, b)
+                terms = set()
+                for doc in dataset.documents:
+                    if doc.name in members:
+                        terms |= doc.terms
+                unique += len(terms)
+            unique_per_table.append(unique)
+        return total_terms, unique_per_table
+
+    total_terms, unique_per_table = benchmark.pedantic(measure_discount, rounds=1, iterations=1)
+    measured_gamma = max(unique_per_table) / total_terms
+    print_table(
+        f"Table 3 model (Γ discount, {num_files} files)",
+        {"rambo": {"measured_gamma": measured_gamma, "total_terms": float(total_terms)}},
+    )
+    assert measured_gamma <= 1.0
+    # Γ must also behave monotonically in the model: more partitions → less merging.
+    assert analysis.gamma(4, 4) < analysis.gamma(64, 4) <= 1.0

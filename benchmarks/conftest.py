@@ -1,0 +1,59 @@
+"""Shared fixtures for the benchmark suite.
+
+Each bench module regenerates one table or figure of the paper at simulator
+scale.  Construction of the shared datasets is session-scoped so the
+pytest-benchmark timings measure index work, not workload generation.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Every module also prints a human-readable table mirroring the corresponding
+paper table (add ``-s`` to see them), so the shape comparison — who wins, by
+roughly what factor — is visible directly in the bench output.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+from typing import Dict
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from _bench_utils import BENCH_K, TABLE2_FILE_COUNTS  # noqa: E402
+
+from repro.experiments.genomics import GenomicsExperiment  # noqa: E402
+
+
+@pytest.fixture(scope="session")
+def genomics_experiments() -> Dict[int, GenomicsExperiment]:
+    """One prepared GenomicsExperiment (dataset + planted workload) per scale."""
+    experiments: Dict[int, GenomicsExperiment] = {}
+    for count in TABLE2_FILE_COUNTS:
+        experiments[count] = GenomicsExperiment(
+            num_documents=count,
+            file_format="mccortex",
+            k=BENCH_K,
+            num_queries=60,
+            mean_multiplicity=4.0,
+            genome_length=1_200,
+            seed=17,
+        )
+    return experiments
+
+
+@pytest.fixture(scope="session")
+def fastq_experiment() -> GenomicsExperiment:
+    """A FASTQ-mode experiment at the smallest Table 2 scale."""
+    return GenomicsExperiment(
+        num_documents=25,
+        file_format="fastq",
+        k=BENCH_K,
+        num_queries=40,
+        mean_multiplicity=4.0,
+        genome_length=800,
+        seed=19,
+    )

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Quickstart: build a RAMBO index over a handful of documents and query it.
+
+This walks through the three things a new user needs:
+
+1. turning raw data (nucleotide sequences here) into documents,
+2. sizing and building a RAMBO index,
+3. querying single terms and whole sequences, and reading the results.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import Rambo, RamboConfig, document_from_sequences
+from repro.core.config import configure_from_sample
+from repro.simulate.genomes import GenomeSimulator
+from repro.utils.memory import human_bytes
+
+K = 15  # k-mer length; the paper uses 31, any value <= 31 works identically.
+
+
+def main() -> None:
+    # ------------------------------------------------------------------ data
+    # Simulate a small family of related genomes (stand-in for ENA files).
+    simulator = GenomeSimulator(genome_length=3_000, num_ancestors=2, mutation_rate=0.02, seed=1)
+    genomes = simulator.genomes(8)
+    documents = [
+        document_from_sequences(f"genome_{i}", [genome], k=K) for i, genome in enumerate(genomes)
+    ]
+    print(f"built {len(documents)} documents, "
+          f"~{sum(len(d) for d in documents) // len(documents)} unique {K}-mers each")
+
+    # ----------------------------------------------------------------- index
+    # Parameter selection straight from the paper's Section 5.1 recipe:
+    # B ~ sqrt(K*V/eta), R ~ log K - log delta, BFU sized by pooled cardinality.
+    config = configure_from_sample(documents, fp_rate=0.01, k=K, seed=1)
+    print(f"RAMBO config: B={config.num_partitions}, R={config.repetitions}, "
+          f"BFU={config.bfu_bits} bits")
+
+    index = Rambo(config)
+    index.add_documents(documents)
+    print(f"index size: {human_bytes(index.size_in_bytes())}")
+
+    # ----------------------------------------------------------------- query
+    # 1. Query a single k-mer taken from genome_3.
+    from repro.kmers.extraction import extract_kmers
+
+    probe_kmer = extract_kmers(genomes[3], k=K)[100]
+    result = index.query_term(probe_kmer)
+    print(f"\nsingle k-mer query -> {sorted(result.documents)} "
+          f"({result.filters_probed} Bloom-filter probes)")
+    assert "genome_3" in result.documents  # no false negatives, ever
+
+    # 2. Query a 90-base fragment of genome_5 (a "large sequence query"):
+    #    the answer is the intersection over all its k-mers.
+    fragment = genomes[5][1_000:1_090]
+    result = index.query_sequence(fragment)
+    print(f"90bp fragment query  -> {sorted(result.documents)}")
+    assert "genome_5" in result.documents
+
+    # 3. A sequence that exists nowhere returns (almost always) nothing.
+    alien = "ACGT" * 30
+    result = index.query_sequence(alien)
+    print(f"alien sequence query -> {sorted(result.documents)} (expected: [])")
+
+    # 4. RAMBO+ (sparse evaluation) gives identical answers with fewer probes.
+    full = index.query_term(probe_kmer, method="full")
+    sparse = index.query_term(probe_kmer, method="sparse")
+    print(f"\nRAMBO+ : same answer={full.documents == sparse.documents}, "
+          f"probes {full.filters_probed} -> {sparse.filters_probed}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The canonical project metadata lives in ``pyproject.toml``; this file exists
+so that editable installs work on environments whose setuptools predates
+PEP 660 editable-wheel support (e.g. offline machines without the ``wheel``
+package): ``python setup.py develop`` or ``pip install -e .`` both resolve
+through it.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,30 @@
+"""Baseline index structures the paper compares against.
+
+* :class:`CobsIndex` — BIGSI/COBS-style bit-sliced array of Bloom filters
+  (one filter per document, queried row-wise across all documents).
+* :class:`SequenceBloomTree` — the SBT of Solomon & Kingsford: a binary tree
+  of Bloom filters where each internal node is the union of its children.
+* :class:`SplitSequenceBloomTree` — SSBT: each node stores a *similarity*
+  (all-children) filter and a *remainder* filter, enabling early pruning.
+* :class:`HowDeSbt` — HowDeSBT: *determined*/*how* bit-vectors per node, the
+  state of the art among the tree methods the paper benchmarks.
+* :class:`InvertedIndex` — exact term → documents mapping; the ground truth
+  every false-positive measurement is computed against.
+
+All of them implement :class:`repro.core.base.MembershipIndex`, so the
+experiment harness and the benchmarks drive them interchangeably with RAMBO.
+"""
+
+from repro.baselines.cobs import CobsIndex
+from repro.baselines.sbt import SequenceBloomTree
+from repro.baselines.ssbt import SplitSequenceBloomTree
+from repro.baselines.howdesbt import HowDeSbt
+from repro.baselines.inverted_index import InvertedIndex
+
+__all__ = [
+    "CobsIndex",
+    "SequenceBloomTree",
+    "SplitSequenceBloomTree",
+    "HowDeSbt",
+    "InvertedIndex",
+]

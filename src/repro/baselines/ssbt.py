@@ -1,0 +1,220 @@
+"""Split Sequence Bloom Tree (Solomon & Kingsford, 2017).
+
+SSBT refines the SBT by storing two filters per internal node:
+
+* the **similarity** filter — bits set in *every* descendant leaf; and
+* the **remainder** filter — bits set in *some but not all* descendants
+  (the union minus the similarity bits).
+
+During a query, a term position found in the similarity filter is guaranteed
+present in every leaf below, so the whole subtree can be reported without
+visiting it; a position absent from both filters prunes the subtree.  Only
+ambiguous nodes recurse, which is where SSBT's speedup over plain SBT comes
+from.
+
+The tree is built as a batch (the usual offline SBT-family workflow): the
+leaves are clustered bottom-up by pairing adjacent documents, which keeps the
+tree balanced.  Adding a document after a query simply marks the tree dirty
+and it is rebuilt lazily on the next query — mirroring the "rebuild to update"
+operational reality of the SBT family that the paper contrasts with RAMBO's
+cheap streaming updates.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.bloom.bitarray import BitArray
+from repro.bloom.bloom_filter import BloomFilter, _normalise_key, optimal_num_bits
+from repro.core.base import MembershipIndex, QueryResult, Term
+from repro.hashing.murmur3 import double_hashes
+from repro.kmers.extraction import DEFAULT_K, KmerDocument
+
+
+class _SplitNode:
+    """One SSBT node: similarity bits, remainder bits, children and leaf names."""
+
+    __slots__ = ("sim", "rem", "left", "right", "names")
+
+    def __init__(self, sim: BitArray, rem: BitArray, names: List[str]) -> None:
+        self.sim = sim
+        self.rem = rem
+        self.left: Optional["_SplitNode"] = None
+        self.right: Optional["_SplitNode"] = None
+        self.names = names
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None and self.right is None
+
+
+class SplitSequenceBloomTree(MembershipIndex):
+    """Batch-built Split Sequence Bloom Tree.
+
+    Parameters
+    ----------
+    num_bits:
+        Size of every node filter.
+    num_hashes:
+        Hash probes per term (4 in the paper's SSBT configuration).
+    k:
+        k-mer length for raw-sequence queries.
+    seed:
+        Hash seed shared by every node.
+    """
+
+    def __init__(
+        self,
+        num_bits: int,
+        num_hashes: int = 4,
+        k: int = DEFAULT_K,
+        seed: int = 0,
+    ) -> None:
+        if num_bits <= 0:
+            raise ValueError(f"num_bits must be positive, got {num_bits}")
+        self.num_bits = num_bits
+        self.num_hashes = num_hashes
+        self.k = k
+        self.seed = seed
+        self._documents: List[KmerDocument] = []
+        self._root: Optional[_SplitNode] = None
+        self._dirty = False
+
+    @classmethod
+    def for_capacity(
+        cls,
+        terms_per_document: int,
+        fp_rate: float = 0.01,
+        num_hashes: int = 4,
+        k: int = DEFAULT_K,
+        seed: int = 0,
+    ) -> "SplitSequenceBloomTree":
+        """Size node filters for the expected per-document cardinality."""
+        num_bits = optimal_num_bits(terms_per_document, fp_rate)
+        return cls(num_bits=num_bits, num_hashes=num_hashes, k=k, seed=seed)
+
+    @property
+    def document_names(self) -> List[str]:
+        return [doc.name for doc in self._documents]
+
+    # -- construction -------------------------------------------------------------------
+
+    def add_document(self, document: KmerDocument) -> None:
+        """Buffer the document; the tree is rebuilt lazily before the next query."""
+        if any(doc.name == document.name for doc in self._documents):
+            raise ValueError(f"document {document.name!r} already indexed")
+        self._documents.append(document)
+        self._dirty = True
+
+    def _positions(self, term: Term) -> List[int]:
+        return double_hashes(_normalise_key(term), self.num_hashes, self.num_bits, self.seed)
+
+    def _leaf_bits(self, document: KmerDocument) -> BitArray:
+        bits = BitArray(self.num_bits)
+        for term in document.terms:
+            bits.set_many(self._positions(term))
+        return bits
+
+    def _build(self) -> None:
+        """Bottom-up balanced construction by pairing adjacent subtrees."""
+        if not self._documents:
+            self._root = None
+            self._dirty = False
+            return
+        level: List[_SplitNode] = []
+        for doc in self._documents:
+            bits = self._leaf_bits(doc)
+            level.append(_SplitNode(sim=bits, rem=BitArray(self.num_bits), names=[doc.name]))
+        while len(level) > 1:
+            next_level: List[_SplitNode] = []
+            for i in range(0, len(level) - 1, 2):
+                left, right = level[i], level[i + 1]
+                left_union = left.sim | left.rem
+                right_union = right.sim | right.rem
+                sim = left.sim & right.sim
+                rem = (left_union | right_union) ^ sim
+                parent = _SplitNode(sim=sim, rem=rem, names=left.names + right.names)
+                parent.left = left
+                parent.right = right
+                next_level.append(parent)
+            if len(level) % 2 == 1:
+                next_level.append(level[-1])
+            level = next_level
+        self._root = level[0]
+        self._dirty = False
+
+    def rebuild(self) -> None:
+        """Force a rebuild (normally triggered lazily by the first query)."""
+        self._build()
+
+    # -- query ---------------------------------------------------------------------------
+
+    def query_term(self, term: Term) -> QueryResult:
+        """Recursive query using the similarity filter to short-circuit subtrees."""
+        if self._dirty or (self._root is None and self._documents):
+            self._build()
+        if self._root is None:
+            return QueryResult(documents=frozenset(), filters_probed=0)
+        positions = self._positions(term)
+        matches: List[str] = []
+        probes = 0
+        stack: List[tuple] = [(self._root, positions)]
+        while stack:
+            node, remaining = stack.pop()
+            probes += 1
+            still_remaining = []
+            pruned = False
+            for pos in remaining:
+                if node.sim.get(pos):
+                    continue  # resolved: present in every descendant
+                if node.rem.get(pos):
+                    still_remaining.append(pos)  # ambiguous below this node
+                else:
+                    pruned = True  # absent from the whole subtree
+                    break
+            if pruned:
+                continue
+            if not still_remaining:
+                # Every position resolved positively: the entire subtree matches.
+                matches.extend(node.names)
+                continue
+            if node.is_leaf:
+                # Unresolved positions at a leaf mean the leaf does not contain them.
+                continue
+            assert node.left is not None and node.right is not None
+            stack.append((node.left, still_remaining))
+            stack.append((node.right, still_remaining))
+        return QueryResult(documents=frozenset(matches), filters_probed=probes)
+
+    # -- accounting -------------------------------------------------------------------------
+
+    def _nodes(self) -> List[_SplitNode]:
+        if self._dirty or (self._root is None and self._documents):
+            self._build()
+        if self._root is None:
+            return []
+        out: List[_SplitNode] = []
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            out.append(node)
+            if not node.is_leaf:
+                assert node.left is not None and node.right is not None
+                stack.extend((node.left, node.right))
+        return out
+
+    def num_nodes(self) -> int:
+        """Total number of tree nodes."""
+        return len(self._nodes())
+
+    def size_in_bytes(self) -> int:
+        """Two filters per node plus the name table."""
+        node_bytes = sum(node.sim.nbytes + node.rem.nbytes for node in self._nodes())
+        name_bytes = sum(len(doc.name.encode("utf-8")) for doc in self._documents)
+        return node_bytes + name_bytes
+
+    def __repr__(self) -> str:
+        return (
+            f"SplitSequenceBloomTree(num_bits={self.num_bits}, "
+            f"documents={len(self._documents)})"
+        )

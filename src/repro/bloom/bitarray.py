@@ -1,0 +1,238 @@
+"""Dense bit arrays backed by numpy ``uint64`` words.
+
+The paper stresses that unions, intersections and fold-over are "fast bitwise
+operations"; this class is the single place those operations live.  All index
+structures in the library (RAMBO BFUs, COBS bit-sliced rows, SBT nodes, the
+document-membership bitmaps used by Algorithm 2) share it.
+
+Semantics follow the usual conventions: bits are addressed ``0..size-1``,
+out-of-range access raises ``IndexError``, and binary operators require equal
+sizes.  The underlying words are exposed read-only via :attr:`words` so the
+experiment harness can account memory precisely.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Sequence, Union
+
+import numpy as np
+
+_WORD_BITS = 64
+
+
+class BitArray:
+    """Fixed-size mutable bit array with vectorised bitwise algebra."""
+
+    __slots__ = ("_size", "_words")
+
+    def __init__(self, size: int, words: np.ndarray | None = None) -> None:
+        if size <= 0:
+            raise ValueError(f"size must be positive, got {size}")
+        self._size = int(size)
+        num_words = (self._size + _WORD_BITS - 1) // _WORD_BITS
+        if words is None:
+            self._words = np.zeros(num_words, dtype=np.uint64)
+        else:
+            if words.dtype != np.uint64 or words.shape != (num_words,):
+                raise ValueError("words array has wrong dtype or shape")
+            self._words = words
+
+    # -- construction helpers -------------------------------------------------
+
+    @classmethod
+    def from_indices(cls, size: int, indices: Iterable[int]) -> "BitArray":
+        """Create a bit array with the given positions set."""
+        arr = cls(size)
+        arr.set_many(indices)
+        return arr
+
+    @classmethod
+    def from_bits(cls, bits: Sequence[int]) -> "BitArray":
+        """Create from a sequence of 0/1 values (index 0 first)."""
+        arr = cls(len(bits))
+        arr.set_many(i for i, b in enumerate(bits) if b)
+        return arr
+
+    def copy(self) -> "BitArray":
+        """Deep copy."""
+        return BitArray(self._size, self._words.copy())
+
+    # -- basic accessors -------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        """Number of addressable bits."""
+        return self._size
+
+    @property
+    def words(self) -> np.ndarray:
+        """Underlying ``uint64`` words (do not mutate)."""
+        return self._words
+
+    @property
+    def nbytes(self) -> int:
+        """Memory footprint of the payload in bytes."""
+        return int(self._words.nbytes)
+
+    def _check_index(self, index: int) -> int:
+        if index < 0:
+            index += self._size
+        if not (0 <= index < self._size):
+            raise IndexError(f"bit index {index} out of range for size {self._size}")
+        return index
+
+    def set(self, index: int) -> None:
+        """Set bit *index* to 1."""
+        index = self._check_index(index)
+        self._words[index // _WORD_BITS] |= np.uint64(1) << np.uint64(index % _WORD_BITS)
+
+    def clear(self, index: int) -> None:
+        """Set bit *index* to 0."""
+        index = self._check_index(index)
+        self._words[index // _WORD_BITS] &= ~(np.uint64(1) << np.uint64(index % _WORD_BITS))
+
+    def get(self, index: int) -> bool:
+        """Return whether bit *index* is set."""
+        index = self._check_index(index)
+        word = self._words[index // _WORD_BITS]
+        return bool((word >> np.uint64(index % _WORD_BITS)) & np.uint64(1))
+
+    def set_many(self, indices: Iterable[int]) -> None:
+        """Set several bits; accepts any iterable of indices."""
+        idx = np.fromiter((self._check_index(i) for i in indices), dtype=np.int64)
+        if idx.size == 0:
+            return
+        np.bitwise_or.at(
+            self._words, idx // _WORD_BITS, np.uint64(1) << (idx % _WORD_BITS).astype(np.uint64)
+        )
+
+    def get_many(self, indices: Iterable[int]) -> np.ndarray:
+        """Boolean array of the bits at *indices* (order preserved)."""
+        idx = np.fromiter((self._check_index(i) for i in indices), dtype=np.int64)
+        if idx.size == 0:
+            return np.zeros(0, dtype=bool)
+        words = self._words[idx // _WORD_BITS]
+        return ((words >> (idx % _WORD_BITS).astype(np.uint64)) & np.uint64(1)).astype(bool)
+
+    def all_set(self, indices: Iterable[int]) -> bool:
+        """True iff every listed bit is set (the Bloom-filter membership test)."""
+        return bool(self.get_many(indices).all())
+
+    def __getitem__(self, index: int) -> bool:
+        return self.get(index)
+
+    def __setitem__(self, index: int, value: int) -> None:
+        if value:
+            self.set(index)
+        else:
+            self.clear(index)
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __iter__(self) -> Iterator[bool]:
+        for i in range(self._size):
+            yield self.get(i)
+
+    # -- population metrics -----------------------------------------------------
+
+    def count(self) -> int:
+        """Number of set bits (popcount)."""
+        return int(np.unpackbits(self._words.view(np.uint8)).sum())
+
+    def fill_ratio(self) -> float:
+        """Fraction of set bits; the load factor driving the FP rate."""
+        return self.count() / self._size
+
+    def any(self) -> bool:
+        """True if at least one bit is set."""
+        return bool(self._words.any())
+
+    def to_indices(self) -> np.ndarray:
+        """Sorted array of the positions of set bits."""
+        bits = np.unpackbits(self._words.view(np.uint8), bitorder="little")[: self._size]
+        return np.flatnonzero(bits)
+
+    def to_bits(self) -> np.ndarray:
+        """Dense 0/1 array of length :attr:`size`."""
+        return np.unpackbits(self._words.view(np.uint8), bitorder="little")[: self._size]
+
+    # -- algebra -----------------------------------------------------------------
+
+    def _check_compatible(self, other: "BitArray") -> None:
+        if not isinstance(other, BitArray):
+            raise TypeError(f"expected BitArray, got {type(other)!r}")
+        if other._size != self._size:
+            raise ValueError(f"size mismatch: {self._size} vs {other._size}")
+
+    def __or__(self, other: "BitArray") -> "BitArray":
+        self._check_compatible(other)
+        return BitArray(self._size, self._words | other._words)
+
+    def __and__(self, other: "BitArray") -> "BitArray":
+        self._check_compatible(other)
+        return BitArray(self._size, self._words & other._words)
+
+    def __xor__(self, other: "BitArray") -> "BitArray":
+        self._check_compatible(other)
+        return BitArray(self._size, self._words ^ other._words)
+
+    def __invert__(self) -> "BitArray":
+        inverted = BitArray(self._size, ~self._words)
+        inverted._mask_tail()
+        return inverted
+
+    def __ior__(self, other: "BitArray") -> "BitArray":
+        self._check_compatible(other)
+        self._words |= other._words
+        return self
+
+    def __iand__(self, other: "BitArray") -> "BitArray":
+        self._check_compatible(other)
+        self._words &= other._words
+        return self
+
+    def __ixor__(self, other: "BitArray") -> "BitArray":
+        self._check_compatible(other)
+        self._words ^= other._words
+        return self
+
+    def _mask_tail(self) -> None:
+        """Zero the padding bits beyond :attr:`size` in the last word."""
+        tail_bits = self._size % _WORD_BITS
+        if tail_bits:
+            mask = (np.uint64(1) << np.uint64(tail_bits)) - np.uint64(1)
+            self._words[-1] &= mask
+
+    def union_inplace(self, other: "BitArray") -> "BitArray":
+        """Alias of ``|=`` used by fold-over for readability."""
+        self.__ior__(other)
+        return self
+
+    def is_subset_of(self, other: "BitArray") -> bool:
+        """True iff every set bit of ``self`` is also set in *other*."""
+        self._check_compatible(other)
+        return bool(np.array_equal(self._words & other._words, self._words))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BitArray):
+            return NotImplemented
+        return self._size == other._size and bool(np.array_equal(self._words, other._words))
+
+    def __hash__(self) -> int:  # BitArrays are mutable; forbid hashing.
+        raise TypeError("BitArray is unhashable")
+
+    def __repr__(self) -> str:
+        return f"BitArray(size={self._size}, set={self.count()})"
+
+    # -- serialisation -------------------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        """Serialise to little-endian word bytes (size must be stored separately)."""
+        return self._words.tobytes()
+
+    @classmethod
+    def from_bytes(cls, size: int, payload: bytes) -> "BitArray":
+        """Inverse of :meth:`to_bytes`."""
+        words = np.frombuffer(payload, dtype=np.uint64).copy()
+        return cls(size, words)

@@ -1,0 +1,231 @@
+"""The classical Bloom filter used as RAMBO's BFU (Bloom Filter of the Union).
+
+The structure follows Section 2.1 of the paper: an ``m``-bit array, ``eta``
+hash functions, no false negatives, false-positive rate approximately
+``(1 - e^(-eta*n/m))^eta``.  Hash probes come from MurmurHash3 double hashing
+(:func:`repro.hashing.murmur3.double_hashes`) so that every filter sharing a
+seed and size sets the *same* positions for the same key — the property that
+makes merging (union) and fold-over meaningful.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Union
+
+from repro.bloom.bitarray import BitArray
+from repro.hashing.murmur3 import double_hashes
+
+Key = Union[str, bytes, int]
+
+
+def optimal_num_bits(num_items: int, fp_rate: float) -> int:
+    """Bits needed to hold *num_items* keys at the target false-positive rate.
+
+    ``m = -n ln p / (ln 2)^2`` from the standard analysis (Section 2.1).
+    """
+    if num_items <= 0:
+        raise ValueError(f"num_items must be positive, got {num_items}")
+    if not (0.0 < fp_rate < 1.0):
+        raise ValueError(f"fp_rate must be in (0, 1), got {fp_rate}")
+    return max(64, int(math.ceil(-num_items * math.log(fp_rate) / (math.log(2) ** 2))))
+
+
+def optimal_num_hashes(num_bits: int, num_items: int) -> int:
+    """Number of hash functions minimising the FP rate: ``eta = (m/n) ln 2``."""
+    if num_items <= 0:
+        raise ValueError(f"num_items must be positive, got {num_items}")
+    if num_bits <= 0:
+        raise ValueError(f"num_bits must be positive, got {num_bits}")
+    return max(1, round(num_bits / num_items * math.log(2)))
+
+
+def _normalise_key(key: Key) -> bytes:
+    """Keys may be strings, bytes, or integers (2-bit encoded k-mers)."""
+    if isinstance(key, bytes):
+        return key
+    if isinstance(key, str):
+        return key.encode("utf-8")
+    if isinstance(key, int):
+        if key < 0:
+            raise ValueError(f"integer keys must be non-negative, got {key}")
+        return key.to_bytes(8, "little")
+    raise TypeError(f"unsupported key type: {type(key)!r}")
+
+
+class BloomFilter:
+    """Fixed-size Bloom filter over string / bytes / integer keys.
+
+    Parameters
+    ----------
+    num_bits:
+        Size ``m`` of the underlying bit array.
+    num_hashes:
+        Number of probe positions ``eta`` per key (1--6 in the paper's setups).
+    seed:
+        Hash seed.  Filters that are meant to be merged (BFUs of the same
+        RAMBO table, COBS rows of the same index, SBT nodes of the same tree)
+        must share ``num_bits``, ``num_hashes`` and ``seed``.
+    """
+
+    __slots__ = ("num_bits", "num_hashes", "seed", "bits", "num_items")
+
+    def __init__(self, num_bits: int, num_hashes: int = 3, seed: int = 0) -> None:
+        if num_bits <= 0:
+            raise ValueError(f"num_bits must be positive, got {num_bits}")
+        if num_hashes <= 0:
+            raise ValueError(f"num_hashes must be positive, got {num_hashes}")
+        self.num_bits = int(num_bits)
+        self.num_hashes = int(num_hashes)
+        self.seed = int(seed)
+        self.bits = BitArray(self.num_bits)
+        self.num_items = 0
+
+    @classmethod
+    def for_capacity(cls, capacity: int, fp_rate: float = 0.01, seed: int = 0) -> "BloomFilter":
+        """Construct a filter sized for *capacity* keys at *fp_rate*."""
+        num_bits = optimal_num_bits(capacity, fp_rate)
+        num_hashes = optimal_num_hashes(num_bits, capacity)
+        return cls(num_bits=num_bits, num_hashes=num_hashes, seed=seed)
+
+    # -- core operations ---------------------------------------------------------
+
+    def _positions(self, key: Key) -> List[int]:
+        return double_hashes(_normalise_key(key), self.num_hashes, self.num_bits, self.seed)
+
+    def add(self, key: Key) -> None:
+        """Insert a key (idempotent in the bit array, counted per call)."""
+        self.bits.set_many(self._positions(key))
+        self.num_items += 1
+
+    def update(self, keys: Iterable[Key]) -> None:
+        """Insert many keys."""
+        for key in keys:
+            self.add(key)
+
+    def __contains__(self, key: Key) -> bool:
+        return self.bits.all_set(self._positions(key))
+
+    def contains(self, key: Key) -> bool:
+        """Membership test (no false negatives, tunable false positives)."""
+        return key in self
+
+    def contains_all(self, keys: Iterable[Key]) -> bool:
+        """True iff every key appears to be a member (short-circuits on miss).
+
+        This is the ``Q ∈ BFU`` predicate of Algorithm 2: a sequence query is
+        a conjunction over its k-mers, and the first FALSE is conclusive.
+        """
+        return all(key in self for key in keys)
+
+    # -- metrics -------------------------------------------------------------------
+
+    def fill_ratio(self) -> float:
+        """Fraction of set bits."""
+        return self.bits.fill_ratio()
+
+    def false_positive_rate(self) -> float:
+        """Estimated FP rate from the observed fill ratio: ``fill^eta``."""
+        return self.fill_ratio() ** self.num_hashes
+
+    def expected_false_positive_rate(self, num_items: int | None = None) -> float:
+        """Analytic FP rate ``(1 - e^(-eta*n/m))^eta`` for *num_items* keys."""
+        n = self.num_items if num_items is None else num_items
+        if n <= 0:
+            return 0.0
+        return (1.0 - math.exp(-self.num_hashes * n / self.num_bits)) ** self.num_hashes
+
+    def size_in_bytes(self) -> int:
+        """Payload size of the filter in bytes."""
+        return self.bits.nbytes
+
+    # -- algebra ---------------------------------------------------------------------
+
+    def _check_mergeable(self, other: "BloomFilter") -> None:
+        if not isinstance(other, BloomFilter):
+            raise TypeError(f"expected BloomFilter, got {type(other)!r}")
+        if (self.num_bits, self.num_hashes, self.seed) != (
+            other.num_bits,
+            other.num_hashes,
+            other.seed,
+        ):
+            raise ValueError(
+                "Bloom filters are incompatible for merging: "
+                f"({self.num_bits}, {self.num_hashes}, {self.seed}) vs "
+                f"({other.num_bits}, {other.num_hashes}, {other.seed})"
+            )
+
+    def union(self, other: "BloomFilter") -> "BloomFilter":
+        """New filter representing the set union (bitwise OR)."""
+        self._check_mergeable(other)
+        merged = BloomFilter(self.num_bits, self.num_hashes, self.seed)
+        merged.bits = self.bits | other.bits
+        merged.num_items = self.num_items + other.num_items
+        return merged
+
+    def union_inplace(self, other: "BloomFilter") -> "BloomFilter":
+        """OR *other* into this filter; this is the fold-over primitive."""
+        self._check_mergeable(other)
+        self.bits |= other.bits
+        self.num_items += other.num_items
+        return self
+
+    def intersection(self, other: "BloomFilter") -> "BloomFilter":
+        """Bitwise AND of two filters.
+
+        Note this is an *approximation* of the intersection set (it may
+        contain bits from either operand's false positives); SSBT and
+        HowDeSBT use it for their "all/determined" vectors.
+        """
+        self._check_mergeable(other)
+        merged = BloomFilter(self.num_bits, self.num_hashes, self.seed)
+        merged.bits = self.bits & other.bits
+        merged.num_items = min(self.num_items, other.num_items)
+        return merged
+
+    def copy(self) -> "BloomFilter":
+        """Deep copy."""
+        duplicate = BloomFilter(self.num_bits, self.num_hashes, self.seed)
+        duplicate.bits = self.bits.copy()
+        duplicate.num_items = self.num_items
+        return duplicate
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BloomFilter):
+            return NotImplemented
+        return (
+            self.num_bits == other.num_bits
+            and self.num_hashes == other.num_hashes
+            and self.seed == other.seed
+            and self.bits == other.bits
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"BloomFilter(num_bits={self.num_bits}, num_hashes={self.num_hashes}, "
+            f"items={self.num_items}, fill={self.fill_ratio():.4f})"
+        )
+
+    # -- serialisation ------------------------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        """Serialise header + payload."""
+        header = (
+            self.num_bits.to_bytes(8, "little")
+            + self.num_hashes.to_bytes(4, "little")
+            + self.seed.to_bytes(8, "little", signed=True)
+            + self.num_items.to_bytes(8, "little")
+        )
+        return header + self.bits.to_bytes()
+
+    @classmethod
+    def from_bytes(cls, payload: bytes) -> "BloomFilter":
+        """Inverse of :meth:`to_bytes`."""
+        num_bits = int.from_bytes(payload[0:8], "little")
+        num_hashes = int.from_bytes(payload[8:12], "little")
+        seed = int.from_bytes(payload[12:20], "little", signed=True)
+        num_items = int.from_bytes(payload[20:28], "little")
+        bf = cls(num_bits, num_hashes, seed)
+        bf.bits = BitArray.from_bytes(num_bits, payload[28:])
+        bf.num_items = num_items
+        return bf

@@ -1,0 +1,105 @@
+"""Counting Bloom filter supporting deletions.
+
+RAMBO proper only needs insert-only BFUs, but a counting variant is the
+natural substrate for streaming settings where documents are retired (an
+extension the paper's discussion hints at), and our ablation benches use it to
+quantify the memory premium of supporting deletes.  Counters are small
+unsigned integers; on saturation the counter sticks at its maximum so the
+structure degrades to a plain Bloom filter rather than corrupting memberships.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Union
+
+import numpy as np
+
+from repro.bloom.bloom_filter import _normalise_key
+from repro.hashing.murmur3 import double_hashes
+
+Key = Union[str, bytes, int]
+
+
+class CountingBloomFilter:
+    """Bloom filter with per-position counters instead of single bits.
+
+    Parameters
+    ----------
+    num_counters:
+        Number of counter cells (the analogue of ``num_bits``).
+    num_hashes:
+        Probe positions per key.
+    counter_bits:
+        Width of each counter: 8, 16 or 32.
+    seed:
+        Hash seed.
+    """
+
+    _DTYPES = {8: np.uint8, 16: np.uint16, 32: np.uint32}
+
+    def __init__(
+        self, num_counters: int, num_hashes: int = 3, counter_bits: int = 8, seed: int = 0
+    ) -> None:
+        if num_counters <= 0:
+            raise ValueError(f"num_counters must be positive, got {num_counters}")
+        if num_hashes <= 0:
+            raise ValueError(f"num_hashes must be positive, got {num_hashes}")
+        if counter_bits not in self._DTYPES:
+            raise ValueError(f"counter_bits must be one of {sorted(self._DTYPES)}, got {counter_bits}")
+        self.num_counters = int(num_counters)
+        self.num_hashes = int(num_hashes)
+        self.counter_bits = counter_bits
+        self.seed = int(seed)
+        self._max_count = (1 << counter_bits) - 1
+        self.counters = np.zeros(self.num_counters, dtype=self._DTYPES[counter_bits])
+        self.num_items = 0
+
+    def _positions(self, key: Key) -> list:
+        return double_hashes(_normalise_key(key), self.num_hashes, self.num_counters, self.seed)
+
+    def add(self, key: Key) -> None:
+        """Insert a key, incrementing its counters (saturating)."""
+        for pos in self._positions(key):
+            if self.counters[pos] < self._max_count:
+                self.counters[pos] += 1
+        self.num_items += 1
+
+    def update(self, keys: Iterable[Key]) -> None:
+        """Insert many keys."""
+        for key in keys:
+            self.add(key)
+
+    def remove(self, key: Key) -> None:
+        """Delete a previously-inserted key.
+
+        Deleting a key that was never inserted may introduce false negatives
+        for other keys (the classic counting-Bloom caveat); callers are
+        expected to only delete what they inserted.  Counters stuck at the
+        saturation value are left untouched to preserve the no-false-negative
+        guarantee for remaining keys.
+        """
+        positions = self._positions(key)
+        if not all(self.counters[pos] > 0 for pos in positions):
+            raise KeyError(f"key {key!r} does not appear to be present")
+        for pos in positions:
+            if self.counters[pos] != self._max_count:
+                self.counters[pos] -= 1
+        self.num_items = max(0, self.num_items - 1)
+
+    def __contains__(self, key: Key) -> bool:
+        return all(self.counters[pos] > 0 for pos in self._positions(key))
+
+    def contains(self, key: Key) -> bool:
+        """Membership test."""
+        return key in self
+
+    def size_in_bytes(self) -> int:
+        """Payload bytes of the counter array."""
+        return int(self.counters.nbytes)
+
+    def __repr__(self) -> str:
+        return (
+            f"CountingBloomFilter(num_counters={self.num_counters}, "
+            f"num_hashes={self.num_hashes}, counter_bits={self.counter_bits}, "
+            f"items={self.num_items})"
+        )

@@ -1,0 +1,123 @@
+"""Scalable Bloom filter (Almeida et al., 2007).
+
+Section 3.2 of the RAMBO paper notes that a BFU's size "can be predefined or a
+scalable Bloom Filter can be used for adaptive size".  This module provides
+that option: a chain of plain Bloom filters whose capacities grow
+geometrically and whose per-stage false-positive rates shrink geometrically so
+the compound FP rate stays below the configured bound regardless of how many
+items are streamed in.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Union
+
+from repro.bloom.bloom_filter import BloomFilter
+
+Key = Union[str, bytes, int]
+
+
+class ScalableBloomFilter:
+    """Bloom filter that grows to accommodate an unknown number of items.
+
+    Parameters
+    ----------
+    initial_capacity:
+        Capacity of the first stage.
+    fp_rate:
+        Target compound false-positive bound across all stages.
+    growth_factor:
+        Capacity multiplier between consecutive stages (2 and 4 are typical).
+    tightening_ratio:
+        Each stage ``i`` gets FP budget ``fp_rate * tightening_ratio**i`` so
+        the geometric series of budgets converges below ``fp_rate / (1 - r)``.
+    seed:
+        Hash seed shared by all stages.
+    """
+
+    def __init__(
+        self,
+        initial_capacity: int = 1024,
+        fp_rate: float = 0.01,
+        growth_factor: int = 2,
+        tightening_ratio: float = 0.5,
+        seed: int = 0,
+    ) -> None:
+        if initial_capacity <= 0:
+            raise ValueError(f"initial_capacity must be positive, got {initial_capacity}")
+        if not (0.0 < fp_rate < 1.0):
+            raise ValueError(f"fp_rate must be in (0, 1), got {fp_rate}")
+        if growth_factor < 2:
+            raise ValueError(f"growth_factor must be >= 2, got {growth_factor}")
+        if not (0.0 < tightening_ratio < 1.0):
+            raise ValueError(f"tightening_ratio must be in (0, 1), got {tightening_ratio}")
+        self.initial_capacity = initial_capacity
+        self.fp_rate = fp_rate
+        self.growth_factor = growth_factor
+        self.tightening_ratio = tightening_ratio
+        self.seed = seed
+        self._stages: List[BloomFilter] = []
+        self._stage_capacities: List[int] = []
+        self._add_stage()
+
+    # -- stage management -----------------------------------------------------------
+
+    def _add_stage(self) -> None:
+        index = len(self._stages)
+        capacity = self.initial_capacity * (self.growth_factor**index)
+        stage_fp = self.fp_rate * (1 - self.tightening_ratio) * (self.tightening_ratio**index)
+        stage = BloomFilter.for_capacity(capacity, stage_fp, seed=self.seed)
+        self._stages.append(stage)
+        self._stage_capacities.append(capacity)
+
+    @property
+    def stages(self) -> List[BloomFilter]:
+        """The underlying filter chain (read-only use)."""
+        return list(self._stages)
+
+    @property
+    def num_items(self) -> int:
+        """Total number of inserted keys."""
+        return sum(stage.num_items for stage in self._stages)
+
+    # -- operations --------------------------------------------------------------------
+
+    def add(self, key: Key) -> None:
+        """Insert a key, growing the chain if the active stage is full."""
+        active = self._stages[-1]
+        if active.num_items >= self._stage_capacities[-1]:
+            self._add_stage()
+            active = self._stages[-1]
+        active.add(key)
+
+    def update(self, keys: Iterable[Key]) -> None:
+        """Insert many keys."""
+        for key in keys:
+            self.add(key)
+
+    def __contains__(self, key: Key) -> bool:
+        return any(key in stage for stage in self._stages)
+
+    def contains(self, key: Key) -> bool:
+        """Membership test across all stages (no false negatives)."""
+        return key in self
+
+    # -- metrics -----------------------------------------------------------------------
+
+    def size_in_bytes(self) -> int:
+        """Total payload bytes across all stages."""
+        return sum(stage.size_in_bytes() for stage in self._stages)
+
+    def expected_false_positive_rate(self) -> float:
+        """Compound FP rate: 1 - prod(1 - p_i) over the stages."""
+        acc = 1.0
+        for stage in self._stages:
+            acc *= 1.0 - stage.expected_false_positive_rate()
+        return 1.0 - acc
+
+    def __repr__(self) -> str:
+        return (
+            f"ScalableBloomFilter(stages={len(self._stages)}, items={self.num_items}, "
+            f"target_fp={self.fp_rate})"
+        )

@@ -1,0 +1,228 @@
+"""Command-line interface: build, query and inspect RAMBO indexes on disk.
+
+The original RAMBO/COBS tools are driven from the shell over directories of
+sequence files; this CLI mirrors that workflow on top of the library:
+
+``repro-rambo build``
+    Index a directory of ``.fasta`` / ``.fastq`` / ``.mcc`` (McCortex-lite)
+    files into a serialized RAMBO index.
+
+``repro-rambo query``
+    Load an index and query one or more terms or a whole sequence; prints one
+    line per query with the matching document names.
+
+``repro-rambo info``
+    Print the configuration, size breakdown and fill statistics of an index.
+
+``repro-rambo fold``
+    Load an index, fold it over N times and write the smaller index back out.
+
+The CLI is intentionally a thin shell over the public API so that every code
+path it exercises is also reachable (and tested) as a library call.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.core.config import configure_from_sample
+from repro.core.folding import fold_rambo
+from repro.core.rambo import Rambo, RamboConfig
+from repro.core.serialization import load_index, save_index
+from repro.io.fasta import read_fasta
+from repro.io.fastq import read_fastq
+from repro.io.mccortex import read_mccortex
+from repro.kmers.extraction import DEFAULT_K, document_from_sequences
+from repro.utils.memory import human_bytes
+from repro.utils.timing import Timer
+
+_SEQUENCE_SUFFIXES = {".fasta", ".fa", ".fna", ".fastq", ".fq", ".mcc"}
+
+
+def _load_documents(input_dir: Path, k: int, min_count: int) -> List:
+    """Parse every recognised sequence file under *input_dir* into documents."""
+    documents = []
+    for path in sorted(input_dir.iterdir()):
+        suffix = path.suffix.lower()
+        if suffix not in _SEQUENCE_SUFFIXES:
+            continue
+        name = path.stem
+        if suffix == ".mcc":
+            documents.append(read_mccortex(path).to_document())
+        elif suffix in (".fastq", ".fq"):
+            sequences = [record.sequence for record in read_fastq(path)]
+            documents.append(
+                document_from_sequences(name, sequences, k=k, min_count=min_count, source_format="fastq")
+            )
+        else:
+            sequences = [record.sequence for record in read_fasta(path)]
+            documents.append(
+                document_from_sequences(name, sequences, k=k, source_format="fasta")
+            )
+    if not documents:
+        raise SystemExit(f"no sequence files (*.fasta, *.fastq, *.mcc) found in {input_dir}")
+    return documents
+
+
+def _cmd_build(args: argparse.Namespace) -> int:
+    input_dir = Path(args.input_dir)
+    if not input_dir.is_dir():
+        raise SystemExit(f"input directory {input_dir} does not exist")
+    documents = _load_documents(input_dir, k=args.kmer_size, min_count=args.min_kmer_count)
+    print(f"parsed {len(documents)} documents from {input_dir}")
+
+    if args.partitions and args.repetitions and args.bfu_bits:
+        config = RamboConfig(
+            num_partitions=args.partitions,
+            repetitions=args.repetitions,
+            bfu_bits=args.bfu_bits,
+            bfu_hashes=args.bfu_hashes,
+            k=args.kmer_size,
+            seed=args.seed,
+        )
+    else:
+        config = configure_from_sample(
+            documents,
+            fp_rate=args.fp_rate,
+            num_partitions=args.partitions or None,
+            repetitions=args.repetitions or None,
+            bfu_hashes=args.bfu_hashes,
+            k=args.kmer_size,
+            seed=args.seed,
+        )
+    print(
+        f"config: B={config.num_partitions} R={config.repetitions} "
+        f"bfu_bits={config.bfu_bits} eta={config.bfu_hashes} k={config.k}"
+    )
+
+    index = Rambo(config)
+    with Timer() as timer:
+        index.add_documents(documents)
+    written = save_index(index, args.output)
+    print(
+        f"built in {timer.wall_seconds:.2f}s, wrote {human_bytes(written)} to {args.output}"
+    )
+    return 0
+
+
+def _normalise_term(term: str, k: int):
+    """Encode DNA terms the way the build path stores them.
+
+    Sequence files are indexed as 2-bit integer k-mer codes; a term that looks
+    like a k-length DNA string is converted to that code so CLI queries hit
+    the same hash inputs.  Anything else (words, non-ACGT strings) is queried
+    verbatim.
+    """
+    if len(term) == k and all(base in "ACGTacgt" for base in term):
+        from repro.kmers.encoding import kmer_to_int
+
+        return kmer_to_int(term)
+    return term
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    index = load_index(args.index)
+    method = "sparse" if args.sparse else "full"
+
+    queries: List[str] = list(args.terms)
+    if args.sequence:
+        result = index.query_sequence(args.sequence)
+        matches = ",".join(sorted(result.documents)) or "-"
+        print(f"sequence\t{matches}\t{result.filters_probed}")
+    for term in queries:
+        result = index.query_term(_normalise_term(term, index.k), method=method)
+        matches = ",".join(sorted(result.documents)) or "-"
+        print(f"{term}\t{matches}\t{result.filters_probed}")
+    if not queries and not args.sequence:
+        raise SystemExit("nothing to query: pass terms and/or --sequence")
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    index = load_index(args.index)
+    config = index.config
+    print(f"index file      : {args.index}")
+    print(f"documents       : {index.num_documents}")
+    print(f"partitions (B)  : {index.num_partitions}")
+    print(f"repetitions (R) : {index.repetitions}")
+    print(f"BFU bits        : {config.bfu_bits} ({config.bfu_hashes} hashes)")
+    print(f"k-mer length    : {config.k}")
+    for component, size in index.size_components().items():
+        print(f"size[{component:<11}]: {human_bytes(size)}")
+    print(f"size[total      ]: {human_bytes(index.size_in_bytes())}")
+    ratios = [r for row in index.fill_ratios() for r in row]
+    if ratios:
+        print(f"BFU fill ratio  : min={min(ratios):.3f} mean={sum(ratios)/len(ratios):.3f} "
+              f"max={max(ratios):.3f}")
+    return 0
+
+
+def _cmd_fold(args: argparse.Namespace) -> int:
+    index = load_index(args.index)
+    before = index.size_in_bytes()
+    folded = fold_rambo(index, args.folds)
+    written = save_index(folded, args.output)
+    print(
+        f"folded {args.folds}x: B {index.num_partitions} -> {folded.num_partitions}, "
+        f"size {human_bytes(before)} -> {human_bytes(folded.size_in_bytes())}, "
+        f"wrote {human_bytes(written)} to {args.output}"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-rambo",
+        description="Build and query RAMBO (Repeated And Merged Bloom Filter) indexes.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    build = sub.add_parser("build", help="index a directory of sequence files")
+    build.add_argument("input_dir", help="directory of .fasta/.fastq/.mcc files")
+    build.add_argument("output", help="path of the index file to write")
+    build.add_argument("--kmer-size", type=int, default=DEFAULT_K, help="k-mer length (default 31)")
+    build.add_argument("--fp-rate", type=float, default=0.01, help="target false-positive rate")
+    build.add_argument("--partitions", type=int, default=0, help="override B (0 = auto)")
+    build.add_argument("--repetitions", type=int, default=0, help="override R (0 = auto)")
+    build.add_argument("--bfu-bits", type=int, default=0, help="override BFU size in bits (0 = auto)")
+    build.add_argument("--bfu-hashes", type=int, default=2, help="hash probes per BFU (default 2)")
+    build.add_argument(
+        "--min-kmer-count", type=int, default=1,
+        help="error-filter threshold applied to FASTQ input (default 1 = keep all)",
+    )
+    build.add_argument("--seed", type=int, default=0, help="hash seed")
+    build.set_defaults(func=_cmd_build)
+
+    query = sub.add_parser("query", help="query terms or a sequence against an index")
+    query.add_argument("index", help="index file written by 'build'")
+    query.add_argument("terms", nargs="*", help="terms (k-mers or words) to query")
+    query.add_argument("--sequence", default="", help="query a whole sequence (conjunction of its k-mers)")
+    query.add_argument("--sparse", action="store_true", help="use the RAMBO+ sparse evaluation")
+    query.set_defaults(func=_cmd_query)
+
+    info = sub.add_parser("info", help="print index configuration and size breakdown")
+    info.add_argument("index", help="index file written by 'build'")
+    info.set_defaults(func=_cmd_info)
+
+    fold = sub.add_parser("fold", help="fold an index over to shrink it")
+    fold.add_argument("index", help="index file written by 'build'")
+    fold.add_argument("output", help="path of the folded index file to write")
+    fold.add_argument("--folds", type=int, default=1, help="number of fold-over steps (default 1)")
+    fold.set_defaults(func=_cmd_fold)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests calling main()
+    sys.exit(main())

@@ -1,0 +1,45 @@
+"""RAMBO core: the paper's contribution and its supporting machinery.
+
+Public entry points:
+
+* :class:`repro.core.rambo.Rambo` — the Repeated And Merged Bloom Filter
+  index (Algorithms 1 and 2, plus the RAMBO+ sparse query of Section 5.1).
+* :class:`repro.core.rambo.RamboConfig` / :mod:`repro.core.config` — parameter
+  selection (``B``, ``R``, BFU size) following Section 5.1.
+* :mod:`repro.core.folding` — the fold-over memory/accuracy trade of
+  Section 5.3 (Table 4, Figure 3).
+* :mod:`repro.core.distributed` — the two-level-hash sharded construction of
+  Section 5.3 and shard stacking.
+* :mod:`repro.core.analysis` — closed forms of Lemmas 4.1–4.6 and Theorems
+  4.3/4.5 used for parameter selection and the Figure 4 curves.
+"""
+
+from repro.core.base import MembershipIndex, QueryResult
+from repro.core.rambo import Rambo, RamboConfig
+from repro.core.folding import fold_rambo, fold_to_target
+from repro.core.distributed import DistributedRambo, stack_shards
+from repro.core.parallel import ParallelBuilder, merge_indexes
+from repro.core.serialization import load_index, save_index
+from repro.core.tuning import CollectionProfile, TuningResult, tune_for_fp_rate, tune_for_memory
+from repro.core import analysis, config
+
+__all__ = [
+    "MembershipIndex",
+    "QueryResult",
+    "Rambo",
+    "RamboConfig",
+    "fold_rambo",
+    "fold_to_target",
+    "DistributedRambo",
+    "stack_shards",
+    "ParallelBuilder",
+    "merge_indexes",
+    "load_index",
+    "save_index",
+    "CollectionProfile",
+    "TuningResult",
+    "tune_for_fp_rate",
+    "tune_for_memory",
+    "analysis",
+    "config",
+]

@@ -1,0 +1,114 @@
+"""Common interface shared by RAMBO and every baseline index.
+
+The paper compares structurally different indexes (RAMBO, COBS/BIGSI, the SBT
+family, an inverted index) on the same task: map a query term — or a
+conjunction of terms from a longer sequence — to the set of documents that
+contain it.  :class:`MembershipIndex` pins down that contract so the
+experiment harness and the benchmarks can treat every structure uniformly.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Union
+
+from repro.kmers.extraction import DEFAULT_K, KmerDocument, extract_kmers
+
+Term = Union[int, str]
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """Outcome of one query: matching document names plus probe accounting.
+
+    ``filters_probed`` counts Bloom-filter membership tests (the dominant
+    query cost every structure shares), so benchmarks can report an
+    implementation-independent work measure alongside wall-clock time.
+    """
+
+    documents: FrozenSet[str]
+    filters_probed: int = 0
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.documents
+
+    def __len__(self) -> int:
+        return len(self.documents)
+
+
+class MembershipIndex(abc.ABC):
+    """Abstract multi-set membership index over named documents."""
+
+    #: k-mer length used when a raw sequence is queried.
+    k: int = DEFAULT_K
+
+    @abc.abstractmethod
+    def add_document(self, document: KmerDocument) -> None:
+        """Insert one document (a named set of terms) into the index."""
+
+    @abc.abstractmethod
+    def query_term(self, term: Term) -> QueryResult:
+        """Documents that (appear to) contain *term*."""
+
+    @property
+    @abc.abstractmethod
+    def document_names(self) -> List[str]:
+        """Names of the indexed documents, in insertion order."""
+
+    @abc.abstractmethod
+    def size_in_bytes(self) -> int:
+        """Total serialized size of the index, auxiliary structures included."""
+
+    # -- derived operations shared by all structures -------------------------------
+
+    @property
+    def num_documents(self) -> int:
+        """Number of indexed documents ``K``."""
+        return len(self.document_names)
+
+    def add_documents(self, documents: Iterable[KmerDocument]) -> None:
+        """Insert many documents."""
+        for document in documents:
+            self.add_document(document)
+
+    def query_terms(self, terms: Sequence[Term]) -> QueryResult:
+        """Documents containing *every* term (Section 3.3.1's conjunction).
+
+        Iterates terms and intersects the per-term results, stopping as soon
+        as the intersection is empty — the paper's observation that "the first
+        returned FALSE will be conclusive" and that the output is bounded by
+        the rarest term's result.
+        """
+        documents: Optional[Set[str]] = None
+        probes = 0
+        for term in terms:
+            result = self.query_term(term)
+            probes += result.filters_probed
+            if documents is None:
+                documents = set(result.documents)
+            else:
+                documents &= result.documents
+            if not documents:
+                break
+        if documents is None:
+            documents = set(self.document_names)
+        return QueryResult(documents=frozenset(documents), filters_probed=probes)
+
+    def query_sequence(self, sequence: str, canonical: bool = False) -> QueryResult:
+        """Documents containing every k-mer of a nucleotide *sequence*.
+
+        Large-sequence query of Section 3.3.1: slide a window of size ``k``
+        over the sequence, then run the conjunctive term query.
+        """
+        kmers = extract_kmers(sequence, k=self.k, canonical=canonical)
+        if not kmers:
+            raise ValueError(
+                f"sequence of length {len(sequence)} yields no {self.k}-mers "
+                "(too short or contains only ambiguous bases)"
+            )
+        return self.query_terms(kmers)
+
+    def contains(self, name: str, term: Term) -> bool:
+        """Whether document *name* (appears to) contain *term*."""
+        return name in self.query_term(term).documents

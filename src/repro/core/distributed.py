@@ -1,0 +1,191 @@
+"""Distributed RAMBO construction (Section 5.3).
+
+The paper indexes the full 170TB archive by giving each of 100 nodes its own
+small RAMBO (``b`` partitions, ``R`` repetitions) and routing every document to
+exactly one node with a hash ``tau``.  Inside the node, the node-local
+2-universal hash ``phi_i`` picks the BFU.  The composed mapping
+``b * tau(D) + phi_i(D)`` is again 2-universal over the stacked range
+``B = num_nodes * b``, so stacking the shards vertically yields a RAMBO that
+is *identical in distribution* to one built on a single machine with the
+larger ``B`` — and, because every shard uses the same seeds and BFU
+parameters, the stack can subsequently be folded over.
+
+:class:`DistributedRambo` models that construction;
+:func:`stack_shards` materialises the single stacked index used by the
+fold-over experiments (Table 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.base import MembershipIndex, QueryResult, Term
+from repro.core.rambo import Rambo, RamboConfig
+from repro.hashing.universal import PartitionHashFamily, TwoLevelPartitionHash
+from repro.kmers.extraction import KmerDocument
+
+
+class DistributedRambo(MembershipIndex):
+    """A RAMBO sharded across simulated nodes with two-level hash routing.
+
+    Parameters
+    ----------
+    num_nodes:
+        Number of machines in the simulated cluster.
+    node_config:
+        RAMBO parameters of every node-local shard (``num_partitions`` here is
+        the per-node ``b``; the stacked index has ``B = num_nodes * b``).
+    """
+
+    def __init__(self, num_nodes: int, node_config: RamboConfig) -> None:
+        if num_nodes <= 0:
+            raise ValueError(f"num_nodes must be positive, got {num_nodes}")
+        self.num_nodes = num_nodes
+        self.node_config = node_config
+        self.k = node_config.k
+        self._router = TwoLevelPartitionHash(
+            num_nodes=num_nodes,
+            partitions_per_node=node_config.num_partitions,
+            repetitions=node_config.repetitions,
+            seed=node_config.seed,
+        )
+        # Every node shares the same node-local partition family (same seed),
+        # which is what allows stacking and folding later.
+        shared_family = PartitionHashFamily(
+            num_partitions=node_config.num_partitions,
+            repetitions=node_config.repetitions,
+            seed=node_config.seed,
+        )
+        self._shards: List[Rambo] = [
+            Rambo(node_config, partition_family=shared_family) for _ in range(num_nodes)
+        ]
+        self._doc_node: Dict[str, int] = {}
+        self._doc_names: List[str] = []
+
+    # -- construction ---------------------------------------------------------------
+
+    @property
+    def shards(self) -> Sequence[Rambo]:
+        """The node-local shards (read-only)."""
+        return tuple(self._shards)
+
+    @property
+    def document_names(self) -> List[str]:
+        return list(self._doc_names)
+
+    def node_of(self, name: str) -> int:
+        """Which node the router assigns a document name to."""
+        return self._router.node_of(name)
+
+    def add_document(self, document: KmerDocument) -> None:
+        """Route the document to its node and insert it there (no data movement)."""
+        if document.name in self._doc_node:
+            raise ValueError(f"document {document.name!r} already indexed")
+        node = self.node_of(document.name)
+        self._shards[node].add_document(document)
+        self._doc_node[document.name] = node
+        self._doc_names.append(document.name)
+
+    # -- query -----------------------------------------------------------------------
+
+    def query_term(self, term: Term, method: str = "full") -> QueryResult:
+        """Union of the per-node answers.
+
+        Each document lives in exactly one shard, so its membership is decided
+        entirely by that shard's own R-fold intersection; the global answer is
+        the union of shard answers.
+        """
+        documents = set()
+        probes = 0
+        for shard in self._shards:
+            result = shard.query_term(term, method=method)
+            probes += result.filters_probed
+            documents.update(result.documents)
+        return QueryResult(documents=frozenset(documents), filters_probed=probes)
+
+    # -- accounting --------------------------------------------------------------------
+
+    def size_in_bytes(self) -> int:
+        """Total size across every shard."""
+        return sum(shard.size_in_bytes() for shard in self._shards)
+
+    def documents_per_node(self) -> List[int]:
+        """Document count per node (load-balance diagnostic; ~K/nodes expected)."""
+        counts = [0] * self.num_nodes
+        for node in self._doc_node.values():
+            counts[node] += 1
+        return counts
+
+    def insertions_per_node(self) -> List[int]:
+        """Term-insertion work per node, the quantity that sets the makespan."""
+        work = [0] * self.num_nodes
+        for shard_index, shard in enumerate(self._shards):
+            work[shard_index] = sum(
+                bfu.num_items for row in shard._bfus for bfu in row  # noqa: SLF001
+            ) // max(1, shard.repetitions)
+        return work
+
+    def __repr__(self) -> str:
+        return (
+            f"DistributedRambo(nodes={self.num_nodes}, b={self.node_config.num_partitions}, "
+            f"R={self.node_config.repetitions}, documents={len(self._doc_names)})"
+        )
+
+
+def stack_shards(distributed: DistributedRambo) -> Rambo:
+    """Stack the node shards vertically into one single-machine RAMBO.
+
+    The stacked index has ``B = num_nodes * b`` partitions; BFU
+    ``(r, node * b + local_b)`` is exactly shard ``node``'s BFU
+    ``(r, local_b)`` (same bits, same document members).  The result is
+    query-equivalent to the distributed index and, crucially, can be folded
+    over (Table 4) because all shards share BFU size, hash count and seed.
+    """
+    node_config = distributed.node_config
+    b = node_config.num_partitions
+    total_partitions = distributed.num_nodes * b
+    stacked_config = RamboConfig(
+        num_partitions=total_partitions,
+        repetitions=node_config.repetitions,
+        bfu_bits=node_config.bfu_bits,
+        bfu_hashes=node_config.bfu_hashes,
+        k=node_config.k,
+        seed=node_config.seed,
+    )
+    stacked = Rambo.__new__(Rambo)
+    stacked.config = stacked_config
+    stacked.k = node_config.k
+    stacked._family = distributed._router.global_family()  # noqa: SLF001
+
+    # Global document id space: concatenate shard documents node by node.
+    doc_names: List[str] = []
+    doc_ids: Dict[str, int] = {}
+    id_offset_per_node: List[int] = []
+    for shard in distributed.shards:
+        id_offset_per_node.append(len(doc_names))
+        for name in shard.document_names:
+            doc_ids[name] = len(doc_names)
+            doc_names.append(name)
+    stacked._doc_names = doc_names
+    stacked._doc_ids = doc_ids
+
+    repetitions = node_config.repetitions
+    stacked._bfus = [[None] * total_partitions for _ in range(repetitions)]  # type: ignore[list-item]
+    stacked._members = [[[] for _ in range(total_partitions)] for _ in range(repetitions)]
+    stacked._assignments = [[0] * len(doc_names) for _ in range(repetitions)]
+
+    for node_index, shard in enumerate(distributed.shards):
+        offset = id_offset_per_node[node_index]
+        for r in range(repetitions):
+            for local_b in range(b):
+                global_b = node_index * b + local_b
+                stacked._bfus[r][global_b] = shard.bfu(r, local_b).copy()
+                local_members = shard._members[r][local_b]  # noqa: SLF001
+                stacked._members[r][global_b] = [offset + doc_id for doc_id in local_members]
+            for local_doc_id, local_assignment in enumerate(shard._assignments[r]):  # noqa: SLF001
+                stacked._assignments[r][offset + local_doc_id] = node_index * b + local_assignment
+
+    stacked._member_arrays_dirty = True
+    stacked._member_arrays = []
+    return stacked

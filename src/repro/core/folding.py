@@ -1,0 +1,89 @@
+"""Fold-over: the post-construction memory/accuracy trade of Section 5.3.
+
+A RAMBO index built with ``B`` partitions can be shrunk to ``B/2`` (and then
+``B/4``, ``B/8`` ...) by bitwise-ORing the second half of every repetition's
+BFU row into the first half.  Because the documents merged into BFU ``b`` and
+BFU ``b + B/2`` are disjoint, the result is exactly the index that a smaller
+``B`` would have produced with the reduced partition function — memory halves
+per fold and the false-positive rate rises super-linearly (Table 4 /
+Figure 3).
+
+The heavy lifting lives in :meth:`repro.core.rambo.Rambo.fold`; this module
+provides the repeated-fold conveniences used by the Table 4 bench.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core.rambo import Rambo
+
+
+def fold_rambo(index: Rambo, folds: int = 1) -> Rambo:
+    """Apply *folds* successive fold-over operations and return the result.
+
+    ``folds = 1`` matches the paper's "Fold 2" row (B halves), ``folds = 2``
+    is "Fold 4", ``folds = 3`` is "Fold 8", and so on.  Requires the partition
+    count to be divisible by ``2**folds``.
+    """
+    if folds < 0:
+        raise ValueError(f"folds must be non-negative, got {folds}")
+    if index.num_partitions % (1 << folds) != 0:
+        raise ValueError(
+            f"cannot apply {folds} folds to B={index.num_partitions}: "
+            f"not divisible by {1 << folds}"
+        )
+    current = index
+    for _ in range(folds):
+        current = current.fold()
+    return current
+
+
+def fold_to_target(index: Rambo, target_partitions: int) -> Rambo:
+    """Fold repeatedly until exactly *target_partitions* BFUs per repetition remain."""
+    if target_partitions <= 0:
+        raise ValueError(f"target_partitions must be positive, got {target_partitions}")
+    if index.num_partitions % target_partitions != 0:
+        raise ValueError(
+            f"target {target_partitions} does not divide B={index.num_partitions}"
+        )
+    ratio = index.num_partitions // target_partitions
+    if ratio & (ratio - 1):
+        raise ValueError(f"B / target must be a power of two, got {ratio}")
+    folds = ratio.bit_length() - 1
+    return fold_rambo(index, folds)
+
+
+def folding_schedule(index: Rambo, max_folds: int) -> List[Rambo]:
+    """The sequence ``[fold 2, fold 4, ...]`` up to *max_folds* folds.
+
+    Used by the Table 4 bench to produce one row per fold level from a single
+    constructed index ("one-time processing allows us to create several
+    versions of RAMBO with varying sizes and FP rates").
+    """
+    if max_folds < 1:
+        raise ValueError(f"max_folds must be >= 1, got {max_folds}")
+    versions: List[Rambo] = []
+    current = index
+    for _ in range(max_folds):
+        if current.num_partitions % 2 != 0:
+            break
+        current = current.fold()
+        versions.append(current)
+    return versions
+
+
+def fold_report(index: Rambo, max_folds: int) -> Dict[int, Dict[str, float]]:
+    """Size (bytes) and mean BFU fill ratio for each fold level.
+
+    Keys are the fold factor (2, 4, 8, ...), mirroring Table 4's rows.
+    """
+    report: Dict[int, Dict[str, float]] = {}
+    for i, version in enumerate(folding_schedule(index, max_folds), start=1):
+        ratios = [r for row in version.fill_ratios() for r in row]
+        report[1 << i] = {
+            "size_bytes": float(version.size_in_bytes()),
+            "mean_fill_ratio": sum(ratios) / len(ratios) if ratios else 0.0,
+            "num_partitions": float(version.num_partitions),
+        }
+    return report

@@ -1,0 +1,431 @@
+"""The RAMBO index: a Count-Min-Sketch arrangement of Bloom filters.
+
+Construction (Algorithm 1): ``R`` independent 2-universal partition hashes
+``phi_1..phi_R`` each map a document name to one of ``B`` cells; the document's
+terms are inserted into the Bloom Filter of the Union (BFU) at that cell in
+every repetition.
+
+Query (Algorithm 2): probe BFUs for the term, take the union of the document
+sets of the hit BFUs within each repetition and the intersection across
+repetitions.  Unions and intersections are vectorised bitmap operations, the
+design choice Section 5.1 discusses.
+
+Two query strategies are provided:
+
+* ``method="full"`` probes all ``B × R`` BFUs (plain RAMBO).
+* ``method="sparse"`` is RAMBO+ (Section 5.1 "Query time speedup"): repetition
+  ``r`` only probes BFUs that still contain candidates surviving repetitions
+  ``1..r-1``, because any other BFU cannot change the final intersection.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Union
+
+import numpy as np
+
+from repro.bloom.bloom_filter import BloomFilter, _normalise_key, optimal_num_bits
+from repro.core.base import MembershipIndex, QueryResult, Term
+from repro.hashing.murmur3 import combine_seeds, double_hashes
+from repro.hashing.universal import PartitionHashFamily
+from repro.kmers.extraction import DEFAULT_K, KmerDocument
+
+
+@dataclass(frozen=True)
+class RamboConfig:
+    """Static parameters of a RAMBO index.
+
+    Attributes
+    ----------
+    num_partitions:
+        ``B`` — number of BFUs per repetition.
+    repetitions:
+        ``R`` — number of independent repetitions (tables).
+    bfu_bits:
+        Size in bits of every BFU.
+    bfu_hashes:
+        Number of hash probes ``eta`` per key inside a BFU (the paper uses 2
+        for the genomic experiments).
+    k:
+        k-mer length used when raw sequences are queried.
+    seed:
+        Master seed; all partition hashes and BFU hashes derive from it, which
+        is what makes independently built shards mergeable and foldable.
+    """
+
+    num_partitions: int
+    repetitions: int
+    bfu_bits: int
+    bfu_hashes: int = 2
+    k: int = DEFAULT_K
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_partitions <= 0:
+            raise ValueError(f"num_partitions must be positive, got {self.num_partitions}")
+        if self.repetitions <= 0:
+            raise ValueError(f"repetitions must be positive, got {self.repetitions}")
+        if self.bfu_bits <= 0:
+            raise ValueError(f"bfu_bits must be positive, got {self.bfu_bits}")
+        if self.bfu_hashes <= 0:
+            raise ValueError(f"bfu_hashes must be positive, got {self.bfu_hashes}")
+        if not (1 <= self.k <= 31):
+            raise ValueError(f"k must be in [1, 31], got {self.k}")
+
+    @classmethod
+    def recommended(
+        cls,
+        num_documents: int,
+        terms_per_document: int,
+        fp_rate: float = 0.01,
+        expected_multiplicity: float = 2.0,
+        k: int = DEFAULT_K,
+        seed: int = 0,
+    ) -> "RamboConfig":
+        """Parameter selection following Section 5.1.
+
+        ``B = O(sqrt(K * V / eta))`` (Lemma 4.4's optimum), ``R = O(log K -
+        log delta)`` (Theorem 4.3), and the BFU size is chosen from the
+        expected number of unique insertions per BFU (pooled estimate) at the
+        per-BFU false-positive target.
+        """
+        if num_documents <= 0:
+            raise ValueError(f"num_documents must be positive, got {num_documents}")
+        if terms_per_document <= 0:
+            raise ValueError(f"terms_per_document must be positive, got {terms_per_document}")
+        bfu_hashes = 2
+        num_partitions = max(
+            2, int(round(math.sqrt(num_documents * expected_multiplicity / bfu_hashes)))
+        )
+        num_partitions = min(num_partitions, num_documents)
+        repetitions = max(2, int(math.ceil(math.log(max(num_documents, 2)) - math.log(fp_rate))) // 4)
+        expected_insertions = max(
+            1, int(terms_per_document * num_documents / num_partitions)
+        )
+        bfu_bits = optimal_num_bits(expected_insertions, fp_rate)
+        return cls(
+            num_partitions=num_partitions,
+            repetitions=repetitions,
+            bfu_bits=bfu_bits,
+            bfu_hashes=bfu_hashes,
+            k=k,
+            seed=seed,
+        )
+
+
+class Rambo(MembershipIndex):
+    """Repeated And Merged Bloom Filter index.
+
+    Parameters
+    ----------
+    config:
+        Static parameters (see :class:`RamboConfig`).
+    partition_family:
+        Optional pre-built partition hash family.  Supplying one is how the
+        distributed construction (Section 5.3) injects the two-level routing
+        hash; by default an independent :class:`PartitionHashFamily` seeded
+        from ``config.seed`` is created.
+    """
+
+    def __init__(
+        self,
+        config: RamboConfig,
+        partition_family: Optional[PartitionHashFamily] = None,
+    ) -> None:
+        self.config = config
+        self.k = config.k
+        if partition_family is None:
+            partition_family = PartitionHashFamily(
+                num_partitions=config.num_partitions,
+                repetitions=config.repetitions,
+                seed=config.seed,
+            )
+        if partition_family.repetitions != config.repetitions:
+            raise ValueError(
+                "partition family repetitions "
+                f"({partition_family.repetitions}) != config repetitions ({config.repetitions})"
+            )
+        self._family = partition_family
+        # BFU grid: _bfus[r][b]
+        self._bfus: List[List[BloomFilter]] = [
+            [
+                BloomFilter(
+                    num_bits=config.bfu_bits,
+                    num_hashes=config.bfu_hashes,
+                    seed=combine_seeds(config.seed, 0xBF0),
+                )
+                for _ in range(config.num_partitions)
+            ]
+            for _ in range(config.repetitions)
+        ]
+        # Document bookkeeping.
+        self._doc_names: List[str] = []
+        self._doc_ids: Dict[str, int] = {}
+        # _assignments[r][doc_id] = partition index of that doc in repetition r.
+        self._assignments: List[List[int]] = [[] for _ in range(config.repetitions)]
+        # _members[r][b] = doc ids assigned to BFU (r, b); rebuilt as numpy arrays lazily.
+        self._members: List[List[List[int]]] = [
+            [[] for _ in range(config.num_partitions)] for _ in range(config.repetitions)
+        ]
+        self._member_arrays_dirty = True
+        self._member_arrays: List[List[np.ndarray]] = []
+        # Per-repetition (B, words) view of the BFU bits; because every BFU
+        # shares size, hash count and seed, one term's probe positions are the
+        # same in every BFU, so membership across all B filters is a handful
+        # of vectorised gathers on this matrix.
+        self._bit_cache: List[np.ndarray] = []
+
+    # -- construction -----------------------------------------------------------------
+
+    @property
+    def num_partitions(self) -> int:
+        """Current number of partitions ``B`` (halves after each fold)."""
+        return len(self._bfus[0])
+
+    @property
+    def repetitions(self) -> int:
+        """Number of repetitions ``R``."""
+        return len(self._bfus)
+
+    @property
+    def document_names(self) -> List[str]:
+        return list(self._doc_names)
+
+    def _partition_of(self, name: str, repetition: int) -> int:
+        """Partition cell of a document, honouring any folds applied so far."""
+        return self._family(name, repetition) % self.num_partitions
+
+    def add_document(self, document: KmerDocument) -> None:
+        """Insert a document (Algorithm 1).
+
+        Because every BFU shares its size, hash count and seed, a term's probe
+        positions are identical in all ``R`` repetitions; they are therefore
+        computed once per term and written into the ``R`` assigned BFUs — the
+        same single-hashing trick the C++ implementations rely on.
+
+        Duplicate names are rejected: RAMBO has no deletions, so re-adding a
+        document would silently double its terms' multiplicities.
+        """
+        if document.name in self._doc_ids:
+            raise ValueError(f"document {document.name!r} already indexed")
+        doc_id = len(self._doc_names)
+        self._doc_names.append(document.name)
+        self._doc_ids[document.name] = doc_id
+        target_bfus = []
+        for r in range(self.repetitions):
+            b = self._partition_of(document.name, r)
+            self._assignments[r].append(b)
+            self._members[r][b].append(doc_id)
+            target_bfus.append(self._bfus[r][b])
+        for term in document.terms:
+            positions = self._probe_positions(term)
+            for bfu in target_bfus:
+                bfu.bits.set_many(positions)
+                bfu.num_items += 1
+        self._member_arrays_dirty = True
+
+    def add_terms(self, name: str, terms: Iterable[Term]) -> None:
+        """Convenience wrapper building a :class:`KmerDocument` on the fly."""
+        self.add_document(KmerDocument(name=name, terms=frozenset(terms)))
+
+    # -- query -------------------------------------------------------------------------
+
+    def _refresh_member_arrays(self) -> None:
+        if not self._member_arrays_dirty:
+            return
+        self._member_arrays = [
+            [np.asarray(ids, dtype=np.int64) for ids in row] for row in self._members
+        ]
+        self._bit_cache = [
+            np.stack([bfu.bits.words for bfu in row]) for row in self._bfus
+        ]
+        self._member_arrays_dirty = False
+
+    def _probe_positions(self, term: Term) -> List[int]:
+        """Probe positions of *term*, valid for every BFU (shared size/seed)."""
+        return double_hashes(
+            _normalise_key(term),
+            self.config.bfu_hashes,
+            self.config.bfu_bits,
+            combine_seeds(self.config.seed, 0xBF0),
+        )
+
+    def _hit_partitions(self, repetition: int, positions: Sequence[int]) -> np.ndarray:
+        """Indices of the BFUs in *repetition* whose bits are all set at *positions*."""
+        words = self._bit_cache[repetition]
+        hits = np.ones(words.shape[0], dtype=bool)
+        for pos in positions:
+            word_index = pos // 64
+            bit = np.uint64(pos % 64)
+            hits &= ((words[:, word_index] >> bit) & np.uint64(1)).astype(bool)
+        return np.flatnonzero(hits)
+
+    def _candidate_mask(self, hit_partitions: Iterable[int], repetition: int) -> np.ndarray:
+        """Bitmap (bool array over doc ids) of the union of the hit BFUs' documents."""
+        mask = np.zeros(len(self._doc_names), dtype=bool)
+        arrays = self._member_arrays[repetition]
+        for b in hit_partitions:
+            ids = arrays[b]
+            if ids.size:
+                mask[ids] = True
+        return mask
+
+    def query_term(self, term: Term, method: str = "full") -> QueryResult:
+        """Documents that appear to contain *term* (Algorithm 2).
+
+        Parameters
+        ----------
+        term:
+            k-mer code or word.
+        method:
+            ``"full"`` probes every BFU; ``"sparse"`` is the RAMBO+ pruning.
+        """
+        if method not in ("full", "sparse"):
+            raise ValueError(f"unknown query method {method!r}")
+        if not self._doc_names:
+            return QueryResult(documents=frozenset(), filters_probed=0)
+        self._refresh_member_arrays()
+        if method == "full":
+            return self._query_full(term)
+        return self._query_sparse(term)
+
+    def _query_full(self, term: Term) -> QueryResult:
+        positions = self._probe_positions(term)
+        probes = 0
+        final_mask: Optional[np.ndarray] = None
+        for r in range(self.repetitions):
+            probes += self.num_partitions
+            hits = self._hit_partitions(r, positions)
+            mask = self._candidate_mask(hits, r)
+            final_mask = mask if final_mask is None else (final_mask & mask)
+            if not final_mask.any():
+                break
+        assert final_mask is not None
+        names = frozenset(self._doc_names[i] for i in np.flatnonzero(final_mask))
+        return QueryResult(documents=names, filters_probed=probes)
+
+    def _query_sparse(self, term: Term) -> QueryResult:
+        """RAMBO+ query: later repetitions only probe BFUs holding survivors."""
+        positions = self._probe_positions(term)
+        probes = 0
+        final_mask: Optional[np.ndarray] = None
+        for r in range(self.repetitions):
+            if final_mask is None:
+                candidate_partitions = np.arange(self.num_partitions, dtype=np.int64)
+            else:
+                surviving_ids = np.flatnonzero(final_mask)
+                assignments = np.asarray(self._assignments[r], dtype=np.int64)
+                candidate_partitions = np.unique(assignments[surviving_ids] % self.num_partitions)
+            probes += int(candidate_partitions.size)
+            all_hits = self._hit_partitions(r, positions)
+            hits = np.intersect1d(all_hits, candidate_partitions, assume_unique=True)
+            mask = self._candidate_mask(hits, r)
+            final_mask = mask if final_mask is None else (final_mask & mask)
+            if not final_mask.any():
+                break
+        assert final_mask is not None
+        names = frozenset(self._doc_names[i] for i in np.flatnonzero(final_mask))
+        return QueryResult(documents=names, filters_probed=probes)
+
+    def query_terms(self, terms: Sequence[Term], method: str = "full") -> QueryResult:
+        """Conjunctive query over several terms with early termination."""
+        documents: Optional[Set[str]] = None
+        probes = 0
+        for term in terms:
+            result = self.query_term(term, method=method)
+            probes += result.filters_probed
+            documents = set(result.documents) if documents is None else documents & result.documents
+            if not documents:
+                break
+        if documents is None:
+            documents = set(self._doc_names)
+        return QueryResult(documents=frozenset(documents), filters_probed=probes)
+
+    # -- fold-over ----------------------------------------------------------------------
+
+    def fold(self) -> "Rambo":
+        """Return a new index with ``B/2`` partitions (Section 5.3 fold-over).
+
+        BFU ``b`` of the folded index is the bitwise OR of BFUs ``b`` and
+        ``b + B/2``, and inherits the union of their document sets.  Memory
+        halves; the false-positive rate rises because each BFU now merges
+        twice as many documents.  Requires an even ``B``.
+        """
+        if self.num_partitions % 2 != 0:
+            raise ValueError(
+                f"cannot fold an index with an odd number of partitions ({self.num_partitions})"
+            )
+        half = self.num_partitions // 2
+        folded = Rambo.__new__(Rambo)
+        folded.config = RamboConfig(
+            num_partitions=half,
+            repetitions=self.config.repetitions,
+            bfu_bits=self.config.bfu_bits,
+            bfu_hashes=self.config.bfu_hashes,
+            k=self.config.k,
+            seed=self.config.seed,
+        )
+        folded.k = self.k
+        folded._family = self._family
+        folded._doc_names = list(self._doc_names)
+        folded._doc_ids = dict(self._doc_ids)
+        folded._bfus = []
+        folded._members = []
+        folded._assignments = []
+        for r in range(self.repetitions):
+            row_bfus: List[BloomFilter] = []
+            row_members: List[List[int]] = []
+            for b in range(half):
+                merged = self._bfus[r][b].copy()
+                merged.union_inplace(self._bfus[r][b + half])
+                row_bfus.append(merged)
+                row_members.append(sorted(self._members[r][b] + self._members[r][b + half]))
+            folded._bfus.append(row_bfus)
+            folded._members.append(row_members)
+            folded._assignments.append([a % half for a in self._assignments[r]])
+        folded._member_arrays_dirty = True
+        folded._member_arrays = []
+        return folded
+
+    # -- accounting ------------------------------------------------------------------------
+
+    def size_in_bytes(self) -> int:
+        """Index size: BFU payloads plus the bucket → document-id mapping.
+
+        Mirrors the paper's convention that the reported size includes the
+        auxiliary inverted map from buckets to documents.
+        """
+        bfu_bytes = sum(bfu.size_in_bytes() for row in self._bfus for bfu in row)
+        # Each (repetition, doc) assignment is one 4-byte bucket id; each
+        # document name is stored once.
+        assignment_bytes = 4 * self.repetitions * len(self._doc_names)
+        name_bytes = sum(len(name.encode("utf-8")) for name in self._doc_names)
+        return bfu_bytes + assignment_bytes + name_bytes
+
+    def size_components(self) -> Dict[str, int]:
+        """Byte count per component (used by the size-report utilities)."""
+        return {
+            "bfus": sum(bfu.size_in_bytes() for row in self._bfus for bfu in row),
+            "assignments": 4 * self.repetitions * len(self._doc_names),
+            "names": sum(len(name.encode("utf-8")) for name in self._doc_names),
+        }
+
+    def fill_ratios(self) -> List[List[float]]:
+        """Per-BFU fill ratios, ``[repetition][partition]`` (diagnostics)."""
+        return [[bfu.fill_ratio() for bfu in row] for row in self._bfus]
+
+    def bfu(self, repetition: int, partition: int) -> BloomFilter:
+        """Direct access to one BFU (used by fold/stack machinery and tests)."""
+        return self._bfus[repetition][partition]
+
+    def partition_members(self, repetition: int, partition: int) -> List[str]:
+        """Names of the documents merged into BFU ``(repetition, partition)``."""
+        return [self._doc_names[i] for i in self._members[repetition][partition]]
+
+    def __repr__(self) -> str:
+        return (
+            f"Rambo(B={self.num_partitions}, R={self.repetitions}, "
+            f"bfu_bits={self.config.bfu_bits}, documents={self.num_documents})"
+        )

@@ -1,0 +1,153 @@
+"""Index persistence: save a built RAMBO index to disk and load it back.
+
+The paper's workflow is build-once / query-many: the 170TB archive is indexed
+offline (Section 5.3) and the resulting 1.8TB structure is what gets shipped
+to query nodes, possibly after fold-over.  That only works if the index can be
+serialized without losing the properties that make merging and folding legal —
+the hash seeds, the BFU geometry and the bucket → document mapping.
+
+The on-disk format is a single-file container:
+
+``RAMBO1`` magic, a JSON header (config, document names, per-repetition
+assignments) prefixed by its byte length, followed by the raw little-endian
+``uint64`` words of every BFU in ``(repetition, partition)`` order.  The
+header carries everything needed to reconstruct the partition bookkeeping;
+the payload is exactly the bits.  Loading re-derives the member lists from the
+assignments, so the file stays compact (no duplicated membership data).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.bloom.bitarray import BitArray
+from repro.core.rambo import Rambo, RamboConfig
+
+PathLike = Union[str, Path]
+
+_MAGIC = b"RAMBO1\n"
+
+
+def save_index(index: Rambo, path: PathLike) -> int:
+    """Serialise *index* to *path*; returns the number of bytes written.
+
+    The partition hash family is reconstructed from the stored seed on load,
+    so only indexes built with the default (seed-derived) family round-trip
+    exactly.  Stacked indexes built from a distributed run carry a composed
+    two-level family; they serialise fine for querying but new insertions
+    after a load will use the seed-derived family, so a warning-grade note is
+    recorded in the header.
+    """
+    config = index.config
+    header = {
+        "format_version": 1,
+        "config": {
+            "num_partitions": index.num_partitions,
+            "repetitions": index.repetitions,
+            "bfu_bits": config.bfu_bits,
+            "bfu_hashes": config.bfu_hashes,
+            "k": config.k,
+            "seed": config.seed,
+        },
+        "original_num_partitions": config.num_partitions,
+        "document_names": index.document_names,
+        "assignments": [list(row) for row in index._assignments],  # noqa: SLF001
+        "custom_partition_family": not _uses_default_family(index),
+    }
+    header_bytes = json.dumps(header, separators=(",", ":")).encode("utf-8")
+
+    path = Path(path)
+    with open(path, "wb") as handle:
+        handle.write(_MAGIC)
+        handle.write(len(header_bytes).to_bytes(8, "little"))
+        handle.write(header_bytes)
+        for r in range(index.repetitions):
+            for b in range(index.num_partitions):
+                handle.write(index.bfu(r, b).bits.to_bytes())
+    return path.stat().st_size
+
+
+def load_index(path: PathLike) -> Rambo:
+    """Load an index previously written by :func:`save_index`.
+
+    Raises :class:`ValueError` on wrong magic, version or truncated payloads.
+    """
+    path = Path(path)
+    with open(path, "rb") as handle:
+        magic = handle.read(len(_MAGIC))
+        if magic != _MAGIC:
+            raise ValueError(f"{path} is not a RAMBO index file (bad magic {magic!r})")
+        header_len = int.from_bytes(handle.read(8), "little")
+        try:
+            header = json.loads(handle.read(header_len).decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ValueError(f"{path} has a corrupt header") from exc
+        if header.get("format_version") != 1:
+            raise ValueError(f"unsupported format version {header.get('format_version')!r}")
+
+        cfg = header["config"]
+        config = RamboConfig(
+            num_partitions=cfg["num_partitions"],
+            repetitions=cfg["repetitions"],
+            bfu_bits=cfg["bfu_bits"],
+            bfu_hashes=cfg["bfu_hashes"],
+            k=cfg["k"],
+            seed=cfg["seed"],
+        )
+        index = Rambo(config)
+
+        # Restore document bookkeeping.
+        names = header["document_names"]
+        assignments = header["assignments"]
+        if len(assignments) != config.repetitions or any(
+            len(row) != len(names) for row in assignments
+        ):
+            raise ValueError(f"{path} has inconsistent assignment tables")
+        index._doc_names = list(names)  # noqa: SLF001
+        index._doc_ids = {name: i for i, name in enumerate(names)}  # noqa: SLF001
+        index._assignments = [list(row) for row in assignments]  # noqa: SLF001
+        index._members = [  # noqa: SLF001
+            [[] for _ in range(config.num_partitions)] for _ in range(config.repetitions)
+        ]
+        for r, row in enumerate(assignments):
+            for doc_id, b in enumerate(row):
+                if not (0 <= b < config.num_partitions):
+                    raise ValueError(f"{path} has an out-of-range partition assignment {b}")
+                index._members[r][b].append(doc_id)  # noqa: SLF001
+
+        # Restore the BFU payloads.
+        words_per_bfu = (config.bfu_bits + 63) // 64
+        bytes_per_bfu = words_per_bfu * 8
+        for r in range(config.repetitions):
+            for b in range(config.num_partitions):
+                payload = handle.read(bytes_per_bfu)
+                if len(payload) != bytes_per_bfu:
+                    raise ValueError(f"{path} is truncated (BFU {r},{b})")
+                bfu = index.bfu(r, b)
+                bfu.bits = BitArray.from_bytes(config.bfu_bits, payload)
+        trailing = handle.read(1)
+        if trailing:
+            raise ValueError(f"{path} has trailing data after the BFU payload")
+
+    index._member_arrays_dirty = True  # noqa: SLF001
+    return index
+
+
+def _uses_default_family(index: Rambo) -> bool:
+    """Whether the index's partition family is the default seed-derived one."""
+    from repro.hashing.universal import PartitionHashFamily
+
+    family = index._family  # noqa: SLF001
+    if type(family) is not PartitionHashFamily:
+        return False
+    probe_names = [f"__probe_{i}" for i in range(8)]
+    reference = PartitionHashFamily(
+        num_partitions=family.num_partitions,
+        repetitions=family.repetitions,
+        seed=index.config.seed,
+    )
+    return all(family.assign(name) == reference.assign(name) for name in probe_names)

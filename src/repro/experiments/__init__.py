@@ -1,0 +1,37 @@
+"""Experiment harness: workload builders and metric collection.
+
+Each module corresponds to one block of the paper's evaluation and is the
+code the ``benchmarks/`` suite calls into:
+
+* :mod:`repro.experiments.genomics` — Tables 2 and 3 (query/construction time
+  and index size on ENA-like genomic collections, FASTQ vs McCortex modes).
+* :mod:`repro.experiments.false_positives` — Figure 4 and the false-positive
+  protocol of Section 5.2 (planted terms with exponential multiplicity).
+* :mod:`repro.experiments.folding` — Table 4 (fold-over size/time/FP trade).
+* :mod:`repro.experiments.documents` — Table 5 (Wiki-dump / ClueWeb stand-ins).
+* :mod:`repro.experiments.theory` — Table 1 (closed-form comparison).
+"""
+
+from repro.experiments.genomics import (
+    GenomicsExperiment,
+    IndexMeasurement,
+    build_all_indexes,
+    measure_index,
+)
+from repro.experiments.false_positives import FalsePositiveExperiment, FprMeasurement
+from repro.experiments.folding import FoldingExperiment, FoldMeasurement
+from repro.experiments.documents import DocumentExperiment
+from repro.experiments.theory import theory_table
+
+__all__ = [
+    "GenomicsExperiment",
+    "IndexMeasurement",
+    "build_all_indexes",
+    "measure_index",
+    "FalsePositiveExperiment",
+    "FprMeasurement",
+    "FoldingExperiment",
+    "FoldMeasurement",
+    "DocumentExperiment",
+    "theory_table",
+]

@@ -1,0 +1,160 @@
+"""Figure 4 and the Section 5.2 false-positive measurement protocol.
+
+The paper measures false positives by planting randomly generated terms (that
+cannot collide with real k-mers) into ``V`` documents, with ``V`` drawn from
+an exponential distribution, then querying them and counting documents
+reported beyond the planted ground truth.  Figure 4 sweeps the multiplicity
+``V`` and the memory level (fold factor) and plots the resulting FP rate.
+
+:class:`FalsePositiveExperiment` reproduces both: ``measure()`` runs the
+planted-workload protocol on a built index, ``sweep_multiplicity()`` produces
+the Figure 4 series (one measured point per ``V``, alongside the Lemma 4.1
+prediction for comparison).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core import analysis
+from repro.core.rambo import Rambo, RamboConfig
+from repro.kmers.extraction import KmerDocument
+from repro.simulate.datasets import (
+    QueryWorkload,
+    SyntheticDataset,
+    build_query_workload,
+)
+
+
+@dataclass(frozen=True)
+class FprMeasurement:
+    """Measured and predicted false-positive rate for one configuration."""
+
+    multiplicity: int
+    measured_fp_rate: float
+    predicted_fp_rate: float
+    num_queries: int
+
+    def as_row(self) -> Dict[str, float]:
+        return {
+            "V": float(self.multiplicity),
+            "measured": self.measured_fp_rate,
+            "predicted": self.predicted_fp_rate,
+            "queries": float(self.num_queries),
+        }
+
+
+@dataclass
+class FalsePositiveExperiment:
+    """Plant terms at controlled multiplicity and measure per-document FP rates."""
+
+    dataset: SyntheticDataset
+    config: RamboConfig
+    seed: int = 0
+
+    def _plant_fixed_multiplicity(
+        self, multiplicity: int, num_terms: int
+    ) -> tuple:
+        """Plant *num_terms* terms each into exactly *multiplicity* documents."""
+        rng = random.Random(self.seed * 31 + multiplicity)
+        names = self.dataset.names
+        if multiplicity > len(names):
+            raise ValueError(
+                f"multiplicity {multiplicity} exceeds document count {len(names)}"
+            )
+        k = self.dataset.k
+        extra: Dict[str, set] = {name: set() for name in names}
+        truth: Dict[int, frozenset] = {}
+        for i in range(num_terms):
+            term = (1 << (2 * k + 1)) | (rng.getrandbits(2 * (k - 1)) << 4) | (i & 0xF)
+            members = rng.sample(names, multiplicity)
+            for name in members:
+                extra[name].add(term)
+            truth[term] = frozenset(members)
+        documents = [
+            KmerDocument(
+                name=doc.name,
+                terms=doc.terms | frozenset(extra[doc.name]),
+                source_format=doc.source_format,
+                sequence_length=doc.sequence_length,
+            )
+            for doc in self.dataset.documents
+        ]
+        return documents, truth
+
+    def measure_at_multiplicity(
+        self, multiplicity: int, num_terms: int = 100
+    ) -> FprMeasurement:
+        """One Figure 4 point: FP rate when every planted term has multiplicity V."""
+        documents, truth = self._plant_fixed_multiplicity(multiplicity, num_terms)
+        index = Rambo(self.config)
+        index.add_documents(documents)
+        false_positives = 0
+        comparisons = 0
+        for term, members in truth.items():
+            reported = index.query_term(term).documents
+            for name in self.dataset.names:
+                if name in reported and name not in members:
+                    false_positives += 1
+                if name not in members:
+                    comparisons += 1
+        measured = false_positives / comparisons if comparisons else 0.0
+        mean_items = (
+            sum(len(doc) for doc in documents) / max(1, self.config.num_partitions)
+        )
+        bfu_fp = analysis.bloom_filter_fp_rate(
+            self.config.bfu_bits, self.config.bfu_hashes, int(mean_items)
+        )
+        predicted = analysis.per_document_false_positive_rate(
+            bfu_fp_rate=bfu_fp,
+            num_partitions=self.config.num_partitions,
+            repetitions=self.config.repetitions,
+            multiplicity=multiplicity,
+        )
+        return FprMeasurement(
+            multiplicity=multiplicity,
+            measured_fp_rate=measured,
+            predicted_fp_rate=predicted,
+            num_queries=num_terms,
+        )
+
+    def sweep_multiplicity(
+        self, multiplicities: Sequence[int], num_terms: int = 100
+    ) -> List[FprMeasurement]:
+        """The Figure 4 series: one measurement per multiplicity value."""
+        return [self.measure_at_multiplicity(v, num_terms) for v in multiplicities]
+
+    def measure_planted_workload(
+        self, num_positive: int = 200, num_negative: int = 200, mean_multiplicity: float = 10.0
+    ) -> Dict[str, float]:
+        """The Section 5.2 exponential-multiplicity protocol on one built index."""
+        augmented, workload = build_query_workload(
+            self.dataset,
+            num_positive=num_positive,
+            num_negative=num_negative,
+            mean_multiplicity=mean_multiplicity,
+            seed=self.seed,
+        )
+        index = Rambo(self.config)
+        index.add_documents(augmented.documents)
+        false_positives = 0
+        false_negatives = 0
+        comparisons = 0
+        for term in workload.all_terms:
+            truth = workload.positive_terms.get(term, frozenset())
+            reported = index.query_term(term).documents
+            for name in augmented.names:
+                in_truth = name in truth
+                in_reported = name in reported
+                if in_reported and not in_truth:
+                    false_positives += 1
+                elif in_truth and not in_reported:
+                    false_negatives += 1
+                comparisons += 1
+        return {
+            "fp_rate": false_positives / comparisons if comparisons else 0.0,
+            "fn_rate": false_negatives / comparisons if comparisons else 0.0,
+            "comparisons": float(comparisons),
+        }

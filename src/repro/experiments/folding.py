@@ -1,0 +1,125 @@
+"""Table 4: fold-over size / query-time / false-positive trade-off.
+
+The paper builds one distributed RAMBO (100 nodes x (500 x 5) BFUs), stacks
+it, and produces fold-2 / fold-4 / fold-8 versions by bitwise OR; Table 4
+reports per-fold query time and index size, and Figure 4 the FP rates.  This
+experiment does the same end to end on the simulated cluster: build the
+distributed index, stack, fold repeatedly, and measure each version on a
+shared planted workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.folding import fold_rambo
+from repro.core.rambo import Rambo, RamboConfig
+from repro.simulate.cluster import ClusterReport, ClusterSimulator
+from repro.simulate.datasets import (
+    ENADatasetBuilder,
+    QueryWorkload,
+    SyntheticDataset,
+    build_query_workload,
+)
+from repro.utils.timing import Timer
+
+
+@dataclass(frozen=True)
+class FoldMeasurement:
+    """One Table 4 row: a fold level with its query time, size and FP rate."""
+
+    fold_factor: int
+    num_partitions: int
+    query_cpu_ms_per_query: float
+    size_bytes: int
+    false_positive_rate: float
+
+    def as_row(self) -> Dict[str, float]:
+        return {
+            "fold": float(self.fold_factor),
+            "B": float(self.num_partitions),
+            "query_ms": self.query_cpu_ms_per_query,
+            "size_bytes": float(self.size_bytes),
+            "fp_rate": self.false_positive_rate,
+        }
+
+
+@dataclass
+class FoldingExperiment:
+    """Distributed construction + stacking + fold sweep (Section 5.3, Table 4)."""
+
+    num_documents: int = 120
+    num_nodes: int = 4
+    partitions_per_node: int = 8
+    repetitions: int = 3
+    bfu_bits: int = 1 << 14
+    k: int = 15
+    num_queries: int = 100
+    mean_multiplicity: float = 5.0
+    seed: int = 11
+    genome_length: int = 1_500
+    dataset: SyntheticDataset = field(init=False, repr=False)
+    workload: QueryWorkload = field(init=False, repr=False)
+    cluster_report: Optional[ClusterReport] = field(init=False, default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        builder = ENADatasetBuilder(k=self.k, genome_length=self.genome_length, seed=self.seed)
+        base = builder.build(self.num_documents, file_format="mccortex")
+        self.dataset, self.workload = build_query_workload(
+            base,
+            num_positive=self.num_queries // 2,
+            num_negative=self.num_queries - self.num_queries // 2,
+            mean_multiplicity=self.mean_multiplicity,
+            seed=self.seed,
+        )
+
+    def node_config(self) -> RamboConfig:
+        """RAMBO parameters of each simulated node's shard."""
+        return RamboConfig(
+            num_partitions=self.partitions_per_node,
+            repetitions=self.repetitions,
+            bfu_bits=self.bfu_bits,
+            bfu_hashes=2,
+            k=self.k,
+            seed=self.seed,
+        )
+
+    def build_stacked(self) -> Rambo:
+        """Distributed construction followed by vertical stacking."""
+        simulator = ClusterSimulator(num_nodes=self.num_nodes, node_config=self.node_config())
+        self.cluster_report = simulator.ingest(self.dataset.documents)
+        return simulator.stacked_index()
+
+    def _measure(self, index: Rambo, fold_factor: int) -> FoldMeasurement:
+        terms = self.workload.all_terms
+        false_positives = 0
+        comparisons = 0
+        with Timer() as timer:
+            results = [index.query_term(term) for term in terms]
+        for term, result in zip(terms, results):
+            truth = self.workload.positive_terms.get(term, frozenset())
+            for name in self.dataset.names:
+                if name in result.documents and name not in truth:
+                    false_positives += 1
+                if name not in truth:
+                    comparisons += 1
+        return FoldMeasurement(
+            fold_factor=fold_factor,
+            num_partitions=index.num_partitions,
+            query_cpu_ms_per_query=timer.cpu_ms / max(1, len(terms)),
+            size_bytes=index.size_in_bytes(),
+            false_positive_rate=false_positives / comparisons if comparisons else 0.0,
+        )
+
+    def run(self, fold_factors: Sequence[int] = (1, 2, 4, 8)) -> List[FoldMeasurement]:
+        """Measure the stacked index at each fold factor (1 = unfolded)."""
+        stacked = self.build_stacked()
+        measurements: List[FoldMeasurement] = []
+        for factor in fold_factors:
+            if factor < 1 or factor & (factor - 1):
+                raise ValueError(f"fold factors must be powers of two, got {factor}")
+            folds = factor.bit_length() - 1
+            version = fold_rambo(stacked, folds) if folds else stacked
+            measurements.append(self._measure(version, factor))
+        return measurements

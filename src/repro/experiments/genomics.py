@@ -1,0 +1,201 @@
+"""Tables 2 and 3: genomic sequence indexing comparison.
+
+For a given document count and file format (FASTQ-mode raw reads vs
+McCortex-mode filtered k-mers) this module builds every index structure on the
+same synthetic ENA-like collection, times construction and querying, measures
+index sizes, and verifies correctness against the exact inverted index — the
+same comparison matrix the paper reports, at simulator scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.baselines import (
+    CobsIndex,
+    HowDeSbt,
+    InvertedIndex,
+    SequenceBloomTree,
+    SplitSequenceBloomTree,
+)
+from repro.core.base import MembershipIndex, Term
+from repro.core.rambo import Rambo, RamboConfig
+from repro.core.config import configure_from_sample
+from repro.simulate.datasets import (
+    ENADatasetBuilder,
+    QueryWorkload,
+    SyntheticDataset,
+    build_query_workload,
+)
+from repro.utils.timing import Timer
+
+
+@dataclass
+class IndexMeasurement:
+    """Measured behaviour of one index on one workload."""
+
+    name: str
+    construction_wall_s: float
+    query_cpu_ms_per_query: float
+    size_bytes: int
+    filters_probed_per_query: float
+    false_positive_rate: float
+    false_negative_rate: float
+
+    def as_row(self) -> Dict[str, float]:
+        """Flat dict for table printing."""
+        return {
+            "construction_s": self.construction_wall_s,
+            "query_ms": self.query_cpu_ms_per_query,
+            "size_bytes": float(self.size_bytes),
+            "probes": self.filters_probed_per_query,
+            "fp_rate": self.false_positive_rate,
+            "fn_rate": self.false_negative_rate,
+        }
+
+
+def measure_index(
+    index: MembershipIndex,
+    dataset: SyntheticDataset,
+    workload: QueryWorkload,
+    name: Optional[str] = None,
+    query_method: Optional[str] = None,
+) -> IndexMeasurement:
+    """Build *index* on *dataset* and measure it on *workload*.
+
+    ``query_method`` selects RAMBO's ``"full"`` vs ``"sparse"`` (RAMBO+) path
+    and is ignored by other structures.
+    """
+    with Timer() as build_timer:
+        index.add_documents(dataset.documents)
+
+    def run_query(term: Term):
+        if query_method is not None and isinstance(index, Rambo):
+            return index.query_term(term, method=query_method)
+        return index.query_term(term)
+
+    terms = workload.all_terms
+    false_positives = 0
+    false_negatives = 0
+    comparisons = 0
+    probes = 0
+    with Timer() as query_timer:
+        results = [run_query(term) for term in terms]
+    for term, result in zip(terms, results):
+        probes += result.filters_probed
+        truth = workload.positive_terms.get(term, frozenset())
+        reported = result.documents
+        for doc_name in dataset.names:
+            in_truth = doc_name in truth
+            in_reported = doc_name in reported
+            if in_reported and not in_truth:
+                false_positives += 1
+            elif in_truth and not in_reported:
+                false_negatives += 1
+            comparisons += 1
+    num_queries = max(1, len(terms))
+    return IndexMeasurement(
+        name=name or type(index).__name__,
+        construction_wall_s=build_timer.wall_seconds,
+        query_cpu_ms_per_query=query_timer.cpu_ms / num_queries,
+        size_bytes=index.size_in_bytes(),
+        filters_probed_per_query=probes / num_queries,
+        false_positive_rate=false_positives / comparisons if comparisons else 0.0,
+        false_negative_rate=false_negatives / comparisons if comparisons else 0.0,
+    )
+
+
+def build_all_indexes(
+    dataset: SyntheticDataset,
+    fp_rate: float = 0.01,
+    seed: int = 0,
+    include: Optional[Sequence[str]] = None,
+) -> Dict[str, Callable[[], MembershipIndex]]:
+    """Factories for every structure, sized for *dataset* at *fp_rate*.
+
+    Returns name → zero-argument factory so the caller controls when (and how
+    often) each index is actually built — important for pytest-benchmark.
+    """
+    stats = dataset.statistics()
+    terms_per_doc = max(1, int(stats.mean_terms))
+    k = dataset.k
+
+    def rambo_factory() -> MembershipIndex:
+        config = configure_from_sample(dataset.documents, fp_rate=fp_rate, k=k, seed=seed)
+        return Rambo(config)
+
+    factories: Dict[str, Callable[[], MembershipIndex]] = {
+        "rambo": rambo_factory,
+        "cobs": lambda: CobsIndex.for_capacity(terms_per_doc, fp_rate=fp_rate, k=k, seed=seed),
+        "sbt": lambda: SequenceBloomTree.for_capacity(terms_per_doc, fp_rate=fp_rate, k=k, seed=seed),
+        "ssbt": lambda: SplitSequenceBloomTree.for_capacity(
+            terms_per_doc, fp_rate=fp_rate, k=k, seed=seed
+        ),
+        "howdesbt": lambda: HowDeSbt.for_capacity(terms_per_doc, fp_rate=fp_rate, k=k, seed=seed),
+        "inverted": lambda: InvertedIndex(k=k),
+    }
+    if include is not None:
+        unknown = set(include) - set(factories)
+        if unknown:
+            raise ValueError(f"unknown index names: {sorted(unknown)}")
+        factories = {name: factories[name] for name in include}
+    return factories
+
+
+@dataclass
+class GenomicsExperiment:
+    """End-to-end driver for one (num_documents, file_format) cell of Table 2/3.
+
+    Parameters mirror the scaled-down dataset builder defaults; ``num_queries``
+    is the planted-workload size (1000 in the paper, smaller by default so the
+    pytest benches stay quick).
+    """
+
+    num_documents: int = 100
+    file_format: str = "mccortex"
+    k: int = 15
+    fp_rate: float = 0.01
+    num_queries: int = 100
+    mean_multiplicity: float = 5.0
+    seed: int = 7
+    genome_length: int = 2_000
+    dataset: SyntheticDataset = field(init=False, repr=False)
+    workload: QueryWorkload = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        builder = ENADatasetBuilder(
+            k=self.k, genome_length=self.genome_length, seed=self.seed
+        )
+        base = builder.build(self.num_documents, file_format=self.file_format)
+        self.dataset, self.workload = build_query_workload(
+            base,
+            num_positive=self.num_queries // 2,
+            num_negative=self.num_queries - self.num_queries // 2,
+            mean_multiplicity=self.mean_multiplicity,
+            seed=self.seed,
+        )
+
+    def run(self, include: Optional[Sequence[str]] = None) -> Dict[str, IndexMeasurement]:
+        """Measure every requested structure on the shared dataset/workload."""
+        factories = build_all_indexes(
+            self.dataset, fp_rate=self.fp_rate, seed=self.seed, include=include
+        )
+        measurements: Dict[str, IndexMeasurement] = {}
+        for name, factory in factories.items():
+            measurements[name] = measure_index(
+                factory(), self.dataset, self.workload, name=name
+            )
+        # RAMBO+ is the same constructed index queried with the sparse method.
+        if include is None or "rambo+" in include or "rambo" in (include or []):
+            rambo_factory = build_all_indexes(
+                self.dataset, fp_rate=self.fp_rate, seed=self.seed, include=["rambo"]
+            )["rambo"]
+            measurements["rambo+"] = measure_index(
+                rambo_factory(),
+                self.dataset,
+                self.workload,
+                name="rambo+",
+                query_method="sparse",
+            )
+        return measurements

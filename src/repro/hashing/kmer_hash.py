@@ -1,0 +1,138 @@
+"""Integer encodings and rolling hashes for k-mers.
+
+The paper indexes 31-mers because a 31-mer fits in a 64-bit integer with the
+standard 2-bit nucleotide encoding (A=0, C=1, G=2, T=3).  This module provides
+that encoding, its inverse, the canonical (strand-neutral) form, and a rolling
+hasher that produces the 2-bit code of every k-mer of a sequence in a single
+left-to-right scan — the building block the extraction and index layers use so
+that long sequences are not re-encoded k times per position.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+_BASE_TO_BITS = {"A": 0, "C": 1, "G": 2, "T": 3, "a": 0, "c": 1, "g": 2, "t": 3}
+_BITS_TO_BASE = "ACGT"
+# Complement in 2-bit space: A<->T (0<->3), C<->G (1<->2) i.e. x -> 3 - x.
+
+
+def kmer_to_int(kmer: str) -> int:
+    """Encode a DNA k-mer into its 2-bit integer representation.
+
+    Raises :class:`ValueError` on characters outside ``ACGT`` (case
+    insensitive) and on k-mers longer than 31 bases (which would not fit the
+    64-bit budget the paper's design assumes).
+    """
+    if len(kmer) > 31:
+        raise ValueError(f"k-mer length {len(kmer)} exceeds the 31-base 64-bit budget")
+    value = 0
+    for base in kmer:
+        try:
+            code = _BASE_TO_BITS[base]
+        except KeyError:
+            raise ValueError(f"invalid nucleotide {base!r} in k-mer {kmer!r}") from None
+        value = (value << 2) | code
+    return value
+
+
+def int_to_kmer(value: int, k: int) -> str:
+    """Decode a 2-bit integer back into a DNA string of length *k*."""
+    if value < 0:
+        raise ValueError(f"encoded k-mer must be non-negative, got {value}")
+    if value >> (2 * k):
+        raise ValueError(f"value {value} does not fit in {k} bases")
+    bases = []
+    for shift in range(2 * (k - 1), -2, -2):
+        bases.append(_BITS_TO_BASE[(value >> shift) & 0b11])
+    return "".join(bases)
+
+
+def reverse_complement(kmer: str) -> str:
+    """Reverse complement of a DNA string (A<->T, C<->G, reversed)."""
+    complement = {"A": "T", "T": "A", "C": "G", "G": "C", "a": "t", "t": "a", "c": "g", "g": "c"}
+    try:
+        return "".join(complement[b] for b in reversed(kmer))
+    except KeyError as exc:
+        raise ValueError(f"invalid nucleotide in {kmer!r}") from exc
+
+
+def reverse_complement_int(value: int, k: int) -> int:
+    """Reverse complement in 2-bit space without decoding to a string."""
+    rc = 0
+    for _ in range(k):
+        rc = (rc << 2) | (3 - (value & 0b11))
+        value >>= 2
+    return rc
+
+
+def canonical_int(value: int, k: int) -> int:
+    """Canonical (strand-neutral) representation: min(kmer, revcomp(kmer)).
+
+    Sequencing reads come from either DNA strand; indexing the canonical form
+    makes membership queries strand-agnostic, matching what McCortex and COBS
+    do in the paper's pipeline.
+    """
+    rc = reverse_complement_int(value, k)
+    return value if value <= rc else rc
+
+
+def canonical_kmer(kmer: str) -> str:
+    """Canonical form of a k-mer given as a string."""
+    rc = reverse_complement(kmer)
+    return kmer.upper() if kmer.upper() <= rc.upper() else rc.upper()
+
+
+class RollingKmerHasher:
+    """Streaming 2-bit encoder over a nucleotide sequence.
+
+    Feeding bases one at a time yields the encoded k-mer ending at each
+    position once ``k`` valid bases have been seen.  Ambiguous bases (``N``
+    and anything outside ``ACGT``) reset the window, mirroring how real
+    k-mer counters treat them.
+
+    Example
+    -------
+    >>> hasher = RollingKmerHasher(k=3)
+    >>> [code for code in hasher.feed("ACGT") if code is not None]
+    [6, 27]
+    """
+
+    def __init__(self, k: int, canonical: bool = False) -> None:
+        if not (1 <= k <= 31):
+            raise ValueError(f"k must be in [1, 31], got {k}")
+        self.k = k
+        self.canonical = canonical
+        self._mask = (1 << (2 * k)) - 1
+        self._value = 0
+        self._valid = 0
+
+    def reset(self) -> None:
+        """Forget the current window (used across sequence boundaries)."""
+        self._value = 0
+        self._valid = 0
+
+    def push(self, base: str) -> Optional[int]:
+        """Consume one base; return the k-mer code ending here, if complete."""
+        code = _BASE_TO_BITS.get(base)
+        if code is None:
+            self.reset()
+            return None
+        self._value = ((self._value << 2) | code) & self._mask
+        self._valid += 1
+        if self._valid < self.k:
+            return None
+        value = self._value
+        if self.canonical:
+            value = canonical_int(value, self.k)
+        return value
+
+    def feed(self, sequence: str) -> Iterator[Optional[int]]:
+        """Yield the (possibly canonical) code after each consumed base."""
+        for base in sequence:
+            yield self.push(base)
+
+    def kmers(self, sequence: str) -> List[int]:
+        """All complete k-mer codes of *sequence*, skipping ambiguous windows."""
+        self.reset()
+        return [code for code in self.feed(sequence) if code is not None]

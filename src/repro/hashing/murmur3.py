@@ -1,0 +1,191 @@
+"""Pure-Python MurmurHash3 and probe-position derivation for Bloom filters.
+
+MurmurHash3 is the hash the original RAMBO / COBS / BIGSI implementations use
+for k-mer hashing.  This module implements the x64 128-bit variant exactly
+(it matches the reference C++ ``MurmurHash3_x64_128``) plus convenience
+wrappers returning 64-bit and 32-bit digests.
+
+Because Python integers are arbitrary precision, every operation is masked to
+64 bits.  The implementation favours clarity over raw speed; the hot path used
+by the index classes (:func:`hash_positions`) is the one place where we keep
+allocations to a minimum.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple, Union
+
+_MASK64 = 0xFFFFFFFFFFFFFFFF
+_C1 = 0x87C37B91114253D5
+_C2 = 0x4CF5AD432745937F
+
+BytesLike = Union[bytes, bytearray, memoryview, str]
+
+
+def _as_bytes(key: BytesLike) -> bytes:
+    """Normalise *key* to ``bytes`` (strings are UTF-8 encoded)."""
+    if isinstance(key, str):
+        return key.encode("utf-8")
+    if isinstance(key, (bytearray, memoryview)):
+        return bytes(key)
+    return key
+
+
+def _rotl64(x: int, r: int) -> int:
+    return ((x << r) | (x >> (64 - r))) & _MASK64
+
+
+def _fmix64(k: int) -> int:
+    k ^= k >> 33
+    k = (k * 0xFF51AFD7ED558CCD) & _MASK64
+    k ^= k >> 33
+    k = (k * 0xC4CEB9FE1A85EC53) & _MASK64
+    k ^= k >> 33
+    return k
+
+
+def murmur3_x64_128(key: BytesLike, seed: int = 0) -> Tuple[int, int]:
+    """Compute the 128-bit MurmurHash3 (x64 variant) of *key*.
+
+    Parameters
+    ----------
+    key:
+        The data to hash.  Strings are encoded as UTF-8.
+    seed:
+        A 32/64-bit seed.  Different seeds give independent-looking hashes.
+
+    Returns
+    -------
+    tuple of int
+        Two unsigned 64-bit halves ``(h1, h2)`` of the 128-bit digest.
+    """
+    data = _as_bytes(key)
+    length = len(data)
+    nblocks = length // 16
+
+    h1 = seed & _MASK64
+    h2 = seed & _MASK64
+
+    # body
+    for block in range(nblocks):
+        offset = block * 16
+        k1 = int.from_bytes(data[offset : offset + 8], "little")
+        k2 = int.from_bytes(data[offset + 8 : offset + 16], "little")
+
+        k1 = (k1 * _C1) & _MASK64
+        k1 = _rotl64(k1, 31)
+        k1 = (k1 * _C2) & _MASK64
+        h1 ^= k1
+
+        h1 = _rotl64(h1, 27)
+        h1 = (h1 + h2) & _MASK64
+        h1 = (h1 * 5 + 0x52DCE729) & _MASK64
+
+        k2 = (k2 * _C2) & _MASK64
+        k2 = _rotl64(k2, 33)
+        k2 = (k2 * _C1) & _MASK64
+        h2 ^= k2
+
+        h2 = _rotl64(h2, 31)
+        h2 = (h2 + h1) & _MASK64
+        h2 = (h2 * 5 + 0x38495AB5) & _MASK64
+
+    # tail
+    tail = data[nblocks * 16 :]
+    k1 = 0
+    k2 = 0
+    tail_len = len(tail)
+    if tail_len >= 9:
+        for i in range(tail_len - 1, 7, -1):
+            k2 = (k2 << 8) | tail[i]
+        k2 = (k2 * _C2) & _MASK64
+        k2 = _rotl64(k2, 33)
+        k2 = (k2 * _C1) & _MASK64
+        h2 ^= k2
+    if tail_len > 0:
+        for i in range(min(tail_len, 8) - 1, -1, -1):
+            k1 = (k1 << 8) | tail[i]
+        k1 = (k1 * _C1) & _MASK64
+        k1 = _rotl64(k1, 31)
+        k1 = (k1 * _C2) & _MASK64
+        h1 ^= k1
+
+    # finalization
+    h1 ^= length
+    h2 ^= length
+    h1 = (h1 + h2) & _MASK64
+    h2 = (h2 + h1) & _MASK64
+    h1 = _fmix64(h1)
+    h2 = _fmix64(h2)
+    h1 = (h1 + h2) & _MASK64
+    h2 = (h2 + h1) & _MASK64
+    return h1, h2
+
+
+def murmur3_64(key: BytesLike, seed: int = 0) -> int:
+    """Return the first 64 bits of the 128-bit MurmurHash3 digest."""
+    return murmur3_x64_128(key, seed)[0]
+
+
+def murmur3_32(key: BytesLike, seed: int = 0) -> int:
+    """Return a 32-bit digest derived from the 128-bit MurmurHash3."""
+    return murmur3_x64_128(key, seed)[0] & 0xFFFFFFFF
+
+
+def double_hashes(key: BytesLike, count: int, modulus: int, seed: int = 0) -> List[int]:
+    """Derive *count* probe positions in ``[0, modulus)`` for *key*.
+
+    Uses the Kirsch--Mitzenmacher construction ``g_i(x) = h1(x) + i * h2(x)``
+    which provides the same asymptotic false-positive behaviour as ``count``
+    independent hash functions while only evaluating MurmurHash3 once.
+
+    Parameters
+    ----------
+    key:
+        Item to hash.
+    count:
+        Number of probe positions (``eta`` in the paper).
+    modulus:
+        Size of the bit array the positions index into.
+    seed:
+        Seed forwarded to MurmurHash3; each Bloom filter instance uses its
+        own seed so that unions across filters remain meaningful.
+    """
+    if count <= 0:
+        raise ValueError(f"count must be positive, got {count}")
+    if modulus <= 0:
+        raise ValueError(f"modulus must be positive, got {modulus}")
+    h1, h2 = murmur3_x64_128(key, seed)
+    # Force h2 odd so successive probes cycle through the full range even for
+    # power-of-two moduli.
+    h2 |= 1
+    return [(h1 + i * h2) % modulus for i in range(count)]
+
+
+def hash_positions(
+    keys: Iterable[BytesLike], count: int, modulus: int, seed: int = 0
+) -> List[List[int]]:
+    """Vector form of :func:`double_hashes` over an iterable of keys."""
+    return [double_hashes(key, count, modulus, seed) for key in keys]
+
+
+def hash_to_range(key: BytesLike, modulus: int, seed: int = 0) -> int:
+    """Hash *key* uniformly into ``[0, modulus)``."""
+    if modulus <= 0:
+        raise ValueError(f"modulus must be positive, got {modulus}")
+    return murmur3_64(key, seed) % modulus
+
+
+def combine_seeds(*parts: int) -> int:
+    """Deterministically combine several integer seeds into one 64-bit seed.
+
+    Used to derive per-(repetition, table, node) seeds from a single master
+    seed so that distributed shards agree on every hash function without
+    communicating (Section 5.3 of the paper requires seed consistency).
+    """
+    acc = 0x9E3779B97F4A7C15
+    for part in parts:
+        acc ^= (part & _MASK64) + 0x9E3779B97F4A7C15 + ((acc << 6) & _MASK64) + (acc >> 2)
+        acc &= _MASK64
+        acc = _fmix64(acc)
+    return acc

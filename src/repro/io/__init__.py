@@ -1,0 +1,25 @@
+"""Sequence file formats.
+
+The paper's dataset exists in two formats — FASTQ (raw, unfiltered reads) and
+McCortex (filtered sets of unique k-mers) — and the baselines additionally
+read FASTA assemblies.  This package provides readers and writers for all
+three, so the simulators can materialise datasets on disk and the indexing
+pipeline can stream them back exactly the way the original system ingests ENA
+files.
+"""
+
+from repro.io.fasta import FastaRecord, read_fasta, write_fasta
+from repro.io.fastq import FastqRecord, read_fastq, write_fastq
+from repro.io.mccortex import McCortexFile, read_mccortex, write_mccortex
+
+__all__ = [
+    "FastaRecord",
+    "read_fasta",
+    "write_fasta",
+    "FastqRecord",
+    "read_fastq",
+    "write_fastq",
+    "McCortexFile",
+    "read_mccortex",
+    "write_mccortex",
+]

@@ -1,0 +1,86 @@
+"""Minimal, strict FASTA reader and writer.
+
+FASTA records are ``>header`` lines followed by one or more sequence lines.
+The reader is a generator so multi-gigabyte assemblies can be streamed without
+loading the whole file; the writer wraps sequences at a configurable line
+width, matching what genome assemblers emit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator, List, TextIO, Union
+
+PathLike = Union[str, Path]
+
+
+@dataclass(frozen=True)
+class FastaRecord:
+    """One FASTA record: identifier, free-text description and sequence."""
+
+    identifier: str
+    description: str
+    sequence: str
+
+    def __len__(self) -> int:
+        return len(self.sequence)
+
+
+def _parse_header(line: str) -> tuple:
+    body = line[1:].strip()
+    if not body:
+        raise ValueError("FASTA header line has no identifier")
+    parts = body.split(None, 1)
+    identifier = parts[0]
+    description = parts[1] if len(parts) > 1 else ""
+    return identifier, description
+
+
+def _iter_records(handle: TextIO) -> Iterator[FastaRecord]:
+    identifier = None
+    description = ""
+    chunks: List[str] = []
+    for raw_line in handle:
+        line = raw_line.rstrip("\n")
+        if not line:
+            continue
+        if line.startswith(">"):
+            if identifier is not None:
+                yield FastaRecord(identifier, description, "".join(chunks))
+            identifier, description = _parse_header(line)
+            chunks = []
+        else:
+            if identifier is None:
+                raise ValueError("FASTA file does not start with a '>' header line")
+            chunks.append(line.strip())
+    if identifier is not None:
+        yield FastaRecord(identifier, description, "".join(chunks))
+
+
+def read_fasta(path: PathLike) -> Iterator[FastaRecord]:
+    """Stream the records of a FASTA file.
+
+    Raises :class:`ValueError` on malformed files (sequence data before the
+    first header).
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        yield from _iter_records(handle)
+
+
+def write_fasta(path: PathLike, records: Iterable[FastaRecord], line_width: int = 80) -> int:
+    """Write records to *path*; returns the number of records written."""
+    if line_width <= 0:
+        raise ValueError(f"line_width must be positive, got {line_width}")
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for record in records:
+            header = f">{record.identifier}"
+            if record.description:
+                header += f" {record.description}"
+            handle.write(header + "\n")
+            seq = record.sequence
+            for start in range(0, len(seq), line_width):
+                handle.write(seq[start : start + line_width] + "\n")
+            count += 1
+    return count

@@ -1,0 +1,76 @@
+"""FASTQ reader and writer (Sanger quality encoding).
+
+FASTQ is the raw-read format of the paper's first data configuration: every
+record is four lines (``@name``, sequence, ``+``, quality string).  The reader
+validates the invariants that matter for indexing (sequence and quality
+lengths match, separator line present) and streams records lazily.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator, List, Union
+
+PathLike = Union[str, Path]
+
+#: Phred+33 offset used by the Sanger / Illumina 1.8+ encoding.
+PHRED_OFFSET = 33
+
+
+@dataclass(frozen=True)
+class FastqRecord:
+    """One FASTQ read: name, nucleotide sequence and per-base quality string."""
+
+    name: str
+    sequence: str
+    quality: str
+
+    def __post_init__(self) -> None:
+        if len(self.sequence) != len(self.quality):
+            raise ValueError(
+                f"sequence and quality length differ for read {self.name!r}: "
+                f"{len(self.sequence)} vs {len(self.quality)}"
+            )
+
+    def __len__(self) -> int:
+        return len(self.sequence)
+
+    def phred_scores(self) -> List[int]:
+        """Per-base Phred quality scores."""
+        return [ord(ch) - PHRED_OFFSET for ch in self.quality]
+
+    def mean_quality(self) -> float:
+        """Average Phred score of the read (0.0 for empty reads)."""
+        scores = self.phred_scores()
+        return sum(scores) / len(scores) if scores else 0.0
+
+
+def read_fastq(path: PathLike) -> Iterator[FastqRecord]:
+    """Stream the records of a FASTQ file, validating the 4-line structure."""
+    with open(path, "r", encoding="utf-8") as handle:
+        while True:
+            header = handle.readline()
+            if not header:
+                return
+            header = header.rstrip("\n")
+            if not header.startswith("@"):
+                raise ValueError(f"expected '@' header line, got {header!r}")
+            sequence = handle.readline().rstrip("\n")
+            separator = handle.readline().rstrip("\n")
+            quality = handle.readline().rstrip("\n")
+            if not separator.startswith("+"):
+                raise ValueError(f"expected '+' separator line, got {separator!r}")
+            if not quality and sequence:
+                raise ValueError(f"truncated FASTQ record {header!r}")
+            yield FastqRecord(name=header[1:], sequence=sequence, quality=quality)
+
+
+def write_fastq(path: PathLike, records: Iterable[FastqRecord]) -> int:
+    """Write records to *path*; returns the number of records written."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for record in records:
+            handle.write(f"@{record.name}\n{record.sequence}\n+\n{record.quality}\n")
+            count += 1
+    return count

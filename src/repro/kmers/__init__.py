@@ -1,0 +1,37 @@
+"""k-mer extraction and document modelling.
+
+A *document* in the genomic experiments is the set of k-mers of one sequence
+file (one microbe's reads or assembly); in the web experiments it is the set
+of word unigrams of one text file.  :class:`KmerDocument` is the common
+container both pipelines produce and every index class consumes.
+"""
+
+from repro.kmers.encoding import (
+    kmer_to_int,
+    int_to_kmer,
+    canonical_int,
+    canonical_kmer,
+    reverse_complement,
+    reverse_complement_int,
+)
+from repro.kmers.extraction import (
+    KmerDocument,
+    extract_kmers,
+    extract_kmer_set,
+    extract_from_reads,
+    document_from_sequences,
+)
+
+__all__ = [
+    "kmer_to_int",
+    "int_to_kmer",
+    "canonical_int",
+    "canonical_kmer",
+    "reverse_complement",
+    "reverse_complement_int",
+    "KmerDocument",
+    "extract_kmers",
+    "extract_kmer_set",
+    "extract_from_reads",
+    "document_from_sequences",
+]

@@ -1,0 +1,27 @@
+"""Re-export of the 2-bit k-mer encoding primitives.
+
+The encoding lives next to the hash functions in
+:mod:`repro.hashing.kmer_hash` because the rolling encoder is shared with the
+hashing layer; this module re-exports it under the ``repro.kmers`` namespace
+so downstream code importing "k-mer things" finds everything in one place.
+"""
+
+from repro.hashing.kmer_hash import (
+    kmer_to_int,
+    int_to_kmer,
+    canonical_int,
+    canonical_kmer,
+    reverse_complement,
+    reverse_complement_int,
+    RollingKmerHasher,
+)
+
+__all__ = [
+    "kmer_to_int",
+    "int_to_kmer",
+    "canonical_int",
+    "canonical_kmer",
+    "reverse_complement",
+    "reverse_complement_int",
+    "RollingKmerHasher",
+]

@@ -1,0 +1,143 @@
+"""Sliding-window k-mer extraction and the document abstraction.
+
+The paper's Figure 1: each of the ``K`` documents is converted into a set of
+k-mers with a sliding window (shift of one character), and both indexing and
+querying operate on those term sets.  :class:`KmerDocument` is that term set
+plus the metadata the experiment harness needs (document name, source format,
+raw sequence length).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Union
+
+from repro.hashing.kmer_hash import RollingKmerHasher
+
+Term = Union[int, str]
+
+DEFAULT_K = 31
+
+
+def extract_kmers(sequence: str, k: int = DEFAULT_K, canonical: bool = False) -> List[int]:
+    """All k-mer codes of *sequence* in order, skipping windows with ambiguous bases.
+
+    Parameters
+    ----------
+    sequence:
+        Nucleotide string; characters outside ``ACGTacgt`` break the window.
+    k:
+        Window length; the paper (and this library's defaults) use 31.
+    canonical:
+        If True, each k-mer is replaced by the lexicographically smaller of
+        itself and its reverse complement.
+    """
+    hasher = RollingKmerHasher(k=k, canonical=canonical)
+    return hasher.kmers(sequence)
+
+
+def extract_kmer_set(sequence: str, k: int = DEFAULT_K, canonical: bool = False) -> Set[int]:
+    """Unique k-mer codes of *sequence* (the "McCortex style" filtered view)."""
+    return set(extract_kmers(sequence, k=k, canonical=canonical))
+
+
+def extract_from_reads(
+    reads: Iterable[str],
+    k: int = DEFAULT_K,
+    canonical: bool = False,
+    min_count: int = 1,
+) -> Set[int]:
+    """Union of k-mers over many reads, optionally dropping low-frequency ones.
+
+    ``min_count > 1`` mimics the McCortex error-filtering step the paper
+    describes: k-mers produced by isolated sequencing errors are seen only
+    once and are removed, while genuine genomic k-mers are covered by several
+    reads.
+    """
+    if min_count < 1:
+        raise ValueError(f"min_count must be >= 1, got {min_count}")
+    if min_count == 1:
+        result: Set[int] = set()
+        for read in reads:
+            result.update(extract_kmers(read, k=k, canonical=canonical))
+        return result
+    counts: dict = {}
+    for read in reads:
+        for code in extract_kmers(read, k=k, canonical=canonical):
+            counts[code] = counts.get(code, 0) + 1
+    return {code for code, count in counts.items() if count >= min_count}
+
+
+@dataclass
+class KmerDocument:
+    """One document of the search problem: a named set of terms.
+
+    Attributes
+    ----------
+    name:
+        Document identifier (file accession in the paper's setting).
+    terms:
+        The term set — integer k-mer codes for genomic documents, strings for
+        text documents.  Stored as a frozenset so documents are safely
+        shareable between index builders.
+    source_format:
+        Provenance tag: ``"fastq"``, ``"fasta"``, ``"mccortex"`` or ``"text"``.
+    sequence_length:
+        Total number of characters of the underlying raw data (used by the
+        size-statistics reports mirroring Section 5.2's dataset statistics).
+    """
+
+    name: str
+    terms: FrozenSet[Term]
+    source_format: str = "fasta"
+    sequence_length: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("document name must be non-empty")
+        if not isinstance(self.terms, frozenset):
+            object.__setattr__(self, "terms", frozenset(self.terms))
+
+    def __len__(self) -> int:
+        return len(self.terms)
+
+    def __contains__(self, term: Term) -> bool:
+        return term in self.terms
+
+    def __iter__(self) -> Iterator[Term]:
+        return iter(self.terms)
+
+    def union(self, other: "KmerDocument") -> FrozenSet[Term]:
+        """Union of the two term sets (used when pooling BFU statistics)."""
+        return self.terms | other.terms
+
+    def jaccard(self, other: "KmerDocument") -> float:
+        """Jaccard similarity with another document (used by dataset sanity checks)."""
+        if not self.terms and not other.terms:
+            return 1.0
+        inter = len(self.terms & other.terms)
+        union = len(self.terms | other.terms)
+        return inter / union
+
+
+def document_from_sequences(
+    name: str,
+    sequences: Sequence[str],
+    k: int = DEFAULT_K,
+    canonical: bool = False,
+    min_count: int = 1,
+    source_format: str = "fasta",
+) -> KmerDocument:
+    """Build a :class:`KmerDocument` from raw nucleotide sequences.
+
+    This is the single entry point both file parsers and simulators use, so
+    every document in the system is produced by the same extraction logic.
+    """
+    terms = extract_from_reads(sequences, k=k, canonical=canonical, min_count=min_count)
+    total_length = sum(len(seq) for seq in sequences)
+    return KmerDocument(
+        name=name,
+        terms=frozenset(terms),
+        source_format=source_format,
+        sequence_length=total_length,
+    )

@@ -1,0 +1,47 @@
+"""Synthetic workload generators.
+
+The paper evaluates on resources we cannot ship (the 170TB ENA archive, the
+ClueWeb09 crawl, a 100-node Xeon cluster).  Per the reproduction plan in
+DESIGN.md each one is replaced with a simulator that preserves the statistics
+the index structures actually see:
+
+* :mod:`repro.simulate.genomes` — random genomes with controllable shared
+  ancestry, so cross-document k-mer multiplicity matches a target
+  distribution.
+* :mod:`repro.simulate.reads` — a shotgun read simulator with per-base error
+  injection (the difference between the FASTQ and McCortex configurations).
+* :mod:`repro.simulate.datasets` — ENA-like collections of documents at the
+  scales of Table 2/3 plus ground-truth bookkeeping.
+* :mod:`repro.simulate.corpus` — Zipf-distributed text corpora standing in
+  for Wiki-dump and ClueWeb09 (Table 5).
+* :mod:`repro.simulate.cluster` — the 100-node construction cluster of
+  Section 5.3 as a discrete work-accounting simulator.
+"""
+
+from repro.simulate.genomes import GenomeSimulator, mutate_sequence, random_sequence
+from repro.simulate.reads import ReadSimulator
+from repro.simulate.datasets import (
+    DatasetStatistics,
+    ENADatasetBuilder,
+    SyntheticDataset,
+    QueryWorkload,
+    build_query_workload,
+)
+from repro.simulate.corpus import SyntheticCorpus, CorpusConfig
+from repro.simulate.cluster import ClusterSimulator, NodeReport
+
+__all__ = [
+    "GenomeSimulator",
+    "mutate_sequence",
+    "random_sequence",
+    "ReadSimulator",
+    "DatasetStatistics",
+    "ENADatasetBuilder",
+    "SyntheticDataset",
+    "QueryWorkload",
+    "build_query_workload",
+    "SyntheticCorpus",
+    "CorpusConfig",
+    "ClusterSimulator",
+    "NodeReport",
+]

@@ -1,0 +1,116 @@
+"""Synthetic text corpora standing in for Wiki-dump and ClueWeb09 (Table 5).
+
+Table 5's document-indexing experiment depends on three statistics: the number
+of documents (17,618 for Wiki-dump, 50,000 for ClueWeb), the unique terms per
+document (about 650 and 450 respectively after stop-word removal), and the
+term-frequency skew of natural language (Zipfian).  :class:`SyntheticCorpus`
+generates collections matching those statistics from a Zipf-distributed
+vocabulary, so the index-size/query-time comparison retains its shape at any
+configured scale.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.kmers.extraction import KmerDocument
+from repro.simulate.datasets import SyntheticDataset
+
+
+@dataclass(frozen=True)
+class CorpusConfig:
+    """Statistical description of a text corpus.
+
+    Attributes
+    ----------
+    num_documents:
+        Number of documents ``K``.
+    terms_per_document:
+        Average unique terms per document (650 for Wiki-dump, 450 for ClueWeb).
+    vocabulary_size:
+        Number of distinct words available.
+    zipf_exponent:
+        Skew of the word-frequency distribution (1.1 approximates English).
+    """
+
+    num_documents: int
+    terms_per_document: int
+    vocabulary_size: int = 50_000
+    zipf_exponent: float = 1.1
+
+    def __post_init__(self) -> None:
+        if self.num_documents <= 0:
+            raise ValueError(f"num_documents must be positive, got {self.num_documents}")
+        if self.terms_per_document <= 0:
+            raise ValueError(f"terms_per_document must be positive, got {self.terms_per_document}")
+        if self.vocabulary_size <= 0:
+            raise ValueError(f"vocabulary_size must be positive, got {self.vocabulary_size}")
+        if self.zipf_exponent <= 1.0:
+            raise ValueError(f"zipf_exponent must be > 1, got {self.zipf_exponent}")
+
+
+#: Scaled-down defaults used by the Table 5 bench (same shape, laptop scale).
+WIKI_DUMP_CONFIG = CorpusConfig(num_documents=1762, terms_per_document=650)
+CLUEWEB_CONFIG = CorpusConfig(num_documents=5000, terms_per_document=450)
+#: Full-scale configurations matching the paper exactly (slow in pure Python).
+WIKI_DUMP_FULL_CONFIG = CorpusConfig(num_documents=17_618, terms_per_document=650)
+CLUEWEB_FULL_CONFIG = CorpusConfig(num_documents=50_000, terms_per_document=450)
+
+
+class SyntheticCorpus:
+    """Generate a Zipf-distributed text corpus as a :class:`SyntheticDataset`.
+
+    Words are the strings ``w000000 .. wNNNNNN``; document term sets are drawn
+    from the Zipf distribution and deduplicated, so frequent words appear in
+    many documents (high multiplicity ``V``) and the long tail appears in few
+    — matching the regime Table 5 evaluates.
+    """
+
+    def __init__(self, config: CorpusConfig, seed: int = 0) -> None:
+        self.config = config
+        self.seed = seed
+        # Precompute the Zipf CDF once; sampling then is a bisect per draw.
+        weights = [1.0 / (rank**config.zipf_exponent) for rank in range(1, config.vocabulary_size + 1)]
+        total = sum(weights)
+        cumulative = []
+        acc = 0.0
+        for w in weights:
+            acc += w / total
+            cumulative.append(acc)
+        self._cdf = cumulative
+
+    def _sample_word_index(self, rng: random.Random) -> int:
+        from bisect import bisect_left
+
+        return bisect_left(self._cdf, rng.random())
+
+    def document(self, index: int) -> KmerDocument:
+        """Deterministically generate the *index*-th document."""
+        if index < 0:
+            raise ValueError(f"index must be non-negative, got {index}")
+        rng = random.Random((self.seed * 7_368_787 + index) & 0xFFFFFFFFFFFFFFFF)
+        target = max(1, int(rng.gauss(self.config.terms_per_document, self.config.terms_per_document * 0.2)))
+        terms = set()
+        # Draw until the unique-term target is met; cap attempts to stay total.
+        attempts = 0
+        max_attempts = target * 20
+        while len(terms) < target and attempts < max_attempts:
+            terms.add(f"w{self._sample_word_index(rng):06d}")
+            attempts += 1
+        return KmerDocument(
+            name=f"textdoc{index:06d}",
+            terms=frozenset(terms),
+            source_format="text",
+            sequence_length=sum(len(t) for t in terms),
+        )
+
+    def build(self, num_documents: int | None = None) -> SyntheticDataset:
+        """Generate the corpus (defaults to the configured document count)."""
+        count = self.config.num_documents if num_documents is None else num_documents
+        if count <= 0:
+            raise ValueError(f"num_documents must be positive, got {count}")
+        documents = [self.document(i) for i in range(count)]
+        # Text documents use word terms; k is irrelevant but must be valid.
+        return SyntheticDataset(documents=documents, k=8, label="text-corpus")

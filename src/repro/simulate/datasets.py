@@ -1,0 +1,271 @@
+"""ENA-like synthetic dataset construction and query workloads.
+
+This module is the bridge between the simulators and the experiments: it
+materialises collections of :class:`~repro.kmers.extraction.KmerDocument`
+objects in the two configurations the paper evaluates (FASTQ-mode: raw reads
+with errors; McCortex-mode: error-filtered unique k-mers) and builds the query
+workloads used for the false-positive-rate protocol of Section 5.2
+(randomly generated terms of a length that cannot collide with real k-mers,
+inserted with an exponentially distributed multiplicity ``V``).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import statistics
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.kmers.extraction import DEFAULT_K, KmerDocument, document_from_sequences
+from repro.simulate.genomes import GenomeSimulator
+from repro.simulate.reads import ReadSimulator
+
+Term = Union[int, str]
+
+
+@dataclass(frozen=True)
+class DatasetStatistics:
+    """Summary statistics mirroring the ones the paper reports in Section 5.2."""
+
+    num_documents: int
+    mean_terms: float
+    std_terms: float
+    mean_unique_terms: float
+    total_terms: int
+    total_unique_terms: int
+
+    @classmethod
+    def from_documents(cls, documents: Sequence[KmerDocument]) -> "DatasetStatistics":
+        sizes = [len(doc) for doc in documents]
+        all_terms: Set[Term] = set()
+        for doc in documents:
+            all_terms.update(doc.terms)
+        return cls(
+            num_documents=len(documents),
+            mean_terms=statistics.fmean(sizes) if sizes else 0.0,
+            std_terms=statistics.pstdev(sizes) if len(sizes) > 1 else 0.0,
+            mean_unique_terms=statistics.fmean(sizes) if sizes else 0.0,
+            total_terms=sum(sizes),
+            total_unique_terms=len(all_terms),
+        )
+
+
+@dataclass
+class SyntheticDataset:
+    """A generated document collection plus its ground-truth inverted map."""
+
+    documents: List[KmerDocument]
+    k: int = DEFAULT_K
+    label: str = "synthetic"
+
+    def __post_init__(self) -> None:
+        names = [doc.name for doc in self.documents]
+        if len(names) != len(set(names)):
+            raise ValueError("document names must be unique")
+
+    def __len__(self) -> int:
+        return len(self.documents)
+
+    def __iter__(self):
+        return iter(self.documents)
+
+    @property
+    def names(self) -> List[str]:
+        """Document names in insertion order."""
+        return [doc.name for doc in self.documents]
+
+    def statistics(self) -> DatasetStatistics:
+        """Dataset summary statistics."""
+        return DatasetStatistics.from_documents(self.documents)
+
+    def ground_truth(self, term: Term) -> Set[str]:
+        """Names of the documents that truly contain *term* (linear scan)."""
+        return {doc.name for doc in self.documents if term in doc.terms}
+
+    def multiplicity(self, term: Term) -> int:
+        """Number of documents containing *term* (``V`` in the paper)."""
+        return len(self.ground_truth(term))
+
+
+class ENADatasetBuilder:
+    """Build ENA-like collections at the scales of Tables 2 and 3.
+
+    Parameters
+    ----------
+    k:
+        k-mer length (31 in the paper; smaller values keep unit tests fast).
+    genome_length:
+        Length of each synthetic genome.
+    num_ancestors:
+        Ancestral pool size controlling cross-document k-mer sharing.
+    mutation_rate:
+        Divergence of each genome from its ancestor.
+    read_length, coverage, error_rate:
+        Read-simulation parameters for the FASTQ configuration.
+    min_kmer_count:
+        Error-filter threshold applied in the McCortex configuration.
+    seed:
+        Master seed.
+    """
+
+    def __init__(
+        self,
+        k: int = DEFAULT_K,
+        genome_length: int = 5_000,
+        num_ancestors: int = 4,
+        mutation_rate: float = 0.02,
+        read_length: int = 150,
+        coverage: float = 3.0,
+        error_rate: float = 0.002,
+        min_kmer_count: int = 2,
+        seed: int = 0,
+    ) -> None:
+        if not (1 <= k <= 31):
+            raise ValueError(f"k must be in [1, 31], got {k}")
+        self.k = k
+        self.min_kmer_count = min_kmer_count
+        self.seed = seed
+        self._genomes = GenomeSimulator(
+            genome_length=genome_length,
+            num_ancestors=num_ancestors,
+            mutation_rate=mutation_rate,
+            seed=seed,
+        )
+        self._reads = ReadSimulator(
+            read_length=read_length, coverage=coverage, error_rate=error_rate, seed=seed
+        )
+
+    def document(self, index: int, file_format: str = "mccortex") -> KmerDocument:
+        """Build one document in either the ``"fastq"`` or ``"mccortex"`` configuration.
+
+        FASTQ-mode documents contain every k-mer of every raw read (including
+        error k-mers); McCortex-mode documents contain only k-mers seen at
+        least ``min_kmer_count`` times, with errors removed — the same
+        relationship the two real formats have.
+        """
+        name = f"doc{index:06d}"
+        genome = self._genomes.genome(index)
+        if file_format == "fasta":
+            return document_from_sequences(
+                name, [genome], k=self.k, source_format="fasta"
+            )
+        if file_format == "fastq":
+            sequences = self._reads.sequences(genome, sample_name=name)
+            return document_from_sequences(
+                name, sequences, k=self.k, min_count=1, source_format="fastq"
+            )
+        if file_format == "mccortex":
+            sequences = self._reads.sequences(genome, sample_name=name)
+            return document_from_sequences(
+                name, sequences, k=self.k, min_count=self.min_kmer_count, source_format="mccortex"
+            )
+        raise ValueError(f"unknown file_format {file_format!r}")
+
+    def build(self, num_documents: int, file_format: str = "mccortex") -> SyntheticDataset:
+        """Build a dataset of *num_documents* documents."""
+        if num_documents <= 0:
+            raise ValueError(f"num_documents must be positive, got {num_documents}")
+        documents = [self.document(i, file_format) for i in range(num_documents)]
+        return SyntheticDataset(documents=documents, k=self.k, label=f"ena-{file_format}")
+
+
+@dataclass
+class QueryWorkload:
+    """A set of query terms with known ground truth.
+
+    ``positive_terms`` maps each planted term to the set of document names it
+    was inserted into (its true membership); ``negative_terms`` are terms
+    guaranteed to be absent from every document, so any hit for them is a
+    false positive.
+    """
+
+    positive_terms: Dict[Term, FrozenSet[str]] = field(default_factory=dict)
+    negative_terms: List[Term] = field(default_factory=list)
+
+    @property
+    def all_terms(self) -> List[Term]:
+        """Positive then negative terms, in a stable order."""
+        return list(self.positive_terms.keys()) + list(self.negative_terms)
+
+    def multiplicity(self, term: Term) -> int:
+        """Planted multiplicity of a positive term (0 for negatives)."""
+        return len(self.positive_terms.get(term, frozenset()))
+
+
+def _random_planted_term(rng: random.Random, k: int, as_int: bool) -> Term:
+    """A term that cannot collide with real k-mers.
+
+    Following Section 5.2 we generate terms of length ``k - 1``: a (k-1)-mer
+    string can never equal a k-mer string, and in the integer encoding we tag
+    planted terms with a high bit outside the 2k-bit range so they cannot
+    collide with any genuine code either.
+    """
+    if as_int:
+        return (1 << (2 * k + 1)) | rng.getrandbits(2 * (k - 1))
+    alphabet = "ACGT"
+    return "".join(rng.choice(alphabet) for _ in range(k - 1))
+
+
+def build_query_workload(
+    dataset: SyntheticDataset,
+    num_positive: int = 200,
+    num_negative: int = 200,
+    mean_multiplicity: float = 10.0,
+    seed: int = 0,
+    integer_terms: Optional[bool] = None,
+) -> Tuple[SyntheticDataset, QueryWorkload]:
+    """Plant evaluation terms into a copy of *dataset* (the Section 5.2 protocol).
+
+    Each positive term is assigned to ``V`` documents where ``V`` is drawn
+    from an exponential distribution with the given mean (``alpha = 100`` in
+    the paper, scaled here to the synthetic document counts) and clipped to
+    ``[1, K]``.  Returns the augmented dataset and the workload with ground
+    truth.  Negative terms are never inserted anywhere.
+    """
+    if num_positive < 0 or num_negative < 0:
+        raise ValueError("workload sizes must be non-negative")
+    if mean_multiplicity <= 0:
+        raise ValueError(f"mean_multiplicity must be positive, got {mean_multiplicity}")
+    rng = random.Random(seed)
+    k = dataset.k
+    if integer_terms is None:
+        sample_term = next(iter(dataset.documents[0].terms)) if dataset.documents[0].terms else 0
+        integer_terms = isinstance(sample_term, int)
+
+    extra_terms: Dict[str, Set[Term]] = {doc.name: set() for doc in dataset.documents}
+    positive_terms: Dict[Term, FrozenSet[str]] = {}
+    names = dataset.names
+    num_docs = len(names)
+
+    for _ in range(num_positive):
+        term = _random_planted_term(rng, k, integer_terms)
+        while term in positive_terms:
+            term = _random_planted_term(rng, k, integer_terms)
+        multiplicity = min(num_docs, max(1, int(round(rng.expovariate(1.0 / mean_multiplicity)))))
+        members = rng.sample(names, multiplicity)
+        for name in members:
+            extra_terms[name].add(term)
+        positive_terms[term] = frozenset(members)
+
+    negative_terms: List[Term] = []
+    seen: Set[Term] = set(positive_terms)
+    for _ in range(num_negative):
+        term = _random_planted_term(rng, k, integer_terms)
+        while term in seen:
+            term = _random_planted_term(rng, k, integer_terms)
+        seen.add(term)
+        negative_terms.append(term)
+
+    augmented_docs = [
+        KmerDocument(
+            name=doc.name,
+            terms=doc.terms | frozenset(extra_terms[doc.name]),
+            source_format=doc.source_format,
+            sequence_length=doc.sequence_length,
+        )
+        for doc in dataset.documents
+    ]
+    augmented = SyntheticDataset(documents=augmented_docs, k=k, label=dataset.label + "+planted")
+    workload = QueryWorkload(positive_terms=positive_terms, negative_terms=negative_terms)
+    return augmented, workload

@@ -1,0 +1,109 @@
+"""Synthetic genome generation with controllable shared ancestry.
+
+The property that matters for RAMBO's evaluation is the *k-mer multiplicity*
+``V``: how many documents share a given k-mer.  Real bacterial archives have
+heavy sharing (strains of the same species differ by point mutations), which
+is why the paper models multiplicity explicitly in Lemmas 4.1--4.6 and sweeps
+it in Figure 4.
+
+:class:`GenomeSimulator` reproduces that structure: genomes are derived from a
+small pool of ancestral sequences by point mutation, so k-mers in conserved
+regions appear in many documents while mutated regions produce
+document-unique k-mers.  The mutation rate therefore directly dials the
+multiplicity distribution.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+_ALPHABET = "ACGT"
+
+
+def random_sequence(length: int, rng: random.Random) -> str:
+    """Uniform random nucleotide string of the given length."""
+    if length < 0:
+        raise ValueError(f"length must be non-negative, got {length}")
+    return "".join(rng.choice(_ALPHABET) for _ in range(length))
+
+
+def mutate_sequence(sequence: str, mutation_rate: float, rng: random.Random) -> str:
+    """Apply independent per-base substitutions with the given probability.
+
+    Only substitutions are modelled (no indels): substitutions are what break
+    k-mers into new ones without changing sequence length, which keeps the
+    document-size statistics stable across the collection — matching the
+    simplification the paper's analysis makes.
+    """
+    if not (0.0 <= mutation_rate <= 1.0):
+        raise ValueError(f"mutation_rate must be in [0, 1], got {mutation_rate}")
+    if mutation_rate == 0.0:
+        return sequence
+    bases = list(sequence)
+    for i, base in enumerate(bases):
+        if rng.random() < mutation_rate:
+            choices = [b for b in _ALPHABET if b != base.upper()]
+            bases[i] = rng.choice(choices)
+    return "".join(bases)
+
+
+@dataclass
+class GenomeSimulator:
+    """Generate families of related genomes.
+
+    Parameters
+    ----------
+    genome_length:
+        Length of every generated genome in bases.
+    num_ancestors:
+        Size of the ancestral pool.  ``1`` makes every genome a mutated copy
+        of the same ancestor (maximum sharing); larger pools reduce sharing.
+    mutation_rate:
+        Per-base substitution probability applied when deriving a genome from
+        its ancestor.
+    seed:
+        RNG seed for reproducibility.
+    """
+
+    genome_length: int = 10_000
+    num_ancestors: int = 4
+    mutation_rate: float = 0.01
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.genome_length <= 0:
+            raise ValueError(f"genome_length must be positive, got {self.genome_length}")
+        if self.num_ancestors <= 0:
+            raise ValueError(f"num_ancestors must be positive, got {self.num_ancestors}")
+        if not (0.0 <= self.mutation_rate <= 1.0):
+            raise ValueError(f"mutation_rate must be in [0, 1], got {self.mutation_rate}")
+        self._rng = random.Random(self.seed)
+        self._ancestors: List[str] = [
+            random_sequence(self.genome_length, self._rng) for _ in range(self.num_ancestors)
+        ]
+
+    @property
+    def ancestors(self) -> Sequence[str]:
+        """The ancestral pool (read-only)."""
+        return tuple(self._ancestors)
+
+    def genome(self, index: int) -> str:
+        """Deterministically generate the *index*-th genome.
+
+        The genome is a mutated copy of ancestor ``index % num_ancestors``
+        using an RNG derived from ``(seed, index)``, so the same index always
+        yields the same genome regardless of generation order — a requirement
+        for the distributed-construction experiments where different nodes
+        materialise disjoint document ranges independently.
+        """
+        if index < 0:
+            raise ValueError(f"index must be non-negative, got {index}")
+        ancestor = self._ancestors[index % self.num_ancestors]
+        genome_rng = random.Random((self.seed * 1_000_003 + index) & 0xFFFFFFFFFFFFFFFF)
+        return mutate_sequence(ancestor, self.mutation_rate, genome_rng)
+
+    def genomes(self, count: int) -> List[str]:
+        """The first *count* genomes."""
+        return [self.genome(i) for i in range(count)]

@@ -1,0 +1,92 @@
+"""Shotgun read simulation with sequencing-error injection.
+
+The paper's FASTQ configuration indexes raw reads including instrument errors,
+while the McCortex configuration indexes error-filtered unique k-mers; the gap
+between the two is exactly what this simulator recreates.  Reads are sampled
+uniformly across the genome at a configurable coverage depth, and each base is
+substituted with a small probability, producing the spurious low-frequency
+k-mers the McCortex filter removes.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from repro.hashing.murmur3 import murmur3_64
+from repro.io.fastq import FastqRecord, PHRED_OFFSET
+
+_ALPHABET = "ACGT"
+
+
+@dataclass
+class ReadSimulator:
+    """Sample error-prone reads from a genome.
+
+    Parameters
+    ----------
+    read_length:
+        Length of every read; the paper quotes typical instrument reads of
+        400--600 bases, we default to 150 (typical Illumina) which exercises
+        the same code path at smaller scale.
+    coverage:
+        Average number of reads covering each base.
+    error_rate:
+        Per-base substitution probability (sequencing error).
+    seed:
+        RNG seed.
+    """
+
+    read_length: int = 150
+    coverage: float = 3.0
+    error_rate: float = 0.002
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.read_length <= 0:
+            raise ValueError(f"read_length must be positive, got {self.read_length}")
+        if self.coverage <= 0:
+            raise ValueError(f"coverage must be positive, got {self.coverage}")
+        if not (0.0 <= self.error_rate <= 1.0):
+            raise ValueError(f"error_rate must be in [0, 1], got {self.error_rate}")
+
+    def num_reads(self, genome_length: int) -> int:
+        """Number of reads needed to reach the configured coverage."""
+        if genome_length < self.read_length:
+            return 0
+        return max(1, int(round(self.coverage * genome_length / self.read_length)))
+
+    def _inject_errors(self, read: str, rng: random.Random) -> str:
+        if self.error_rate == 0.0:
+            return read
+        bases = list(read)
+        for i, base in enumerate(bases):
+            if rng.random() < self.error_rate:
+                bases[i] = rng.choice([b for b in _ALPHABET if b != base])
+        return "".join(bases)
+
+    def simulate(self, genome: str, sample_name: str = "sample") -> List[FastqRecord]:
+        """Generate the full read set for *genome* as FASTQ records.
+
+        Quality strings encode a constant Phred 30 (the indexing pipeline does
+        not use qualities; they exist so written FASTQ files are well-formed).
+        """
+        # Seed from a process-independent hash of the sample name; Python's
+        # built-in hash() is randomised per process and would make simulated
+        # reads irreproducible across runs and worker processes.
+        rng = random.Random(self.seed ^ (murmur3_64(sample_name, seed=0xF00D) & 0xFFFFFFFF))
+        genome_length = len(genome)
+        count = self.num_reads(genome_length)
+        quality = chr(PHRED_OFFSET + 30) * self.read_length
+        reads: List[FastqRecord] = []
+        for i in range(count):
+            start = rng.randrange(0, genome_length - self.read_length + 1)
+            fragment = genome[start : start + self.read_length]
+            fragment = self._inject_errors(fragment, rng)
+            reads.append(FastqRecord(name=f"{sample_name}_read{i}", sequence=fragment, quality=quality))
+        return reads
+
+    def sequences(self, genome: str, sample_name: str = "sample") -> List[str]:
+        """Just the nucleotide strings of the simulated reads."""
+        return [record.sequence for record in self.simulate(genome, sample_name)]

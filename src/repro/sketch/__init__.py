@@ -1,0 +1,14 @@
+"""Streaming sketches.
+
+RAMBO is explicitly described in the paper as "a count-min sketch type
+arrangement of a membership testing utility".  The CMS here serves three
+purposes: it documents the ancestry of the design, it is used by property
+tests that check RAMBO inherits the CMS guarantees (partition independence,
+intersection shrinkage), and it powers the k-mer-multiplicity estimator used
+by the workload generators when synthesising datasets with a target
+multiplicity distribution.
+"""
+
+from repro.sketch.countmin import CountMinSketch
+
+__all__ = ["CountMinSketch"]

@@ -1,0 +1,137 @@
+"""Count-Min Sketch (Cormode & Muthukrishnan, 2005).
+
+The CMS is a ``depth x width`` array of counters with one pairwise-independent
+hash per row.  Updates add to one counter per row; point queries take the
+minimum over the rows, which overestimates the true count by at most
+``eps * N`` with probability ``1 - delta`` when ``width = ceil(e / eps)`` and
+``depth = ceil(ln(1/delta))``.
+
+RAMBO replaces the counters with Bloom filters and "add" with "set union";
+the row/partition structure is identical, which is why the two share the
+:class:`repro.hashing.universal.PartitionHashFamily` machinery in this
+library.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, Tuple, Union
+
+import numpy as np
+
+from repro.hashing.universal import CarterWegmanHash
+
+Key = Union[str, bytes, int]
+
+
+class CountMinSketch:
+    """Count-Min Sketch with conservative-update option.
+
+    Parameters
+    ----------
+    width:
+        Number of counters per row.
+    depth:
+        Number of rows (independent hash functions).
+    seed:
+        Master seed for the row hashes.
+    conservative:
+        If True, use conservative update (only increment counters that equal
+        the current minimum), which tightens overestimation in practice while
+        preserving the upper-bound guarantee.
+    """
+
+    def __init__(self, width: int, depth: int, seed: int = 0, conservative: bool = False) -> None:
+        if width <= 0:
+            raise ValueError(f"width must be positive, got {width}")
+        if depth <= 0:
+            raise ValueError(f"depth must be positive, got {depth}")
+        self.width = int(width)
+        self.depth = int(depth)
+        self.seed = int(seed)
+        self.conservative = conservative
+        self.table = np.zeros((self.depth, self.width), dtype=np.int64)
+        self.total = 0
+        self._hashes = [
+            CarterWegmanHash.random(self.width, seed=seed * 0x1000193 + row)
+            for row in range(self.depth)
+        ]
+
+    @classmethod
+    def from_error_bounds(
+        cls, epsilon: float, delta: float, seed: int = 0, conservative: bool = False
+    ) -> "CountMinSketch":
+        """Size the sketch so overestimation <= ``epsilon * N`` w.p. ``1 - delta``."""
+        if not (0.0 < epsilon < 1.0):
+            raise ValueError(f"epsilon must be in (0, 1), got {epsilon}")
+        if not (0.0 < delta < 1.0):
+            raise ValueError(f"delta must be in (0, 1), got {delta}")
+        width = int(math.ceil(math.e / epsilon))
+        depth = int(math.ceil(math.log(1.0 / delta)))
+        return cls(width=width, depth=depth, seed=seed, conservative=conservative)
+
+    def _key_for_hash(self, key: Key) -> Union[int, str, bytes]:
+        return key
+
+    def _positions(self, key: Key) -> Tuple[int, ...]:
+        return tuple(h(self._key_for_hash(key)) for h in self._hashes)
+
+    def add(self, key: Key, count: int = 1) -> None:
+        """Increase the frequency estimate of *key* by *count* (must be > 0)."""
+        if count <= 0:
+            raise ValueError(f"count must be positive, got {count}")
+        positions = self._positions(key)
+        if self.conservative:
+            current = min(self.table[row, pos] for row, pos in enumerate(positions))
+            target = current + count
+            for row, pos in enumerate(positions):
+                if self.table[row, pos] < target:
+                    self.table[row, pos] = target
+        else:
+            for row, pos in enumerate(positions):
+                self.table[row, pos] += count
+        self.total += count
+
+    def update(self, keys: Iterable[Key]) -> None:
+        """Add one occurrence of every key in *keys*."""
+        for key in keys:
+            self.add(key)
+
+    def estimate(self, key: Key) -> int:
+        """Point estimate of the frequency of *key* (never underestimates)."""
+        positions = self._positions(key)
+        return int(min(self.table[row, pos] for row, pos in enumerate(positions)))
+
+    def __getitem__(self, key: Key) -> int:
+        return self.estimate(key)
+
+    def heavy_hitters(self, keys: Iterable[Key], threshold: float) -> Dict[Key, int]:
+        """Keys whose estimated frequency is at least ``threshold * total``."""
+        if not (0.0 < threshold <= 1.0):
+            raise ValueError(f"threshold must be in (0, 1], got {threshold}")
+        cutoff = threshold * self.total
+        result: Dict[Key, int] = {}
+        for key in keys:
+            est = self.estimate(key)
+            if est >= cutoff:
+                result[key] = est
+        return result
+
+    def merge(self, other: "CountMinSketch") -> "CountMinSketch":
+        """Combine two sketches built with identical parameters and seed."""
+        if (self.width, self.depth, self.seed) != (other.width, other.depth, other.seed):
+            raise ValueError("sketches are incompatible for merging")
+        merged = CountMinSketch(self.width, self.depth, self.seed, self.conservative)
+        merged.table = self.table + other.table
+        merged.total = self.total + other.total
+        return merged
+
+    def size_in_bytes(self) -> int:
+        """Payload bytes of the counter table."""
+        return int(self.table.nbytes)
+
+    def __repr__(self) -> str:
+        return (
+            f"CountMinSketch(width={self.width}, depth={self.depth}, total={self.total}, "
+            f"conservative={self.conservative})"
+        )

@@ -1,0 +1,5 @@
+"""Text tokenisation for the document-indexing experiments (Section 5.4)."""
+
+from repro.textindex.tokenize import DEFAULT_STOPWORDS, tokenize, document_from_text
+
+__all__ = ["DEFAULT_STOPWORDS", "tokenize", "document_from_text"]

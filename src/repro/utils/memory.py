@@ -1,0 +1,33 @@
+"""Index memory accounting.
+
+The paper reports index size as max(RSS, serialized size); in this library
+every index exposes ``size_in_bytes()`` (the serialized-size analogue covering
+the bit arrays *and* the auxiliary structures such as the bucket → document-id
+maps).  The helpers here format those numbers and assemble per-component
+reports for the size tables.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+_UNITS = ["B", "KB", "MB", "GB", "TB"]
+
+
+def human_bytes(num_bytes: float) -> str:
+    """Format a byte count using binary units (e.g. ``'12.80 MB'``)."""
+    if num_bytes < 0:
+        raise ValueError(f"byte count must be non-negative, got {num_bytes}")
+    value = float(num_bytes)
+    for unit in _UNITS:
+        if value < 1024.0 or unit == _UNITS[-1]:
+            return f"{value:.2f} {unit}"
+        value /= 1024.0
+    return f"{value:.2f} {_UNITS[-1]}"
+
+
+def index_size_report(components: Mapping[str, int]) -> Dict[str, str]:
+    """Human-readable view of a component → bytes mapping, plus a total row."""
+    report = {name: human_bytes(size) for name, size in components.items()}
+    report["total"] = human_bytes(sum(components.values()))
+    return report

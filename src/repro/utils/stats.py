@@ -1,0 +1,42 @@
+"""Small statistics helpers for experiment reporting."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Sequence
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolated percentile (``q`` in [0, 100]) of *values*."""
+    if not values:
+        raise ValueError("cannot take a percentile of an empty sequence")
+    if not (0.0 <= q <= 100.0):
+        raise ValueError(f"q must be in [0, 100], got {q}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    rank = (q / 100.0) * (len(ordered) - 1)
+    low = math.floor(rank)
+    high = math.ceil(rank)
+    if low == high:
+        return float(ordered[low])
+    frac = rank - low
+    return float(ordered[low] * (1.0 - frac) + ordered[high] * frac)
+
+
+def summarize(values: Sequence[float]) -> Dict[str, float]:
+    """Mean / std / min / median / p95 / max of a sample (population std)."""
+    if not values:
+        raise ValueError("cannot summarize an empty sequence")
+    n = len(values)
+    mean = sum(values) / n
+    variance = sum((v - mean) ** 2 for v in values) / n
+    return {
+        "count": float(n),
+        "mean": mean,
+        "std": math.sqrt(variance),
+        "min": float(min(values)),
+        "median": percentile(values, 50.0),
+        "p95": percentile(values, 95.0),
+        "max": float(max(values)),
+    }

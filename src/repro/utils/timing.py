@@ -1,0 +1,60 @@
+"""Timing helpers used by the experiment harness.
+
+The paper reports query time as single-thread CPU time and construction time
+as wall-clock time; :class:`Timer` records both so each experiment can report
+the quantity the corresponding table uses.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Tuple
+
+
+@dataclass
+class Timer:
+    """Context manager capturing wall-clock and CPU time of a block.
+
+    Example
+    -------
+    >>> with Timer() as t:
+    ...     _ = sum(range(1000))
+    >>> t.cpu_seconds >= 0.0
+    True
+    """
+
+    wall_seconds: float = 0.0
+    cpu_seconds: float = 0.0
+    _wall_start: float = field(default=0.0, repr=False)
+    _cpu_start: float = field(default=0.0, repr=False)
+
+    def __enter__(self) -> "Timer":
+        self._wall_start = time.perf_counter()
+        self._cpu_start = time.process_time()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.wall_seconds = time.perf_counter() - self._wall_start
+        self.cpu_seconds = time.process_time() - self._cpu_start
+
+    @property
+    def wall_ms(self) -> float:
+        """Wall-clock milliseconds."""
+        return self.wall_seconds * 1e3
+
+    @property
+    def cpu_ms(self) -> float:
+        """CPU milliseconds (the unit of the paper's query-time tables)."""
+        return self.cpu_seconds * 1e3
+
+
+def time_callable(fn: Callable[[], Any], repeats: int = 1) -> Tuple[Any, Timer]:
+    """Run *fn* ``repeats`` times; return its last result and the total timer."""
+    if repeats <= 0:
+        raise ValueError(f"repeats must be positive, got {repeats}")
+    result = None
+    with Timer() as timer:
+        for _ in range(repeats):
+            result = fn()
+    return result, timer

@@ -1,0 +1,62 @@
+"""Shared fixtures for the test suite.
+
+Fixtures deliberately use small k (k=9..15) and small synthetic collections so
+the whole suite runs in seconds; the structural properties under test
+(no false negatives, fold correctness, distributed equivalence, ...) are
+scale-independent.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.rambo import Rambo, RamboConfig
+from repro.kmers.extraction import KmerDocument
+from repro.simulate.datasets import ENADatasetBuilder, SyntheticDataset, build_query_workload
+
+
+@pytest.fixture(scope="session")
+def small_dataset() -> SyntheticDataset:
+    """A 30-document McCortex-mode collection with shared ancestry (k=13)."""
+    builder = ENADatasetBuilder(k=13, genome_length=800, num_ancestors=3, seed=42)
+    return builder.build(30, file_format="mccortex")
+
+
+@pytest.fixture(scope="session")
+def fastq_dataset() -> SyntheticDataset:
+    """A 12-document FASTQ-mode collection (raw error-prone reads, k=13)."""
+    builder = ENADatasetBuilder(k=13, genome_length=600, num_ancestors=2, seed=7)
+    return builder.build(12, file_format="fastq")
+
+
+@pytest.fixture(scope="session")
+def workload(small_dataset):
+    """The small dataset with 40 planted positive and 40 negative terms."""
+    return build_query_workload(
+        small_dataset, num_positive=40, num_negative=40, mean_multiplicity=4.0, seed=1
+    )
+
+
+@pytest.fixture()
+def tiny_documents() -> list:
+    """Four tiny hand-written documents with known term overlaps."""
+    return [
+        KmerDocument(name="doc_a", terms=frozenset({"alpha", "beta", "gamma"})),
+        KmerDocument(name="doc_b", terms=frozenset({"beta", "delta"})),
+        KmerDocument(name="doc_c", terms=frozenset({"gamma", "delta", "epsilon"})),
+        KmerDocument(name="doc_d", terms=frozenset({"zeta"})),
+    ]
+
+
+@pytest.fixture()
+def small_rambo_config() -> RamboConfig:
+    """A small but non-trivial RAMBO configuration used across tests."""
+    return RamboConfig(num_partitions=4, repetitions=3, bfu_bits=1 << 12, bfu_hashes=2, k=13, seed=5)
+
+
+@pytest.fixture()
+def built_rambo(small_dataset, small_rambo_config) -> Rambo:
+    """A RAMBO index over the small dataset."""
+    index = Rambo(small_rambo_config)
+    index.add_documents(small_dataset.documents)
+    return index

@@ -1,0 +1,179 @@
+"""Tests for the closed-form analysis (Lemmas 4.1-4.6, Theorems 4.3/4.5)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import analysis
+
+
+class TestPerDocumentFalsePositive:
+    def test_zero_when_no_bfu_error_and_single_partition_miss(self):
+        # With p = 0 and B very large, a V=1 query almost never lands in a
+        # wrong BFU, so the per-document FP rate should be tiny.
+        fp = analysis.per_document_false_positive_rate(0.0, 10_000, 3, 1)
+        assert fp < 1e-10
+
+    def test_increases_with_multiplicity(self):
+        low = analysis.per_document_false_positive_rate(0.01, 50, 3, 1)
+        high = analysis.per_document_false_positive_rate(0.01, 50, 3, 20)
+        assert high > low
+
+    def test_decreases_with_repetitions(self):
+        few = analysis.per_document_false_positive_rate(0.01, 50, 2, 5)
+        many = analysis.per_document_false_positive_rate(0.01, 50, 6, 5)
+        assert many < few
+
+    def test_formula_matches_manual_computation(self):
+        p, B, R, V = 0.02, 10, 3, 4
+        miss = (1 - 1 / B) ** V
+        expected = (p * miss + 1 - miss) ** R
+        assert analysis.per_document_false_positive_rate(p, B, R, V) == pytest.approx(expected)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            analysis.per_document_false_positive_rate(-0.1, 10, 2, 1)
+        with pytest.raises(ValueError):
+            analysis.per_document_false_positive_rate(0.1, 0, 2, 1)
+        with pytest.raises(ValueError):
+            analysis.per_document_false_positive_rate(0.1, 10, 0, 1)
+        with pytest.raises(ValueError):
+            analysis.per_document_false_positive_rate(0.1, 10, 2, -1)
+
+    @given(
+        st.floats(min_value=0.0, max_value=0.5),
+        st.integers(min_value=2, max_value=1000),
+        st.integers(min_value=1, max_value=10),
+        st.integers(min_value=0, max_value=50),
+    )
+    @settings(max_examples=100)
+    def test_is_probability(self, p, B, R, V):
+        fp = analysis.per_document_false_positive_rate(p, B, R, V)
+        assert 0.0 <= fp <= 1.0
+
+
+class TestOverallFalsePositive:
+    def test_union_bound_scales_with_k(self):
+        small = analysis.overall_false_positive_rate(0.01, 100, 4, 2, 100)
+        large = analysis.overall_false_positive_rate(0.01, 100, 4, 2, 10_000)
+        assert large >= small
+
+    def test_capped_at_one(self):
+        assert analysis.overall_false_positive_rate(0.5, 2, 1, 10, 10**9) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            analysis.overall_false_positive_rate(0.01, 100, 4, 2, 0)
+
+
+class TestRepetitionsAndQueryTime:
+    def test_repetitions_needed_formula(self):
+        # R >= log K - log delta.
+        assert analysis.repetitions_needed(1000, 0.01) == math.ceil(
+            math.log(1000) - math.log(0.01)
+        )
+
+    def test_repetitions_needed_grows_with_k(self):
+        assert analysis.repetitions_needed(10**6, 0.01) > analysis.repetitions_needed(10**3, 0.01)
+
+    def test_repetitions_needed_validation(self):
+        with pytest.raises(ValueError):
+            analysis.repetitions_needed(0, 0.01)
+        with pytest.raises(ValueError):
+            analysis.repetitions_needed(10, 0.0)
+
+    def test_expected_query_time_terms(self):
+        qt = analysis.expected_query_time(
+            num_documents=10_000,
+            num_partitions=100,
+            repetitions=3,
+            bfu_hashes=2,
+            bfu_fp_rate=0.01,
+            multiplicity=2,
+        )
+        probe = 100 * 3 * 2
+        intersect = (10_000 / 100) * (2 + 100 * 0.01) * 3
+        assert qt == pytest.approx(probe + intersect)
+
+    def test_optimal_partitions_is_sqrt_scale(self):
+        b = analysis.optimal_partitions(num_documents=10_000, multiplicity=2, bfu_hashes=2)
+        assert b == pytest.approx(math.sqrt(10_000 * 2 / 2), rel=0.01)
+
+    def test_optimal_partitions_minimum_two(self):
+        assert analysis.optimal_partitions(1, 1, 6) >= 2
+
+    def test_optimal_partitions_zero_multiplicity_treated_as_one(self):
+        assert analysis.optimal_partitions(100, 0, 2) == analysis.optimal_partitions(100, 1, 2)
+
+    def test_optimum_minimises_query_time(self):
+        """The B from optimal_partitions should (roughly) minimise Lemma 4.4."""
+        K, V, eta, p, R = 40_000, 4, 2, 0.01, 3
+
+        def qt(B):
+            return analysis.expected_query_time(K, B, R, eta, p, V)
+
+        b_star = analysis.optimal_partitions(K, V, eta)
+        assert qt(b_star) <= qt(b_star // 4)
+        assert qt(b_star) <= qt(b_star * 4)
+
+    def test_query_time_big_o_sublinear(self):
+        """Theorem 4.5: doubling K should grow query time by far less than 2x."""
+        t1 = analysis.query_time_big_o(10_000, 0.01)
+        t2 = analysis.query_time_big_o(20_000, 0.01)
+        assert t2 / t1 < 1.6
+
+
+class TestGammaAndMemory:
+    def test_gamma_equals_one_for_unique_terms(self):
+        assert analysis.gamma(num_partitions=100, multiplicity=1) == pytest.approx(1.0)
+
+    def test_gamma_below_one_for_duplicated_terms(self):
+        assert analysis.gamma(num_partitions=10, multiplicity=5) < 1.0
+
+    def test_gamma_single_partition(self):
+        assert analysis.gamma(num_partitions=1, multiplicity=4) == pytest.approx(0.25)
+
+    def test_gamma_validation(self):
+        with pytest.raises(ValueError):
+            analysis.gamma(0, 1)
+        with pytest.raises(ValueError):
+            analysis.gamma(10, 0)
+
+    @given(st.integers(min_value=2, max_value=500), st.integers(min_value=1, max_value=30))
+    @settings(max_examples=100)
+    def test_gamma_in_unit_interval(self, B, V):
+        assert 0.0 < analysis.gamma(B, V) <= 1.0
+
+    def test_expected_memory_scales_with_terms(self):
+        small = analysis.expected_memory_bits(10_000, 100, 10, 2, 0.01)
+        large = analysis.expected_memory_bits(100_000, 100, 10, 2, 0.01)
+        assert large > small
+
+    def test_expected_memory_discounted_by_gamma(self):
+        """Higher multiplicity means more merging, hence fewer expected bits."""
+        unique = analysis.expected_memory_bits(10_000, 100, 10, 1, 0.01)
+        shared = analysis.expected_memory_bits(10_000, 100, 10, 8, 0.01)
+        assert shared < unique
+
+    def test_bloom_filter_fp_rate(self):
+        assert analysis.bloom_filter_fp_rate(1000, 3, 0) == 0.0
+        rate = analysis.bloom_filter_fp_rate(1000, 3, 100)
+        assert 0.0 < rate < 1.0
+        assert analysis.bloom_filter_fp_rate(1000, 3, 1000) > rate
+
+
+class TestTheoreticalComparison:
+    def test_contains_all_methods(self):
+        table = analysis.theoretical_comparison(10_000, 10**7)
+        assert set(table) == {"inverted_index", "cobs", "sbt", "rambo"}
+
+    def test_rambo_query_sublinear_vs_cobs(self):
+        table = analysis.theoretical_comparison(100_000, 10**8)
+        assert table["rambo"]["query_time"] < table["cobs"]["query_time"]
+
+    def test_rambo_size_discount_vs_sbt(self):
+        table = analysis.theoretical_comparison(100_000, 10**8)
+        assert table["rambo"]["size"] < table["sbt"]["size"]

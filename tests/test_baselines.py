@@ -1,0 +1,266 @@
+"""Tests for the baseline indexes: COBS, SBT, SSBT, HowDeSBT, inverted index.
+
+Every structure is held to the same contract RAMBO is: zero false negatives,
+results that are supersets of the exact inverted-index answers, sensible size
+accounting, and the conjunctive sequence-query semantics of the shared
+:class:`MembershipIndex` interface.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines import (
+    CobsIndex,
+    HowDeSbt,
+    InvertedIndex,
+    SequenceBloomTree,
+    SplitSequenceBloomTree,
+)
+from repro.kmers.extraction import KmerDocument
+
+BLOOM_BASED = {
+    "cobs": lambda: CobsIndex(num_bits=1 << 13, num_hashes=3, k=13, seed=2),
+    "sbt": lambda: SequenceBloomTree(num_bits=1 << 13, num_hashes=1, k=13, seed=2),
+    "ssbt": lambda: SplitSequenceBloomTree(num_bits=1 << 13, num_hashes=4, k=13, seed=2),
+    "howdesbt": lambda: HowDeSbt(num_bits=1 << 13, num_hashes=1, k=13, seed=2),
+}
+ALL = dict(BLOOM_BASED, inverted=lambda: InvertedIndex(k=13))
+
+
+@pytest.fixture(params=sorted(ALL), ids=sorted(ALL))
+def any_index(request):
+    return ALL[request.param]()
+
+
+@pytest.fixture(params=sorted(BLOOM_BASED), ids=sorted(BLOOM_BASED))
+def bloom_index(request):
+    return BLOOM_BASED[request.param]()
+
+
+class TestCommonContract:
+    def test_no_false_negatives(self, any_index, tiny_documents):
+        any_index.add_documents(tiny_documents)
+        for doc in tiny_documents:
+            for term in doc.terms:
+                assert doc.name in any_index.query_term(term).documents
+
+    def test_document_names_in_order(self, any_index, tiny_documents):
+        any_index.add_documents(tiny_documents)
+        assert any_index.document_names == [doc.name for doc in tiny_documents]
+        assert any_index.num_documents == len(tiny_documents)
+
+    def test_duplicate_name_rejected(self, any_index, tiny_documents):
+        any_index.add_documents(tiny_documents)
+        with pytest.raises(ValueError):
+            any_index.add_document(tiny_documents[0])
+
+    def test_empty_index_query(self, any_index):
+        result = any_index.query_term("whatever")
+        assert result.documents == frozenset()
+
+    def test_size_positive_after_insertion(self, any_index, tiny_documents):
+        any_index.add_documents(tiny_documents)
+        assert any_index.size_in_bytes() > 0
+
+    def test_query_terms_conjunction(self, any_index, tiny_documents):
+        any_index.add_documents(tiny_documents)
+        result = any_index.query_terms(["gamma", "delta"])
+        assert "doc_c" in result.documents
+        assert "doc_d" not in result.documents
+
+    def test_superset_of_ground_truth_on_dataset(self, any_index, small_dataset):
+        any_index.add_documents(small_dataset.documents)
+        exact = InvertedIndex(k=small_dataset.k)
+        exact.add_documents(small_dataset.documents)
+        for doc in small_dataset.documents[:6]:
+            for term in list(doc.terms)[:8]:
+                assert exact.query_term(term).documents <= any_index.query_term(term).documents
+
+    @pytest.mark.parametrize(
+        "index_cls", [CobsIndex, SequenceBloomTree, SplitSequenceBloomTree, HowDeSbt]
+    )
+    @given(
+        term_sets=st.lists(
+            st.frozensets(st.text(alphabet="abcde", min_size=1, max_size=3), min_size=1, max_size=8),
+            min_size=1,
+            max_size=8,
+        )
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_property_no_false_negatives(self, index_cls, term_sets):
+        documents = [KmerDocument(name=f"doc{i}", terms=terms) for i, terms in enumerate(term_sets)]
+        index = index_cls(num_bits=1 << 12, num_hashes=2, k=13, seed=3)
+        index.add_documents(documents)
+        for doc in documents:
+            for term in doc.terms:
+                assert doc.name in index.query_term(term).documents
+
+
+class TestCobs:
+    def test_for_capacity(self):
+        index = CobsIndex.for_capacity(terms_per_document=500, fp_rate=0.01)
+        assert index.num_bits > 500
+
+    def test_probe_count_linear_in_documents(self, tiny_documents):
+        index = CobsIndex(num_bits=1 << 12, num_hashes=3, k=13)
+        index.add_documents(tiny_documents)
+        assert index.query_term("alpha").filters_probed == len(tiny_documents)
+
+    def test_exact_on_disjoint_documents(self):
+        index = CobsIndex(num_bits=1 << 14, num_hashes=3, k=13)
+        index.add_terms = None  # type: ignore[assignment]  # (ensure we only use the public API)
+        docs = [
+            KmerDocument(name="d1", terms=frozenset({"aaa", "bbb"})),
+            KmerDocument(name="d2", terms=frozenset({"ccc"})),
+        ]
+        index.add_documents(docs)
+        assert index.query_term("aaa").documents == frozenset({"d1"})
+        assert index.query_term("ccc").documents == frozenset({"d2"})
+
+    def test_fill_ratio(self, tiny_documents):
+        index = CobsIndex(num_bits=1 << 10, num_hashes=2, k=13)
+        assert index.fill_ratio() == 0.0
+        index.add_documents(tiny_documents)
+        assert 0.0 < index.fill_ratio() < 1.0
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            CobsIndex(num_bits=0)
+        with pytest.raises(ValueError):
+            CobsIndex(num_bits=8, num_hashes=0)
+
+
+class TestSequenceBloomTree:
+    def test_node_count_is_2k_minus_1(self, small_dataset):
+        index = SequenceBloomTree(num_bits=1 << 13, k=small_dataset.k, seed=1)
+        index.add_documents(small_dataset.documents)
+        assert index.num_nodes() == 2 * len(small_dataset.documents) - 1
+
+    def test_single_document_tree(self, tiny_documents):
+        index = SequenceBloomTree(num_bits=1 << 10, k=13)
+        index.add_document(tiny_documents[0])
+        assert index.num_nodes() == 1
+        assert index.height() == 0
+
+    def test_height_reasonable(self, small_dataset):
+        index = SequenceBloomTree(num_bits=1 << 13, k=small_dataset.k, seed=1)
+        index.add_documents(small_dataset.documents)
+        # Greedy insertion does not guarantee balance, but must stay below K.
+        assert index.height() < len(small_dataset.documents)
+
+    def test_absent_term_prunes_at_root(self, tiny_documents):
+        index = SequenceBloomTree(num_bits=1 << 14, num_hashes=2, k=13)
+        index.add_documents(tiny_documents)
+        result = index.query_term("definitely-not-a-term")
+        assert result.documents == frozenset()
+        assert result.filters_probed == 1  # root only
+
+    def test_for_capacity(self):
+        index = SequenceBloomTree.for_capacity(200, fp_rate=0.05)
+        assert index.num_bits > 0
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            SequenceBloomTree(num_bits=0)
+
+
+class TestSplitSequenceBloomTree:
+    def test_lazy_rebuild_after_add(self, tiny_documents):
+        index = SplitSequenceBloomTree(num_bits=1 << 12, k=13)
+        index.add_documents(tiny_documents[:2])
+        assert "doc_a" in index.query_term("alpha").documents
+        index.add_document(tiny_documents[2])
+        assert "doc_c" in index.query_term("epsilon").documents
+
+    def test_similarity_short_circuit_counts_fewer_probes(self):
+        """A term present in every document resolves at the root."""
+        shared_docs = [
+            KmerDocument(name=f"d{i}", terms=frozenset({"everywhere", f"unique{i}"}))
+            for i in range(8)
+        ]
+        index = SplitSequenceBloomTree(num_bits=1 << 14, num_hashes=3, k=13, seed=4)
+        index.add_documents(shared_docs)
+        result = index.query_term("everywhere")
+        assert result.documents == frozenset(doc.name for doc in shared_docs)
+        assert result.filters_probed < 2 * len(shared_docs) - 1
+
+    def test_num_nodes(self, tiny_documents):
+        index = SplitSequenceBloomTree(num_bits=1 << 12, k=13)
+        index.add_documents(tiny_documents)
+        assert index.num_nodes() >= len(tiny_documents)
+
+    def test_rebuild_explicit(self, tiny_documents):
+        index = SplitSequenceBloomTree(num_bits=1 << 12, k=13)
+        index.add_documents(tiny_documents)
+        index.rebuild()
+        assert "doc_d" in index.query_term("zeta").documents
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            SplitSequenceBloomTree(num_bits=0)
+
+
+class TestHowDeSbt:
+    def test_shared_term_resolves_high_in_tree(self):
+        shared_docs = [
+            KmerDocument(name=f"d{i}", terms=frozenset({"everywhere", f"unique{i}"}))
+            for i in range(8)
+        ]
+        index = HowDeSbt(num_bits=1 << 14, num_hashes=2, k=13, seed=4)
+        index.add_documents(shared_docs)
+        result = index.query_term("everywhere")
+        assert result.documents == frozenset(doc.name for doc in shared_docs)
+        assert result.filters_probed < 2 * len(shared_docs) - 1
+
+    def test_absent_term_prunes_at_root(self, tiny_documents):
+        index = HowDeSbt(num_bits=1 << 14, num_hashes=2, k=13)
+        index.add_documents(tiny_documents)
+        result = index.query_term("nope-nope")
+        assert result.documents == frozenset()
+        assert result.filters_probed == 1
+
+    def test_lazy_rebuild_after_add(self, tiny_documents):
+        index = HowDeSbt(num_bits=1 << 12, k=13)
+        index.add_documents(tiny_documents[:2])
+        assert "doc_b" in index.query_term("delta").documents
+        index.add_document(tiny_documents[3])
+        assert "doc_d" in index.query_term("zeta").documents
+
+    def test_rebuild_explicit(self, tiny_documents):
+        index = HowDeSbt(num_bits=1 << 12, k=13)
+        index.add_documents(tiny_documents)
+        index.rebuild()
+        assert index.num_nodes() >= len(tiny_documents)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            HowDeSbt(num_bits=0)
+
+
+class TestInvertedIndex:
+    def test_exactness(self, tiny_documents):
+        index = InvertedIndex(k=13)
+        index.add_documents(tiny_documents)
+        assert index.query_term("beta").documents == frozenset({"doc_a", "doc_b"})
+        assert index.query_term("zeta").documents == frozenset({"doc_d"})
+        assert index.query_term("missing").documents == frozenset()
+
+    def test_multiplicity(self, tiny_documents):
+        index = InvertedIndex(k=13)
+        index.add_documents(tiny_documents)
+        assert index.multiplicity("delta") == 2
+        assert index.multiplicity("missing") == 0
+
+    def test_num_terms(self, tiny_documents):
+        index = InvertedIndex(k=13)
+        index.add_documents(tiny_documents)
+        assert index.num_terms() == len({t for d in tiny_documents for t in d.terms})
+
+    def test_size_grows_with_postings(self, tiny_documents):
+        index = InvertedIndex(k=13)
+        index.add_document(tiny_documents[0])
+        small = index.size_in_bytes()
+        index.add_document(tiny_documents[1])
+        assert index.size_in_bytes() > small

@@ -1,0 +1,183 @@
+"""Tests for the numpy-backed BitArray, the substrate of every index."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.bloom.bitarray import BitArray
+
+sizes = st.integers(min_value=1, max_value=300)
+
+
+def index_sets(size: int):
+    return st.lists(st.integers(min_value=0, max_value=size - 1), max_size=50)
+
+
+class TestBasics:
+    def test_initially_empty(self):
+        arr = BitArray(100)
+        assert arr.count() == 0
+        assert not arr.any()
+        assert len(arr) == 100
+
+    def test_set_get_clear(self):
+        arr = BitArray(70)
+        arr.set(0)
+        arr.set(63)
+        arr.set(64)
+        arr.set(69)
+        assert arr.get(0) and arr.get(63) and arr.get(64) and arr.get(69)
+        assert not arr.get(1)
+        arr.clear(63)
+        assert not arr.get(63)
+        assert arr.count() == 3
+
+    def test_negative_index_wraps(self):
+        arr = BitArray(10)
+        arr.set(-1)
+        assert arr.get(9)
+
+    def test_out_of_range(self):
+        arr = BitArray(10)
+        with pytest.raises(IndexError):
+            arr.set(10)
+        with pytest.raises(IndexError):
+            arr.get(-11)
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            BitArray(0)
+
+    def test_item_access(self):
+        arr = BitArray(8)
+        arr[3] = 1
+        assert arr[3]
+        arr[3] = 0
+        assert not arr[3]
+
+    def test_set_many_and_get_many(self):
+        arr = BitArray(128)
+        arr.set_many([1, 64, 127, 64])
+        assert arr.count() == 3
+        assert list(arr.get_many([1, 2, 64, 127])) == [True, False, True, True]
+
+    def test_all_set(self):
+        arr = BitArray(32)
+        arr.set_many([3, 7, 11])
+        assert arr.all_set([3, 7])
+        assert not arr.all_set([3, 8])
+
+    def test_empty_set_many(self):
+        arr = BitArray(16)
+        arr.set_many([])
+        assert arr.count() == 0
+
+    def test_iteration(self):
+        arr = BitArray.from_bits([1, 0, 1, 1])
+        assert list(arr) == [True, False, True, True]
+
+    def test_from_indices(self):
+        arr = BitArray.from_indices(20, [0, 5, 19])
+        assert sorted(arr.to_indices().tolist()) == [0, 5, 19]
+
+    def test_to_bits_round_trip(self):
+        bits = [1, 0, 0, 1, 1, 0, 1]
+        arr = BitArray.from_bits(bits)
+        assert arr.to_bits().tolist() == bits
+
+    def test_repr(self):
+        assert "BitArray" in repr(BitArray(8))
+
+    def test_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(BitArray(8))
+
+
+class TestAlgebra:
+    def test_or_and_xor(self):
+        a = BitArray.from_bits([1, 1, 0, 0])
+        b = BitArray.from_bits([1, 0, 1, 0])
+        assert (a | b).to_bits().tolist() == [1, 1, 1, 0]
+        assert (a & b).to_bits().tolist() == [1, 0, 0, 0]
+        assert (a ^ b).to_bits().tolist() == [0, 1, 1, 0]
+
+    def test_invert_masks_tail(self):
+        a = BitArray.from_bits([1, 0, 1])
+        inv = ~a
+        assert inv.to_bits().tolist() == [0, 1, 0]
+        # Padding bits beyond size must stay zero so popcounts remain valid.
+        assert inv.count() == 1
+
+    def test_inplace_ops(self):
+        a = BitArray.from_bits([1, 0, 0, 1])
+        b = BitArray.from_bits([0, 1, 0, 1])
+        a |= b
+        assert a.to_bits().tolist() == [1, 1, 0, 1]
+        a &= b
+        assert a.to_bits().tolist() == [0, 1, 0, 1]
+        a ^= b
+        assert a.count() == 0
+
+    def test_size_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            _ = BitArray(8) | BitArray(9)
+
+    def test_type_mismatch_rejected(self):
+        with pytest.raises(TypeError):
+            _ = BitArray(8) | "not a bitarray"
+
+    def test_is_subset_of(self):
+        small = BitArray.from_indices(32, [1, 5])
+        big = BitArray.from_indices(32, [1, 5, 9])
+        assert small.is_subset_of(big)
+        assert not big.is_subset_of(small)
+
+    def test_equality_and_copy(self):
+        a = BitArray.from_indices(40, [0, 39])
+        b = a.copy()
+        assert a == b
+        b.set(20)
+        assert a != b
+
+    @given(sizes, st.data())
+    def test_union_contains_both_operands(self, size, data):
+        a = BitArray.from_indices(size, data.draw(index_sets(size)))
+        b = BitArray.from_indices(size, data.draw(index_sets(size)))
+        union = a | b
+        assert a.is_subset_of(union)
+        assert b.is_subset_of(union)
+
+    @given(sizes, st.data())
+    def test_de_morgan(self, size, data):
+        a = BitArray.from_indices(size, data.draw(index_sets(size)))
+        b = BitArray.from_indices(size, data.draw(index_sets(size)))
+        assert ~(a | b) == (~a) & (~b)
+        assert ~(a & b) == (~a) | (~b)
+
+    @given(sizes, st.data())
+    def test_or_idempotent_and_commutative(self, size, data):
+        a = BitArray.from_indices(size, data.draw(index_sets(size)))
+        b = BitArray.from_indices(size, data.draw(index_sets(size)))
+        assert (a | a) == a
+        assert (a | b) == (b | a)
+
+    @given(sizes, st.data())
+    def test_count_matches_indices(self, size, data):
+        indices = data.draw(index_sets(size))
+        arr = BitArray.from_indices(size, indices)
+        assert arr.count() == len(set(indices))
+        assert arr.fill_ratio() == pytest.approx(len(set(indices)) / size)
+
+
+class TestSerialisation:
+    @given(sizes, st.data())
+    def test_bytes_round_trip(self, size, data):
+        arr = BitArray.from_indices(size, data.draw(index_sets(size)))
+        restored = BitArray.from_bytes(size, arr.to_bytes())
+        assert restored == arr
+
+    def test_nbytes_matches_word_count(self):
+        arr = BitArray(130)  # needs 3 words of 64 bits
+        assert arr.nbytes == 3 * 8

@@ -1,0 +1,169 @@
+"""Tests for the repro-rambo command-line interface."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.io.fasta import FastaRecord, write_fasta
+from repro.io.fastq import FastqRecord, write_fastq
+from repro.io.mccortex import write_mccortex
+from repro.kmers.extraction import extract_kmer_set, extract_kmers
+from repro.hashing.kmer_hash import int_to_kmer
+from repro.simulate.genomes import GenomeSimulator
+
+K = 13
+
+
+@pytest.fixture(scope="module")
+def sequence_dir(tmp_path_factory) -> Path:
+    """A directory with FASTA, FASTQ and McCortex-lite files (mixed formats)."""
+    directory = tmp_path_factory.mktemp("archive")
+    genomes = GenomeSimulator(genome_length=1_000, num_ancestors=2, mutation_rate=0.02, seed=5).genomes(6)
+
+    for i, genome in enumerate(genomes[:3]):
+        write_fasta(directory / f"sampleA{i}.fasta", [FastaRecord(f"sampleA{i}", "", genome)])
+    for i, genome in enumerate(genomes[3:5]):
+        reads = [
+            FastqRecord(f"r{j}", genome[j * 100 : j * 100 + 100], "I" * 100)
+            for j in range(8)
+        ]
+        write_fastq(directory / f"sampleB{i}.fastq", reads)
+    write_mccortex(
+        directory / "sampleC0.mcc", sample="sampleC0", k=K, kmers=extract_kmer_set(genomes[5], k=K)
+    )
+    (directory / "ignored.txt").write_text("not a sequence file\n")
+    return directory
+
+
+@pytest.fixture(scope="module")
+def built_index_path(sequence_dir, tmp_path_factory) -> Path:
+    path = tmp_path_factory.mktemp("indexes") / "archive.rambo"
+    exit_code = main(
+        ["build", str(sequence_dir), str(path), "--kmer-size", str(K), "--seed", "3"]
+    )
+    assert exit_code == 0
+    return path
+
+
+@pytest.fixture(scope="module")
+def probe_kmer(sequence_dir) -> str:
+    """A k-mer known to occur in sampleA0."""
+    from repro.io.fasta import read_fasta
+
+    record = next(read_fasta(sequence_dir / "sampleA0.fasta"))
+    return int_to_kmer(extract_kmers(record.sequence, k=K)[10], K)
+
+
+class TestBuild:
+    def test_build_creates_index(self, built_index_path):
+        assert built_index_path.exists()
+        assert built_index_path.stat().st_size > 0
+
+    def test_build_prints_summary(self, sequence_dir, tmp_path, capsys):
+        out_path = tmp_path / "x.rambo"
+        main(["build", str(sequence_dir), str(out_path), "--kmer-size", str(K)])
+        captured = capsys.readouterr().out
+        assert "parsed 6 documents" in captured
+        assert "config: B=" in captured
+
+    def test_build_with_explicit_parameters(self, sequence_dir, tmp_path, capsys):
+        out_path = tmp_path / "explicit.rambo"
+        main(
+            [
+                "build",
+                str(sequence_dir),
+                str(out_path),
+                "--kmer-size", str(K),
+                "--partitions", "3",
+                "--repetitions", "2",
+                "--bfu-bits", "8192",
+            ]
+        )
+        assert "B=3 R=2 bfu_bits=8192" in capsys.readouterr().out
+
+    def test_build_missing_directory(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["build", str(tmp_path / "nope"), str(tmp_path / "o.rambo")])
+
+    def test_build_empty_directory(self, tmp_path):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        with pytest.raises(SystemExit, match="no sequence files"):
+            main(["build", str(empty), str(tmp_path / "o.rambo")])
+
+
+class TestQuery:
+    def test_query_known_kmer(self, built_index_path, probe_kmer, capsys):
+        exit_code = main(["query", str(built_index_path), probe_kmer])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert probe_kmer in output
+        assert "sampleA0" in output
+
+    def test_query_sparse_mode(self, built_index_path, probe_kmer, capsys):
+        main(["query", str(built_index_path), probe_kmer, "--sparse"])
+        assert "sampleA0" in capsys.readouterr().out
+
+    def test_query_sequence(self, built_index_path, sequence_dir, capsys):
+        from repro.io.fasta import read_fasta
+
+        record = next(read_fasta(sequence_dir / "sampleA1.fasta"))
+        fragment = record.sequence[200:260]
+        main(["query", str(built_index_path), "--sequence", fragment])
+        output = capsys.readouterr().out
+        assert output.startswith("sequence\t")
+        assert "sampleA1" in output
+
+    def test_query_absent_term(self, built_index_path, capsys):
+        main(["query", str(built_index_path), "Z" * 8])
+        line = capsys.readouterr().out.strip().splitlines()[-1]
+        term, matches, probes = line.split("\t")
+        assert matches == "-" or "sample" in matches  # tiny chance of a false positive
+
+    def test_query_nothing_rejected(self, built_index_path):
+        with pytest.raises(SystemExit, match="nothing to query"):
+            main(["query", str(built_index_path)])
+
+
+class TestInfoAndFold:
+    def test_info_output(self, built_index_path, capsys):
+        exit_code = main(["info", str(built_index_path)])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "documents       : 6" in output
+        assert "partitions (B)" in output
+        assert "BFU fill ratio" in output
+
+    def test_fold_shrinks_index(self, sequence_dir, tmp_path, capsys):
+        # Build with an even, explicit B so folding is possible.
+        original = tmp_path / "foldable.rambo"
+        main(
+            [
+                "build", str(sequence_dir), str(original),
+                "--kmer-size", str(K), "--partitions", "4", "--repetitions", "2",
+                "--bfu-bits", "16384",
+            ]
+        )
+        folded = tmp_path / "folded.rambo"
+        exit_code = main(["fold", str(original), str(folded), "--folds", "1"])
+        assert exit_code == 0
+        assert "B 4 -> 2" in capsys.readouterr().out
+        assert folded.stat().st_size < original.stat().st_size
+
+    def test_fold_then_query_still_finds_documents(self, sequence_dir, tmp_path, probe_kmer, capsys):
+        original = tmp_path / "f2.rambo"
+        main(
+            [
+                "build", str(sequence_dir), str(original),
+                "--kmer-size", str(K), "--partitions", "4", "--repetitions", "2",
+                "--bfu-bits", "16384",
+            ]
+        )
+        folded = tmp_path / "f2-folded.rambo"
+        main(["fold", str(original), str(folded), "--folds", "1"])
+        capsys.readouterr()
+        main(["query", str(folded), probe_kmer])
+        assert "sampleA0" in capsys.readouterr().out

@@ -1,0 +1,138 @@
+"""Tests for the Count-Min Sketch (the structure RAMBO generalises)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sketch.countmin import CountMinSketch
+
+
+class TestConstruction:
+    def test_from_error_bounds(self):
+        cms = CountMinSketch.from_error_bounds(epsilon=0.01, delta=0.01)
+        assert cms.width >= 272  # ceil(e / 0.01)
+        assert cms.depth >= 5  # ceil(ln 100)
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            CountMinSketch.from_error_bounds(epsilon=0.0, delta=0.1)
+        with pytest.raises(ValueError):
+            CountMinSketch.from_error_bounds(epsilon=0.1, delta=1.5)
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            CountMinSketch(width=0, depth=2)
+        with pytest.raises(ValueError):
+            CountMinSketch(width=10, depth=0)
+
+
+class TestEstimates:
+    def test_never_underestimates(self):
+        cms = CountMinSketch(width=50, depth=4, seed=1)
+        truth = {}
+        rng = random.Random(0)
+        for _ in range(2000):
+            key = f"k{rng.randrange(200)}"
+            cms.add(key)
+            truth[key] = truth.get(key, 0) + 1
+        for key, count in truth.items():
+            assert cms.estimate(key) >= count
+
+    def test_exact_when_no_collisions(self):
+        cms = CountMinSketch(width=4096, depth=5, seed=2)
+        for i in range(20):
+            cms.add(f"rare{i}", count=i + 1)
+        for i in range(20):
+            assert cms.estimate(f"rare{i}") == i + 1
+
+    def test_error_bound_holds(self):
+        """Overestimation stays below eps*N with high probability."""
+        epsilon, delta = 0.02, 0.01
+        cms = CountMinSketch.from_error_bounds(epsilon, delta, seed=3)
+        truth = {}
+        rng = random.Random(4)
+        total = 5000
+        for _ in range(total):
+            key = f"item{rng.randrange(500)}"
+            cms.add(key)
+            truth[key] = truth.get(key, 0) + 1
+        violations = sum(
+            1 for key, count in truth.items() if cms.estimate(key) - count > epsilon * total
+        )
+        assert violations / len(truth) <= delta * 5  # generous slack over the bound
+
+    def test_conservative_update_never_worse(self):
+        plain = CountMinSketch(width=30, depth=3, seed=5)
+        conservative = CountMinSketch(width=30, depth=3, seed=5, conservative=True)
+        rng = random.Random(6)
+        truth = {}
+        for _ in range(1500):
+            key = f"x{rng.randrange(100)}"
+            plain.add(key)
+            conservative.add(key)
+            truth[key] = truth.get(key, 0) + 1
+        for key, count in truth.items():
+            assert conservative.estimate(key) >= count
+            assert conservative.estimate(key) <= plain.estimate(key)
+
+    def test_getitem_alias(self):
+        cms = CountMinSketch(width=16, depth=2)
+        cms.add("a", 3)
+        assert cms["a"] == cms.estimate("a")
+
+    def test_invalid_count(self):
+        cms = CountMinSketch(width=16, depth=2)
+        with pytest.raises(ValueError):
+            cms.add("a", 0)
+
+    @given(st.lists(st.text(min_size=1, max_size=6), min_size=1, max_size=100))
+    @settings(max_examples=30)
+    def test_property_no_underestimation(self, stream):
+        cms = CountMinSketch(width=64, depth=4, seed=7)
+        truth = {}
+        for key in stream:
+            cms.add(key)
+            truth[key] = truth.get(key, 0) + 1
+        assert all(cms.estimate(key) >= count for key, count in truth.items())
+
+
+class TestHeavyHittersAndMerge:
+    def test_heavy_hitters(self):
+        cms = CountMinSketch(width=256, depth=4, seed=8)
+        for _ in range(90):
+            cms.add("heavy")
+        for i in range(10):
+            cms.add(f"light{i}")
+        hitters = cms.heavy_hitters(["heavy"] + [f"light{i}" for i in range(10)], threshold=0.5)
+        assert "heavy" in hitters
+        assert not any(f"light{i}" in hitters for i in range(10))
+
+    def test_heavy_hitters_invalid_threshold(self):
+        cms = CountMinSketch(width=16, depth=2)
+        with pytest.raises(ValueError):
+            cms.heavy_hitters(["x"], threshold=0.0)
+
+    def test_merge_equals_combined_stream(self):
+        a = CountMinSketch(width=128, depth=4, seed=9)
+        b = CountMinSketch(width=128, depth=4, seed=9)
+        for i in range(50):
+            a.add(f"k{i % 10}")
+            b.add(f"k{i % 7}")
+        merged = a.merge(b)
+        for i in range(10):
+            key = f"k{i}"
+            assert merged.estimate(key) == a.estimate(key) + b.estimate(key)
+        assert merged.total == a.total + b.total
+
+    def test_merge_incompatible(self):
+        a = CountMinSketch(width=128, depth=4, seed=9)
+        b = CountMinSketch(width=64, depth=4, seed=9)
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_size_in_bytes(self):
+        cms = CountMinSketch(width=100, depth=3)
+        assert cms.size_in_bytes() == 100 * 3 * 8

@@ -1,0 +1,133 @@
+"""Tests for distributed construction, shard stacking and the cluster simulator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.distributed import DistributedRambo, stack_shards
+from repro.core.folding import fold_rambo
+from repro.core.rambo import Rambo, RamboConfig
+from repro.kmers.extraction import KmerDocument
+from repro.simulate.cluster import ClusterSimulator
+
+
+def node_config(**overrides) -> RamboConfig:
+    params = dict(num_partitions=4, repetitions=3, bfu_bits=1 << 12, bfu_hashes=2, k=13, seed=21)
+    params.update(overrides)
+    return RamboConfig(**params)
+
+
+@pytest.fixture()
+def distributed_index(small_dataset) -> DistributedRambo:
+    index = DistributedRambo(num_nodes=3, node_config=node_config())
+    index.add_documents(small_dataset.documents)
+    return index
+
+
+class TestDistributedRambo:
+    def test_invalid_nodes(self):
+        with pytest.raises(ValueError):
+            DistributedRambo(num_nodes=0, node_config=node_config())
+
+    def test_document_routing_is_stable(self, small_dataset):
+        index = DistributedRambo(num_nodes=4, node_config=node_config())
+        for doc in small_dataset.documents:
+            assert index.node_of(doc.name) == index.node_of(doc.name)
+            assert 0 <= index.node_of(doc.name) < 4
+
+    def test_documents_land_on_assigned_node(self, distributed_index, small_dataset):
+        for doc in small_dataset.documents:
+            node = distributed_index.node_of(doc.name)
+            assert doc.name in distributed_index.shards[node].document_names
+
+    def test_duplicate_rejected(self, distributed_index, small_dataset):
+        with pytest.raises(ValueError):
+            distributed_index.add_document(small_dataset.documents[0])
+
+    def test_no_false_negatives(self, distributed_index, small_dataset):
+        for doc in small_dataset.documents[:10]:
+            for term in list(doc.terms)[:10]:
+                assert doc.name in distributed_index.query_term(term).documents
+
+    def test_document_counts_sum_to_total(self, distributed_index, small_dataset):
+        assert sum(distributed_index.documents_per_node()) == len(small_dataset.documents)
+
+    def test_size_is_sum_of_shards(self, distributed_index):
+        assert distributed_index.size_in_bytes() == sum(
+            shard.size_in_bytes() for shard in distributed_index.shards
+        )
+
+
+class TestStacking:
+    def test_stacked_dimensions(self, distributed_index):
+        stacked = stack_shards(distributed_index)
+        assert stacked.num_partitions == 3 * 4
+        assert stacked.repetitions == 3
+        assert sorted(stacked.document_names) == sorted(distributed_index.document_names)
+
+    def test_stacked_equivalent_to_distributed(self, distributed_index, small_dataset):
+        """Stacking must not change any query answer."""
+        stacked = stack_shards(distributed_index)
+        terms = []
+        for doc in small_dataset.documents[:8]:
+            terms.extend(list(doc.terms)[:5])
+        terms.append("absent-term")
+        for term in terms:
+            assert (
+                stacked.query_term(term).documents
+                == distributed_index.query_term(term).documents
+            )
+
+    def test_stacked_no_false_negatives(self, distributed_index, small_dataset):
+        stacked = stack_shards(distributed_index)
+        for doc in small_dataset.documents[:10]:
+            for term in list(doc.terms)[:8]:
+                assert doc.name in stacked.query_term(term).documents
+
+    def test_stacked_then_folded_no_false_negatives(self, distributed_index, small_dataset):
+        stacked = stack_shards(distributed_index)
+        folded = fold_rambo(stacked, 2)
+        assert folded.num_partitions == 3
+        for doc in small_dataset.documents[:8]:
+            for term in list(doc.terms)[:8]:
+                assert doc.name in folded.query_term(term).documents
+
+    def test_stacked_supports_new_insertions(self, distributed_index):
+        stacked = stack_shards(distributed_index)
+        stacked.add_document(KmerDocument(name="late-arrival", terms=frozenset({"new-term"})))
+        assert "late-arrival" in stacked.query_term("new-term").documents
+
+
+class TestClusterSimulator:
+    def test_report_totals(self, small_dataset):
+        simulator = ClusterSimulator(num_nodes=5, node_config=node_config())
+        report = simulator.ingest(small_dataset.documents)
+        assert report.total_documents == len(small_dataset.documents)
+        assert report.total_insertions == sum(len(doc) for doc in small_dataset.documents)
+        assert report.makespan_insertions <= report.total_insertions
+        assert len(report.nodes) == 5
+
+    def test_speedup_bounded_by_nodes(self, small_dataset):
+        simulator = ClusterSimulator(num_nodes=5, node_config=node_config())
+        report = simulator.ingest(small_dataset.documents)
+        assert 1.0 <= report.speedup_vs_sequential <= 5.0
+
+    def test_single_node_no_speedup(self, small_dataset):
+        simulator = ClusterSimulator(num_nodes=1, node_config=node_config())
+        report = simulator.ingest(small_dataset.documents)
+        assert report.speedup_vs_sequential == pytest.approx(1.0)
+        assert report.load_imbalance == pytest.approx(1.0)
+
+    def test_stacked_index_queryable(self, small_dataset):
+        simulator = ClusterSimulator(num_nodes=3, node_config=node_config())
+        simulator.ingest(small_dataset.documents)
+        stacked = simulator.stacked_index()
+        doc = small_dataset.documents[0]
+        term = next(iter(doc.terms))
+        assert doc.name in stacked.query_term(term).documents
+
+    def test_as_dict_keys(self, small_dataset):
+        simulator = ClusterSimulator(num_nodes=2, node_config=node_config())
+        report = simulator.ingest(small_dataset.documents)
+        flat = report.as_dict()
+        assert {"nodes", "total_documents", "makespan_insertions"} <= set(flat)

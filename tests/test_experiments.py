@@ -1,0 +1,174 @@
+"""Tests for the experiment harness modules (the code the benchmarks call)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.rambo import Rambo, RamboConfig
+from repro.experiments.documents import DocumentExperiment, clueweb_experiment, wiki_dump_experiment
+from repro.experiments.false_positives import FalsePositiveExperiment
+from repro.experiments.folding import FoldingExperiment
+from repro.experiments.genomics import GenomicsExperiment, build_all_indexes, measure_index
+from repro.experiments.theory import relative_speedup, theory_table
+from repro.simulate.corpus import CorpusConfig
+from repro.simulate.datasets import ENADatasetBuilder, build_query_workload
+
+
+@pytest.fixture(scope="module")
+def tiny_genomics_experiment() -> GenomicsExperiment:
+    return GenomicsExperiment(
+        num_documents=15, num_queries=20, genome_length=400, k=11, seed=9
+    )
+
+
+class TestGenomicsExperiment:
+    def test_measurements_have_zero_false_negatives(self, tiny_genomics_experiment):
+        results = tiny_genomics_experiment.run(include=["rambo", "cobs", "inverted"])
+        assert set(results) >= {"rambo", "cobs", "inverted", "rambo+"}
+        for measurement in results.values():
+            assert measurement.false_negative_rate == 0.0
+
+    def test_inverted_index_is_exact(self, tiny_genomics_experiment):
+        results = tiny_genomics_experiment.run(include=["inverted"])
+        assert results["inverted"].false_positive_rate == 0.0
+
+    def test_rambo_plus_matches_rambo_accuracy(self, tiny_genomics_experiment):
+        results = tiny_genomics_experiment.run(include=["rambo"])
+        assert results["rambo+"].false_positive_rate == pytest.approx(
+            results["rambo"].false_positive_rate
+        )
+        assert results["rambo+"].filters_probed_per_query <= results["rambo"].filters_probed_per_query
+
+    def test_as_row_keys(self, tiny_genomics_experiment):
+        results = tiny_genomics_experiment.run(include=["cobs"])
+        row = results["cobs"].as_row()
+        assert {"construction_s", "query_ms", "size_bytes", "fp_rate", "fn_rate"} <= set(row)
+
+    def test_build_all_indexes_unknown_name(self, tiny_genomics_experiment):
+        with pytest.raises(ValueError):
+            build_all_indexes(tiny_genomics_experiment.dataset, include=["nonexistent"])
+
+    def test_measure_index_standalone(self, tiny_genomics_experiment):
+        dataset = tiny_genomics_experiment.dataset
+        workload = tiny_genomics_experiment.workload
+        config = RamboConfig(num_partitions=4, repetitions=2, bfu_bits=1 << 14, k=dataset.k, seed=1)
+        measurement = measure_index(Rambo(config), dataset, workload, name="manual")
+        assert measurement.name == "manual"
+        assert measurement.false_negative_rate == 0.0
+        assert measurement.size_bytes > 0
+
+    def test_fastq_mode_builds(self):
+        experiment = GenomicsExperiment(
+            num_documents=6, num_queries=10, genome_length=300, k=11, file_format="fastq", seed=2
+        )
+        results = experiment.run(include=["rambo"])
+        assert results["rambo"].false_negative_rate == 0.0
+
+
+class TestFalsePositiveExperiment:
+    @pytest.fixture(scope="class")
+    def experiment(self) -> FalsePositiveExperiment:
+        builder = ENADatasetBuilder(k=13, genome_length=500, seed=4)
+        dataset = builder.build(25, file_format="mccortex")
+        config = RamboConfig(num_partitions=5, repetitions=3, bfu_bits=1 << 15, k=13, seed=4)
+        return FalsePositiveExperiment(dataset=dataset, config=config, seed=4)
+
+    def test_fp_rate_increases_with_multiplicity(self, experiment):
+        sweep = experiment.sweep_multiplicity([1, 10], num_terms=40)
+        assert sweep[0].measured_fp_rate <= sweep[1].measured_fp_rate
+        assert sweep[0].predicted_fp_rate < sweep[1].predicted_fp_rate
+
+    def test_prediction_within_order_of_magnitude(self, experiment):
+        point = experiment.measure_at_multiplicity(5, num_terms=60)
+        # Lemma 4.1 is an upper-bound-flavoured model; measured should not
+        # exceed it wildly (allow generous slack for small-sample noise).
+        assert point.measured_fp_rate <= max(0.05, point.predicted_fp_rate * 5)
+
+    def test_multiplicity_larger_than_collection_rejected(self, experiment):
+        with pytest.raises(ValueError):
+            experiment.measure_at_multiplicity(1000, num_terms=5)
+
+    def test_planted_workload_has_no_false_negatives(self, experiment):
+        metrics = experiment.measure_planted_workload(num_positive=30, num_negative=30)
+        assert metrics["fn_rate"] == 0.0
+        assert 0.0 <= metrics["fp_rate"] <= 1.0
+
+    def test_as_row(self, experiment):
+        point = experiment.measure_at_multiplicity(2, num_terms=10)
+        assert {"V", "measured", "predicted", "queries"} == set(point.as_row())
+
+
+class TestFoldingExperiment:
+    @pytest.fixture(scope="class")
+    def experiment(self) -> FoldingExperiment:
+        return FoldingExperiment(
+            num_documents=30,
+            num_nodes=2,
+            partitions_per_node=4,
+            repetitions=2,
+            bfu_bits=1 << 13,
+            k=13,
+            num_queries=30,
+            genome_length=400,
+            seed=13,
+        )
+
+    def test_fold_sweep_shapes(self, experiment):
+        rows = experiment.run(fold_factors=(1, 2, 4))
+        assert [row.fold_factor for row in rows] == [1, 2, 4]
+        sizes = [row.size_bytes for row in rows]
+        assert sizes[0] > sizes[1] > sizes[2]
+        fps = [row.false_positive_rate for row in rows]
+        assert fps[0] <= fps[-1]  # folding can only increase false positives
+
+    def test_cluster_report_populated(self, experiment):
+        experiment.run(fold_factors=(1,))
+        assert experiment.cluster_report is not None
+        assert experiment.cluster_report.total_documents == 30
+
+    def test_invalid_fold_factor(self, experiment):
+        with pytest.raises(ValueError):
+            experiment.run(fold_factors=(3,))
+
+
+class TestDocumentExperiment:
+    def test_small_corpus_round_trip(self):
+        experiment = DocumentExperiment(
+            corpus_config=CorpusConfig(num_documents=40, terms_per_document=40),
+            num_queries=20,
+            seed=8,
+        )
+        results = experiment.run(include=("rambo", "cobs"))
+        assert set(results) == {"rambo", "cobs"}
+        for measurement in results.values():
+            assert measurement.false_negative_rate == 0.0
+
+    def test_named_builders(self):
+        wiki = wiki_dump_experiment(num_documents=25, num_queries=10, seed=1)
+        clue = clueweb_experiment(num_documents=25, num_queries=10, seed=1)
+        assert len(wiki.dataset) == 25
+        assert len(clue.dataset) == 25
+
+    def test_unknown_index_rejected(self):
+        experiment = DocumentExperiment(
+            corpus_config=CorpusConfig(num_documents=10, terms_per_document=10),
+            num_queries=5,
+            seed=8,
+        )
+        with pytest.raises(ValueError):
+            experiment.run(include=("sphinx",))
+
+
+class TestTheory:
+    def test_table_rows(self):
+        table = theory_table(num_documents=50_000, total_terms=10**7)
+        assert set(table) == {"inverted_index", "cobs", "sbt", "rambo"}
+
+    def test_rambo_speedup_over_cobs_grows_with_k(self):
+        small = relative_speedup(theory_table(1_000, 10**6), "cobs")
+        large = relative_speedup(theory_table(1_000_000, 10**9), "cobs")
+        assert large > small > 1.0
+
+    def test_relative_speedup_missing_method(self):
+        with pytest.raises(KeyError):
+            relative_speedup({"rambo": {"query_time": 1.0}}, "cobs")

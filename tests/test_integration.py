@@ -1,0 +1,149 @@
+"""End-to-end integration tests across the whole pipeline.
+
+These exercise the realistic flow a user of the library follows: simulate
+genomes, write them to disk in the paper's file formats, parse them back,
+build every index, query full sequences, and cross-check the structures
+against each other and against exact ground truth.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.baselines import CobsIndex, HowDeSbt, InvertedIndex, SequenceBloomTree
+from repro.core.distributed import DistributedRambo, stack_shards
+from repro.core.config import configure_from_sample
+from repro.core.rambo import Rambo, RamboConfig
+from repro.io.fasta import FastaRecord, read_fasta, write_fasta
+from repro.io.fastq import read_fastq, write_fastq
+from repro.io.mccortex import read_mccortex, write_mccortex
+from repro.kmers.extraction import document_from_sequences, extract_kmer_set
+from repro.simulate.genomes import GenomeSimulator
+from repro.simulate.reads import ReadSimulator
+
+K = 13
+
+
+@pytest.fixture(scope="module")
+def genome_pool():
+    simulator = GenomeSimulator(genome_length=900, num_ancestors=2, mutation_rate=0.03, seed=101)
+    return simulator.genomes(12)
+
+
+class TestFileRoundTripPipeline:
+    def test_fasta_to_index_pipeline(self, tmp_path, genome_pool):
+        """FASTA on disk -> parsed documents -> RAMBO -> sequence queries."""
+        paths = []
+        for i, genome in enumerate(genome_pool):
+            path = tmp_path / f"genome{i}.fasta"
+            write_fasta(path, [FastaRecord(f"genome{i}", "synthetic", genome)])
+            paths.append(path)
+
+        documents = []
+        for path in paths:
+            records = list(read_fasta(path))
+            documents.append(
+                document_from_sequences(records[0].identifier, [r.sequence for r in records], k=K)
+            )
+
+        config = configure_from_sample(documents, fp_rate=0.01, k=K, seed=1)
+        index = Rambo(config)
+        index.add_documents(documents)
+
+        for i, genome in enumerate(genome_pool[:5]):
+            fragment = genome[100:160]
+            assert f"genome{i}" in index.query_sequence(fragment).documents
+
+    def test_fastq_vs_mccortex_pipeline(self, tmp_path, genome_pool):
+        """The FASTQ and McCortex ingestion paths agree on true memberships."""
+        genome = genome_pool[0]
+        reads = ReadSimulator(read_length=120, coverage=4.0, error_rate=0.01, seed=3).simulate(
+            genome, "sample0"
+        )
+        fastq_path = tmp_path / "sample0.fastq"
+        write_fastq(fastq_path, reads)
+
+        parsed_reads = [record.sequence for record in read_fastq(fastq_path)]
+        fastq_doc = document_from_sequences("sample0", parsed_reads, k=K, source_format="fastq")
+
+        # McCortex-style: filtered unique k-mers written and read back.
+        filtered = extract_kmer_set(genome, k=K)
+        mcc_path = tmp_path / "sample0.mcc"
+        write_mccortex(mcc_path, sample="sample0", k=K, kmers=filtered)
+        mcc_doc = read_mccortex(mcc_path).to_document()
+
+        # Raw reads contain everything the filtered set does (plus error k-mers),
+        # modulo coverage gaps at 4x depth; require strong overlap.
+        overlap = len(mcc_doc.terms & fastq_doc.terms) / len(mcc_doc.terms)
+        assert overlap > 0.8
+        # And the raw-read document must be the larger one (error k-mers).
+        assert len(fastq_doc.terms) >= len(mcc_doc.terms & fastq_doc.terms)
+
+
+class TestCrossStructureAgreement:
+    @pytest.fixture(scope="class")
+    def documents(self, genome_pool):
+        reads = ReadSimulator(read_length=120, coverage=3.0, error_rate=0.0, seed=5)
+        return [
+            document_from_sequences(
+                f"doc{i}", reads.sequences(genome, f"doc{i}"), k=K, source_format="mccortex"
+            )
+            for i, genome in enumerate(genome_pool)
+        ]
+
+    @pytest.fixture(scope="class")
+    def truth(self, documents):
+        exact = InvertedIndex(k=K)
+        exact.add_documents(documents)
+        return exact
+
+    def test_all_structures_cover_ground_truth(self, documents, truth):
+        stats_terms = max(1, sum(len(d) for d in documents) // len(documents))
+        indexes = [
+            Rambo(configure_from_sample(documents, fp_rate=0.01, k=K, seed=2)),
+            CobsIndex.for_capacity(stats_terms, fp_rate=0.01, k=K, seed=2),
+            SequenceBloomTree.for_capacity(stats_terms, fp_rate=0.01, k=K, seed=2),
+            HowDeSbt.for_capacity(stats_terms, fp_rate=0.01, k=K, seed=2),
+        ]
+        for index in indexes:
+            index.add_documents(documents)
+
+        rng = random.Random(6)
+        probe_terms = []
+        for doc in documents:
+            probe_terms.extend(rng.sample(sorted(doc.terms), 5))
+
+        for term in probe_terms:
+            expected = truth.query_term(term).documents
+            for index in indexes:
+                assert expected <= index.query_term(term).documents, type(index).__name__
+
+    def test_distributed_equals_single_machine_answers(self, documents):
+        """The two-level-hash sharded build answers exactly like its stacked form."""
+        node_config = RamboConfig(
+            num_partitions=3, repetitions=3, bfu_bits=1 << 14, bfu_hashes=2, k=K, seed=9
+        )
+        distributed = DistributedRambo(num_nodes=4, node_config=node_config)
+        distributed.add_documents(documents)
+        stacked = stack_shards(distributed)
+
+        rng = random.Random(7)
+        terms = [rng.choice(sorted(doc.terms)) for doc in documents for _ in range(3)]
+        terms.append("definitely-absent")
+        for term in terms:
+            assert distributed.query_term(term).documents == stacked.query_term(term).documents
+
+    def test_sequence_query_bounded_by_rarest_kmer(self, documents, genome_pool):
+        """Section 3.3.1: a full-sequence query returns no more documents than
+        any single one of its k-mers does."""
+        index = Rambo(configure_from_sample(documents, fp_rate=0.01, k=K, seed=4))
+        index.add_documents(documents)
+        fragment = genome_pool[2][200:260]
+        from repro.kmers.extraction import extract_kmers
+
+        kmers = extract_kmers(fragment, k=K)
+        sequence_result = index.query_terms(kmers)
+        smallest_single = min(len(index.query_term(kmer).documents) for kmer in kmers)
+        assert len(sequence_result.documents) <= smallest_single

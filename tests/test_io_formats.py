@@ -1,0 +1,139 @@
+"""Tests for the FASTA / FASTQ / McCortex-lite readers and writers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.io.fasta import FastaRecord, read_fasta, write_fasta
+from repro.io.fastq import FastqRecord, read_fastq, write_fastq
+from repro.io.mccortex import read_mccortex, write_mccortex
+from repro.kmers.extraction import extract_kmer_set
+
+
+class TestFasta:
+    def test_round_trip(self, tmp_path):
+        records = [
+            FastaRecord("seq1", "first genome", "ACGT" * 30),
+            FastaRecord("seq2", "", "TTTTAAAA"),
+        ]
+        path = tmp_path / "test.fasta"
+        assert write_fasta(path, records, line_width=50) == 2
+        restored = list(read_fasta(path))
+        assert restored == records
+
+    def test_line_wrapping_is_transparent(self, tmp_path):
+        record = FastaRecord("long", "", "A" * 305)
+        path = tmp_path / "wrap.fasta"
+        write_fasta(path, [record], line_width=80)
+        assert list(read_fasta(path))[0].sequence == "A" * 305
+
+    def test_missing_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.fasta"
+        path.write_text("ACGT\n")
+        with pytest.raises(ValueError):
+            list(read_fasta(path))
+
+    def test_empty_header_rejected(self, tmp_path):
+        path = tmp_path / "bad2.fasta"
+        path.write_text(">\nACGT\n")
+        with pytest.raises(ValueError):
+            list(read_fasta(path))
+
+    def test_invalid_line_width(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_fasta(tmp_path / "x.fasta", [], line_width=0)
+
+    def test_record_len(self):
+        assert len(FastaRecord("a", "", "ACGT")) == 4
+
+
+class TestFastq:
+    def test_round_trip(self, tmp_path):
+        records = [
+            FastqRecord("read1", "ACGTACGT", "IIIIIIII"),
+            FastqRecord("read2", "TTTT", "!!!!"),
+        ]
+        path = tmp_path / "test.fastq"
+        assert write_fastq(path, records) == 2
+        assert list(read_fastq(path)) == records
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            FastqRecord("bad", "ACGT", "II")
+
+    def test_phred_scores(self):
+        record = FastqRecord("r", "AC", "I!")
+        assert record.phred_scores() == [40, 0]
+        assert record.mean_quality() == pytest.approx(20.0)
+
+    def test_empty_read_quality(self):
+        record = FastqRecord("r", "", "")
+        assert record.mean_quality() == 0.0
+
+    def test_malformed_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.fastq"
+        path.write_text("read1\nACGT\n+\nIIII\n")
+        with pytest.raises(ValueError):
+            list(read_fastq(path))
+
+    def test_malformed_separator_rejected(self, tmp_path):
+        path = tmp_path / "bad2.fastq"
+        path.write_text("@read1\nACGT\nIIII\nACGT\n")
+        with pytest.raises(ValueError):
+            list(read_fastq(path))
+
+    def test_truncated_record_rejected(self, tmp_path):
+        path = tmp_path / "trunc.fastq"
+        path.write_text("@read1\nACGT\n+\n")
+        with pytest.raises(ValueError):
+            list(read_fastq(path))
+
+
+class TestMcCortex:
+    def test_round_trip(self, tmp_path):
+        kmers = extract_kmer_set("ACGTACGTTTACG", k=5)
+        path = tmp_path / "sample.mcc"
+        assert write_mccortex(path, sample="sampleX", k=5, kmers=kmers) == len(kmers)
+        restored = read_mccortex(path)
+        assert restored.sample == "sampleX"
+        assert restored.k == 5
+        assert set(restored.kmers) == kmers
+
+    def test_to_document(self, tmp_path):
+        kmers = {1, 2, 3}
+        path = tmp_path / "d.mcc"
+        write_mccortex(path, sample="doc7", k=4, kmers=kmers)
+        doc = read_mccortex(path).to_document()
+        assert doc.name == "doc7"
+        assert doc.terms == frozenset(kmers)
+        assert doc.source_format == "mccortex"
+
+    def test_duplicate_kmers_deduplicated(self, tmp_path):
+        path = tmp_path / "dup.mcc"
+        assert write_mccortex(path, sample="s", k=3, kmers=[5, 5, 6]) == 2
+
+    def test_kmer_out_of_range_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_mccortex(tmp_path / "bad.mcc", sample="s", k=2, kmers=[1 << 10])
+
+    def test_invalid_k_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_mccortex(tmp_path / "bad.mcc", sample="s", k=0, kmers=[])
+
+    def test_wrong_magic_rejected(self, tmp_path):
+        path = tmp_path / "notmcc.txt"
+        path.write_text("#something-else k=3 kmers=0 sample=s\n")
+        with pytest.raises(ValueError):
+            read_mccortex(path)
+
+    def test_corrupt_count_rejected(self, tmp_path):
+        path = tmp_path / "corrupt.mcc"
+        path.write_text("#mccortex-lite k=3 kmers=5 sample=s\n1\n2\n")
+        with pytest.raises(ValueError):
+            read_mccortex(path)
+
+    def test_missing_header_field_rejected(self, tmp_path):
+        path = tmp_path / "nofield.mcc"
+        path.write_text("#mccortex-lite k=3 sample=s\n")
+        with pytest.raises(ValueError):
+            read_mccortex(path)

@@ -1,0 +1,145 @@
+"""Tests for 2-bit k-mer encoding, canonicalisation and the rolling hasher."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.hashing.kmer_hash import (
+    RollingKmerHasher,
+    canonical_int,
+    canonical_kmer,
+    int_to_kmer,
+    kmer_to_int,
+    reverse_complement,
+    reverse_complement_int,
+)
+
+dna = st.text(alphabet="ACGT", min_size=1, max_size=31)
+
+
+class TestEncoding:
+    def test_known_values(self):
+        assert kmer_to_int("A") == 0
+        assert kmer_to_int("C") == 1
+        assert kmer_to_int("G") == 2
+        assert kmer_to_int("T") == 3
+        assert kmer_to_int("ACGT") == 0b00011011
+
+    def test_lowercase_accepted(self):
+        assert kmer_to_int("acgt") == kmer_to_int("ACGT")
+
+    def test_invalid_base_rejected(self):
+        with pytest.raises(ValueError):
+            kmer_to_int("ACGN")
+
+    def test_too_long_rejected(self):
+        with pytest.raises(ValueError):
+            kmer_to_int("A" * 32)
+
+    def test_decode_known(self):
+        assert int_to_kmer(0b00011011, 4) == "ACGT"
+
+    def test_decode_rejects_overflow(self):
+        with pytest.raises(ValueError):
+            int_to_kmer(1 << 10, 4)
+
+    def test_decode_rejects_negative(self):
+        with pytest.raises(ValueError):
+            int_to_kmer(-1, 4)
+
+    @given(dna)
+    def test_round_trip(self, kmer):
+        assert int_to_kmer(kmer_to_int(kmer), len(kmer)) == kmer
+
+    @given(dna)
+    def test_encoding_in_range(self, kmer):
+        assert 0 <= kmer_to_int(kmer) < (1 << (2 * len(kmer)))
+
+
+class TestReverseComplement:
+    def test_known(self):
+        assert reverse_complement("ACGT") == "ACGT"  # palindromic
+        assert reverse_complement("AAAA") == "TTTT"
+        assert reverse_complement("ACC") == "GGT"
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            reverse_complement("ACGX")
+
+    @given(dna)
+    def test_involution(self, kmer):
+        assert reverse_complement(reverse_complement(kmer)) == kmer
+
+    @given(dna)
+    def test_int_and_string_agree(self, kmer):
+        k = len(kmer)
+        assert reverse_complement_int(kmer_to_int(kmer), k) == kmer_to_int(reverse_complement(kmer))
+
+
+class TestCanonical:
+    @given(dna)
+    def test_canonical_is_min(self, kmer):
+        k = len(kmer)
+        code = kmer_to_int(kmer)
+        rc = reverse_complement_int(code, k)
+        assert canonical_int(code, k) == min(code, rc)
+
+    @given(dna)
+    def test_strand_invariance(self, kmer):
+        k = len(kmer)
+        assert canonical_int(kmer_to_int(kmer), k) == canonical_int(
+            kmer_to_int(reverse_complement(kmer)), k
+        )
+
+    @given(dna)
+    def test_canonical_kmer_string(self, kmer):
+        canon = canonical_kmer(kmer)
+        assert canon in (kmer.upper(), reverse_complement(kmer).upper())
+        assert canonical_kmer(reverse_complement(kmer)) == canon
+
+
+class TestRollingHasher:
+    def test_basic_window(self):
+        hasher = RollingKmerHasher(k=3)
+        codes = hasher.kmers("ACGTA")
+        assert codes == [kmer_to_int("ACG"), kmer_to_int("CGT"), kmer_to_int("GTA")]
+
+    def test_ambiguous_base_resets(self):
+        hasher = RollingKmerHasher(k=3)
+        codes = hasher.kmers("ACNGTA")
+        # "ACN" breaks the window; only GTA completes after the reset.
+        assert codes == [kmer_to_int("GTA")]
+
+    def test_too_short_sequence(self):
+        hasher = RollingKmerHasher(k=5)
+        assert hasher.kmers("ACG") == []
+
+    def test_canonical_mode(self):
+        hasher = RollingKmerHasher(k=3, canonical=True)
+        plain = RollingKmerHasher(k=3)
+        seq = "AAATTT"
+        assert hasher.kmers(seq) == [canonical_int(c, 3) for c in plain.kmers(seq)]
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            RollingKmerHasher(k=0)
+        with pytest.raises(ValueError):
+            RollingKmerHasher(k=32)
+
+    def test_reset_between_sequences(self):
+        hasher = RollingKmerHasher(k=4)
+        first = hasher.kmers("ACGTAC")
+        second = hasher.kmers("ACGTAC")
+        assert first == second
+
+    @given(st.text(alphabet="ACGTN", min_size=0, max_size=100), st.integers(min_value=2, max_value=8))
+    def test_matches_naive_sliding_window(self, sequence, k):
+        """The rolling hasher must equal the brute-force window extraction."""
+        hasher = RollingKmerHasher(k=k)
+        expected = []
+        for i in range(len(sequence) - k + 1):
+            window = sequence[i : i + k]
+            if all(base in "ACGT" for base in window):
+                expected.append(kmer_to_int(window))
+        assert hasher.kmers(sequence) == expected

@@ -1,0 +1,109 @@
+"""Tests for k-mer extraction and the KmerDocument abstraction."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hashing.kmer_hash import kmer_to_int
+from repro.kmers.extraction import (
+    KmerDocument,
+    document_from_sequences,
+    extract_from_reads,
+    extract_kmer_set,
+    extract_kmers,
+)
+
+
+class TestExtraction:
+    def test_sliding_window(self):
+        assert extract_kmers("ACGTT", k=3) == [
+            kmer_to_int("ACG"),
+            kmer_to_int("CGT"),
+            kmer_to_int("GTT"),
+        ]
+
+    def test_canonical_flag(self):
+        plain = extract_kmers("AAATTT", k=3, canonical=False)
+        canon = extract_kmers("AAATTT", k=3, canonical=True)
+        assert len(plain) == len(canon)
+        assert plain != canon  # AAA vs TTT collapse under canonicalisation
+
+    def test_set_deduplicates(self):
+        kmers = extract_kmer_set("AAAAAA", k=3)
+        assert kmers == {kmer_to_int("AAA")}
+
+    def test_ambiguous_bases_skipped(self):
+        assert extract_kmers("ACGNNACG", k=3) == [kmer_to_int("ACG"), kmer_to_int("ACG")]
+
+    def test_short_sequence(self):
+        assert extract_kmers("AC", k=5) == []
+
+    @given(st.text(alphabet="ACGT", min_size=0, max_size=200), st.integers(min_value=2, max_value=9))
+    @settings(max_examples=40)
+    def test_count_matches_length(self, sequence, k):
+        expected = max(0, len(sequence) - k + 1)
+        assert len(extract_kmers(sequence, k=k)) == expected
+
+
+class TestExtractFromReads:
+    def test_union_without_filter(self):
+        reads = ["ACGTA", "TTTTT"]
+        kmers = extract_from_reads(reads, k=3)
+        assert kmer_to_int("ACG") in kmers
+        assert kmer_to_int("TTT") in kmers
+
+    def test_min_count_filters_singletons(self):
+        # "ACGTA" appears twice so its k-mers survive; the k-mers of "GCTAG"
+        # each occur exactly once (an error-like read) and are filtered out.
+        reads = ["ACGTA", "ACGTA", "GCTAG"]
+        kmers = extract_from_reads(reads, k=3, min_count=2)
+        assert kmer_to_int("ACG") in kmers
+        assert kmer_to_int("GCT") not in kmers
+
+    def test_min_count_validation(self):
+        with pytest.raises(ValueError):
+            extract_from_reads(["ACGT"], k=3, min_count=0)
+
+    def test_empty_reads(self):
+        assert extract_from_reads([], k=3) == set()
+
+
+class TestKmerDocument:
+    def test_basic_properties(self):
+        doc = KmerDocument(name="d1", terms=frozenset({"a", "b"}))
+        assert len(doc) == 2
+        assert "a" in doc
+        assert set(doc) == {"a", "b"}
+
+    def test_terms_coerced_to_frozenset(self):
+        doc = KmerDocument(name="d1", terms={"a", "b"})  # type: ignore[arg-type]
+        assert isinstance(doc.terms, frozenset)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            KmerDocument(name="", terms=frozenset())
+
+    def test_union_and_jaccard(self):
+        a = KmerDocument(name="a", terms=frozenset({"x", "y"}))
+        b = KmerDocument(name="b", terms=frozenset({"y", "z"}))
+        assert a.union(b) == frozenset({"x", "y", "z"})
+        assert a.jaccard(b) == pytest.approx(1 / 3)
+
+    def test_jaccard_of_empty_documents(self):
+        a = KmerDocument(name="a", terms=frozenset())
+        b = KmerDocument(name="b", terms=frozenset())
+        assert a.jaccard(b) == 1.0
+
+    def test_document_from_sequences(self):
+        doc = document_from_sequences("sample", ["ACGTACGT", "TTTT"], k=4, source_format="fastq")
+        assert doc.name == "sample"
+        assert doc.source_format == "fastq"
+        assert doc.sequence_length == 12
+        assert kmer_to_int("ACGT") in doc.terms
+        assert kmer_to_int("TTTT") in doc.terms
+
+    def test_document_from_sequences_with_filter(self):
+        doc = document_from_sequences("s", ["ACGTA", "ACGTA", "GCTAG"], k=3, min_count=2)
+        assert kmer_to_int("ACG") in doc.terms
+        assert kmer_to_int("GCT") not in doc.terms

@@ -1,0 +1,245 @@
+"""Tests for the genome/read/dataset/corpus simulators."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.simulate.corpus import CLUEWEB_CONFIG, WIKI_DUMP_CONFIG, CorpusConfig, SyntheticCorpus
+from repro.simulate.datasets import (
+    DatasetStatistics,
+    ENADatasetBuilder,
+    SyntheticDataset,
+    build_query_workload,
+)
+from repro.simulate.genomes import GenomeSimulator, mutate_sequence, random_sequence
+from repro.simulate.reads import ReadSimulator
+from repro.kmers.extraction import KmerDocument
+
+
+class TestGenomeSimulator:
+    def test_random_sequence_alphabet(self):
+        rng = random.Random(0)
+        seq = random_sequence(500, rng)
+        assert len(seq) == 500
+        assert set(seq) <= set("ACGT")
+
+    def test_random_sequence_negative_length(self):
+        with pytest.raises(ValueError):
+            random_sequence(-1, random.Random(0))
+
+    def test_mutation_rate_zero_is_identity(self):
+        rng = random.Random(1)
+        seq = random_sequence(200, rng)
+        assert mutate_sequence(seq, 0.0, rng) == seq
+
+    def test_mutation_rate_changes_bases(self):
+        rng = random.Random(2)
+        seq = random_sequence(1000, rng)
+        mutated = mutate_sequence(seq, 0.1, rng)
+        diffs = sum(1 for a, b in zip(seq, mutated) if a != b)
+        assert 50 < diffs < 200  # ~10% +/- noise
+        assert len(mutated) == len(seq)
+
+    def test_mutation_rate_validation(self):
+        with pytest.raises(ValueError):
+            mutate_sequence("ACGT", 1.5, random.Random(0))
+
+    def test_genomes_deterministic_and_order_independent(self):
+        sim_a = GenomeSimulator(genome_length=300, num_ancestors=2, mutation_rate=0.02, seed=9)
+        sim_b = GenomeSimulator(genome_length=300, num_ancestors=2, mutation_rate=0.02, seed=9)
+        # Generating genome 5 directly must equal generating 0..5 in order.
+        assert sim_a.genome(5) == sim_b.genomes(6)[5]
+
+    def test_genomes_share_ancestry(self):
+        sim = GenomeSimulator(genome_length=500, num_ancestors=1, mutation_rate=0.01, seed=3)
+        g0, g1 = sim.genome(0), sim.genome(1)
+        same = sum(1 for a, b in zip(g0, g1) if a == b)
+        assert same / len(g0) > 0.95  # both are light mutations of one ancestor
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            GenomeSimulator(genome_length=0)
+        with pytest.raises(ValueError):
+            GenomeSimulator(num_ancestors=0)
+        with pytest.raises(ValueError):
+            GenomeSimulator(mutation_rate=2.0)
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError):
+            GenomeSimulator(seed=1).genome(-1)
+
+
+class TestReadSimulator:
+    def test_read_count_matches_coverage(self):
+        sim = ReadSimulator(read_length=100, coverage=5.0, error_rate=0.0, seed=0)
+        assert sim.num_reads(10_000) == 500
+
+    def test_short_genome_yields_no_reads(self):
+        sim = ReadSimulator(read_length=100, coverage=5.0)
+        assert sim.num_reads(50) == 0
+
+    def test_reads_are_substrings_when_error_free(self):
+        rng = random.Random(4)
+        genome = random_sequence(1000, rng)
+        sim = ReadSimulator(read_length=80, coverage=2.0, error_rate=0.0, seed=1)
+        for record in sim.simulate(genome, "s"):
+            assert record.sequence in genome
+            assert len(record.sequence) == 80
+            assert len(record.quality) == 80
+
+    def test_errors_introduce_mismatches(self):
+        rng = random.Random(5)
+        genome = random_sequence(2000, rng)
+        sim = ReadSimulator(read_length=100, coverage=3.0, error_rate=0.05, seed=2)
+        mismatched = sum(1 for rec in sim.simulate(genome, "s") if rec.sequence not in genome)
+        assert mismatched > 0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            ReadSimulator(read_length=0)
+        with pytest.raises(ValueError):
+            ReadSimulator(coverage=0)
+        with pytest.raises(ValueError):
+            ReadSimulator(error_rate=-0.1)
+
+
+class TestDatasetBuilder:
+    def test_mccortex_documents_have_fewer_terms_than_fastq(self):
+        """Error filtering must remove the spurious k-mers raw reads contain."""
+        builder = ENADatasetBuilder(k=13, genome_length=800, error_rate=0.01, seed=6)
+        fastq_doc = builder.document(0, file_format="fastq")
+        mcc_doc = builder.document(0, file_format="mccortex")
+        assert len(mcc_doc) < len(fastq_doc)
+
+    def test_fasta_document(self):
+        builder = ENADatasetBuilder(k=13, genome_length=400, seed=6)
+        doc = builder.document(0, file_format="fasta")
+        assert doc.source_format == "fasta"
+        assert len(doc) > 0
+
+    def test_unknown_format_rejected(self):
+        builder = ENADatasetBuilder(k=13, genome_length=400, seed=6)
+        with pytest.raises(ValueError):
+            builder.document(0, file_format="bam")
+
+    def test_build_sizes_and_uniqueness(self):
+        builder = ENADatasetBuilder(k=13, genome_length=400, seed=6)
+        dataset = builder.build(10, file_format="mccortex")
+        assert len(dataset) == 10
+        assert len(set(dataset.names)) == 10
+
+    def test_invalid_build_size(self):
+        builder = ENADatasetBuilder(k=13, genome_length=400, seed=6)
+        with pytest.raises(ValueError):
+            builder.build(0)
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            ENADatasetBuilder(k=40)
+
+    def test_statistics(self, small_dataset):
+        stats = small_dataset.statistics()
+        assert isinstance(stats, DatasetStatistics)
+        assert stats.num_documents == len(small_dataset)
+        assert stats.mean_terms > 0
+        assert stats.total_unique_terms <= stats.total_terms
+
+    def test_ground_truth_and_multiplicity(self, small_dataset):
+        doc = small_dataset.documents[0]
+        term = next(iter(doc.terms))
+        truth = small_dataset.ground_truth(term)
+        assert doc.name in truth
+        assert small_dataset.multiplicity(term) == len(truth)
+
+    def test_duplicate_names_rejected(self):
+        doc = KmerDocument(name="same", terms=frozenset({"a"}))
+        with pytest.raises(ValueError):
+            SyntheticDataset(documents=[doc, doc], k=13)
+
+
+class TestQueryWorkload:
+    def test_planted_terms_have_ground_truth(self, small_dataset):
+        augmented, workload = build_query_workload(
+            small_dataset, num_positive=30, num_negative=20, mean_multiplicity=3.0, seed=2
+        )
+        assert len(workload.positive_terms) == 30
+        assert len(workload.negative_terms) == 20
+        for term, members in workload.positive_terms.items():
+            assert len(members) >= 1
+            for name in members:
+                doc = next(d for d in augmented.documents if d.name == name)
+                assert term in doc.terms
+
+    def test_negative_terms_absent_everywhere(self, small_dataset):
+        augmented, workload = build_query_workload(
+            small_dataset, num_positive=10, num_negative=25, seed=3
+        )
+        for term in workload.negative_terms:
+            assert all(term not in doc.terms for doc in augmented.documents)
+
+    def test_multiplicity_helper(self, small_dataset):
+        _, workload = build_query_workload(small_dataset, num_positive=5, num_negative=5, seed=4)
+        term = next(iter(workload.positive_terms))
+        assert workload.multiplicity(term) == len(workload.positive_terms[term])
+        assert workload.multiplicity(workload.negative_terms[0]) == 0
+
+    def test_original_dataset_untouched(self, small_dataset):
+        before = {doc.name: len(doc) for doc in small_dataset.documents}
+        build_query_workload(small_dataset, num_positive=20, num_negative=0, seed=5)
+        after = {doc.name: len(doc) for doc in small_dataset.documents}
+        assert before == after
+
+    def test_invalid_parameters(self, small_dataset):
+        with pytest.raises(ValueError):
+            build_query_workload(small_dataset, num_positive=-1)
+        with pytest.raises(ValueError):
+            build_query_workload(small_dataset, mean_multiplicity=0.0)
+
+    def test_string_terms_for_text_datasets(self):
+        corpus = SyntheticCorpus(CorpusConfig(num_documents=20, terms_per_document=30), seed=1)
+        dataset = corpus.build()
+        augmented, workload = build_query_workload(dataset, num_positive=5, num_negative=5, seed=6)
+        assert all(isinstance(term, str) for term in workload.all_terms)
+
+
+class TestSyntheticCorpus:
+    def test_document_count_and_term_budget(self):
+        config = CorpusConfig(num_documents=25, terms_per_document=50)
+        dataset = SyntheticCorpus(config, seed=2).build()
+        assert len(dataset) == 25
+        stats = dataset.statistics()
+        assert 20 <= stats.mean_terms <= 80
+
+    def test_deterministic(self):
+        config = CorpusConfig(num_documents=5, terms_per_document=40)
+        a = SyntheticCorpus(config, seed=3).build()
+        b = SyntheticCorpus(config, seed=3).build()
+        assert [doc.terms for doc in a.documents] == [doc.terms for doc in b.documents]
+
+    def test_zipf_skew_creates_shared_terms(self):
+        config = CorpusConfig(num_documents=40, terms_per_document=60, vocabulary_size=2000)
+        dataset = SyntheticCorpus(config, seed=4).build()
+        # The most frequent word should appear in many documents.
+        top_word = "w000000"
+        multiplicity = dataset.multiplicity(top_word)
+        assert multiplicity > 10
+
+    def test_named_configs(self):
+        assert WIKI_DUMP_CONFIG.terms_per_document == 650
+        assert CLUEWEB_CONFIG.terms_per_document == 450
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            CorpusConfig(num_documents=0, terms_per_document=10)
+        with pytest.raises(ValueError):
+            CorpusConfig(num_documents=1, terms_per_document=0)
+        with pytest.raises(ValueError):
+            CorpusConfig(num_documents=1, terms_per_document=1, zipf_exponent=1.0)
+
+    def test_build_override_count(self):
+        corpus = SyntheticCorpus(CorpusConfig(num_documents=100, terms_per_document=20), seed=5)
+        assert len(corpus.build(7)) == 7
+        with pytest.raises(ValueError):
+            corpus.build(0)

@@ -1,0 +1,55 @@
+"""Tests for the text tokeniser used by the document-indexing experiments."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.textindex.tokenize import DEFAULT_STOPWORDS, document_from_text, tokenize
+
+
+class TestTokenize:
+    def test_lowercase_and_alphanumeric(self):
+        tokens = tokenize("Hello, WORLD!! 42 times.")
+        assert "hello" in tokens
+        assert "world" in tokens
+        assert "42" in tokens
+        assert "times" in tokens
+
+    def test_stopwords_removed(self):
+        tokens = tokenize("the cat and the dog")
+        assert "the" not in tokens
+        assert "and" not in tokens
+        assert "cat" in tokens and "dog" in tokens
+
+    def test_min_length_filter(self):
+        tokens = tokenize("a b cd efg", min_length=3)
+        assert tokens == ["efg"]
+
+    def test_custom_stopwords(self):
+        tokens = tokenize("alpha beta gamma", stopwords={"beta"})
+        assert tokens == ["alpha", "gamma"]
+
+    def test_empty_text(self):
+        assert tokenize("") == []
+
+    def test_punctuation_splits_tokens(self):
+        assert tokenize("state-of-the-art") == ["state", "art"]
+
+    def test_default_stopwords_are_lowercase(self):
+        assert all(word == word.lower() for word in DEFAULT_STOPWORDS)
+
+
+class TestDocumentFromText:
+    def test_builds_unique_term_set(self):
+        doc = document_from_text("page1", "gene gene sequence search search search")
+        assert doc.terms == frozenset({"gene", "sequence", "search"})
+        assert doc.source_format == "text"
+        assert doc.sequence_length == len("gene gene sequence search search search")
+
+    def test_name_preserved(self):
+        doc = document_from_text("wiki-42", "content words here")
+        assert doc.name == "wiki-42"
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            document_from_text("", "text")

@@ -1,0 +1,139 @@
+"""Tests for the configuration tuner (model-driven parameter search)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.rambo import Rambo
+from repro.core.tuning import (
+    CollectionProfile,
+    TuningResult,
+    enumerate_candidates,
+    tune_for_fp_rate,
+    tune_for_memory,
+)
+from repro.kmers.extraction import KmerDocument
+
+
+PROFILE = CollectionProfile(
+    num_documents=500, mean_terms_per_document=2_000, expected_multiplicity=2.0
+)
+
+
+class TestProfileValidation:
+    def test_invalid_profiles(self):
+        with pytest.raises(ValueError):
+            CollectionProfile(num_documents=0, mean_terms_per_document=10)
+        with pytest.raises(ValueError):
+            CollectionProfile(num_documents=10, mean_terms_per_document=0)
+        with pytest.raises(ValueError):
+            CollectionProfile(num_documents=10, mean_terms_per_document=10, expected_multiplicity=0.5)
+
+
+class TestEnumeration:
+    def test_candidates_cover_partition_ladder(self):
+        candidates = enumerate_candidates(PROFILE)
+        partitions = {c.config.num_partitions for c in candidates}
+        assert 2 in partitions
+        assert max(partitions) <= PROFILE.num_documents
+        repetitions = {c.config.repetitions for c in candidates}
+        assert repetitions == set(range(1, 9))
+
+    def test_candidate_predictions_are_probabilities(self):
+        for candidate in enumerate_candidates(PROFILE):
+            assert 0.0 <= candidate.predicted_fp_rate <= 1.0
+            assert candidate.predicted_query_ops > 0
+            assert candidate.predicted_size_bytes > 0
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            enumerate_candidates(PROFILE, bfu_hashes=0)
+        with pytest.raises(ValueError):
+            enumerate_candidates(PROFILE, max_repetitions=0)
+
+    def test_as_dict_keys(self):
+        candidate = enumerate_candidates(PROFILE)[0]
+        assert {"B", "R", "bfu_bits", "predicted_fp_rate"} <= set(candidate.as_dict())
+
+
+class TestTuneForFpRate:
+    def test_meets_target(self):
+        result = tune_for_fp_rate(PROFILE, target_fp_rate=0.01)
+        assert isinstance(result, TuningResult)
+        assert result.predicted_fp_rate <= 0.01
+
+    def test_tighter_target_costs_more(self):
+        loose = tune_for_fp_rate(PROFILE, target_fp_rate=0.05)
+        tight = tune_for_fp_rate(PROFILE, target_fp_rate=0.001)
+        assert tight.predicted_fp_rate <= loose.predicted_fp_rate
+        # Meeting a tighter bound can't make the query/size point strictly better
+        # in both dimensions.
+        assert (
+            tight.predicted_query_ops >= loose.predicted_query_ops
+            or tight.predicted_size_bytes >= loose.predicted_size_bytes
+        )
+
+    def test_invalid_target(self):
+        with pytest.raises(ValueError):
+            tune_for_fp_rate(PROFILE, target_fp_rate=0.0)
+
+    def test_chosen_config_builds_working_index(self):
+        documents = [
+            KmerDocument(name=f"d{i}", terms=frozenset(f"term{i}_{j}" for j in range(50)))
+            for i in range(60)
+        ]
+        profile = CollectionProfile(
+            num_documents=len(documents), mean_terms_per_document=50, expected_multiplicity=1.0
+        )
+        result = tune_for_fp_rate(profile, target_fp_rate=0.02, k=13)
+        index = Rambo(result.config)
+        index.add_documents(documents)
+        for doc in documents[:10]:
+            term = next(iter(doc.terms))
+            assert doc.name in index.query_term(term).documents
+
+    def test_high_multiplicity_needs_more_repetitions(self):
+        low_v = tune_for_fp_rate(
+            CollectionProfile(500, 2_000, expected_multiplicity=1.0), target_fp_rate=0.01
+        )
+        high_v = tune_for_fp_rate(
+            CollectionProfile(500, 2_000, expected_multiplicity=8.0), target_fp_rate=0.01
+        )
+        assert high_v.config.repetitions >= low_v.config.repetitions
+
+
+class TestTuneForMemory:
+    def test_fits_budget(self):
+        budget = 4 * 1024 * 1024
+        result = tune_for_memory(PROFILE, memory_budget_bytes=budget)
+        assert result.predicted_size_bytes <= budget
+
+    def test_larger_budget_is_at_least_as_accurate(self):
+        small = tune_for_memory(PROFILE, memory_budget_bytes=512 * 1024)
+        large = tune_for_memory(PROFILE, memory_budget_bytes=16 * 1024 * 1024)
+        assert large.predicted_fp_rate <= small.predicted_fp_rate
+
+    def test_impossible_budget_rejected(self):
+        with pytest.raises(ValueError):
+            tune_for_memory(PROFILE, memory_budget_bytes=16)
+
+    def test_invalid_budget(self):
+        with pytest.raises(ValueError):
+            tune_for_memory(PROFILE, memory_budget_bytes=0)
+
+    @given(
+        st.integers(min_value=10, max_value=5_000),
+        st.integers(min_value=10, max_value=10_000),
+        st.floats(min_value=1.0, max_value=10.0),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_property_budget_always_respected(self, num_docs, terms, multiplicity):
+        profile = CollectionProfile(
+            num_documents=num_docs,
+            mean_terms_per_document=terms,
+            expected_multiplicity=multiplicity,
+        )
+        budget = 64 * 1024 * 1024
+        result = tune_for_memory(profile, memory_budget_bytes=budget)
+        assert result.predicted_size_bytes <= budget

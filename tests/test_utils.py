@@ -1,0 +1,77 @@
+"""Tests for the timing, memory and statistics helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.utils.memory import human_bytes, index_size_report
+from repro.utils.stats import percentile, summarize
+from repro.utils.timing import Timer, time_callable
+
+
+class TestTimer:
+    def test_measures_elapsed_time(self):
+        with Timer() as timer:
+            total = sum(range(100_000))
+        assert total > 0
+        assert timer.wall_seconds >= 0.0
+        assert timer.cpu_seconds >= 0.0
+        assert timer.wall_ms == pytest.approx(timer.wall_seconds * 1000)
+        assert timer.cpu_ms == pytest.approx(timer.cpu_seconds * 1000)
+
+    def test_time_callable_returns_result(self):
+        result, timer = time_callable(lambda: 21 * 2, repeats=3)
+        assert result == 42
+        assert timer.wall_seconds >= 0.0
+
+    def test_time_callable_validation(self):
+        with pytest.raises(ValueError):
+            time_callable(lambda: None, repeats=0)
+
+
+class TestMemoryHelpers:
+    def test_human_bytes_units(self):
+        assert human_bytes(512) == "512.00 B"
+        assert human_bytes(2048) == "2.00 KB"
+        assert human_bytes(5 * 1024**2) == "5.00 MB"
+        assert human_bytes(3 * 1024**3) == "3.00 GB"
+        assert human_bytes(2 * 1024**4) == "2.00 TB"
+
+    def test_human_bytes_negative_rejected(self):
+        with pytest.raises(ValueError):
+            human_bytes(-1)
+
+    def test_index_size_report_total(self):
+        report = index_size_report({"bfus": 1024, "names": 1024})
+        assert report["total"] == "2.00 KB"
+        assert set(report) == {"bfus", "names", "total"}
+
+
+class TestStats:
+    def test_percentile_interpolation(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(values, 0) == 1.0
+        assert percentile(values, 100) == 4.0
+        assert percentile(values, 50) == pytest.approx(2.5)
+
+    def test_percentile_single_value(self):
+        assert percentile([7.0], 95) == 7.0
+
+    def test_percentile_validation(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+        with pytest.raises(ValueError):
+            percentile([1.0], 150)
+
+    def test_summarize_fields(self):
+        summary = summarize([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert summary["count"] == 5
+        assert summary["mean"] == pytest.approx(3.0)
+        assert summary["min"] == 1.0
+        assert summary["max"] == 5.0
+        assert summary["median"] == 3.0
+        assert summary["std"] == pytest.approx(1.4142, rel=1e-3)
+
+    def test_summarize_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
