@@ -17,6 +17,8 @@ reproduction target.
 
 from __future__ import annotations
 
+import time
+
 import pytest
 
 from repro.core.rambo import Rambo
@@ -78,6 +80,69 @@ def test_table2_query_time_fastq(benchmark, fastq_experiment, method):
     index = _built_index(fastq_experiment, method)
     benchmark.extra_info["structure"] = method
     benchmark(_query_workload, index, fastq_experiment)
+
+
+def _batch_workload(index, experiment, method="full"):
+    """The same workload as :func:`_query_workload`, answered in one batch."""
+    results = index.query_terms_batch(experiment.workload.all_terms, method=method)
+    return len(results)
+
+
+@pytest.mark.benchmark(group="table2-query-mccortex")
+@pytest.mark.parametrize("num_files", TABLE2_FILE_COUNTS)
+@pytest.mark.parametrize("method", ("full", "sparse"))
+def test_table2_query_time_rambo_batch(benchmark, genomics_experiments, num_files, method):
+    """The bitmap-native batch engine on the same index and workload.
+
+    Same per-term results as the scalar rows above (asserted in the unit
+    suite); this row reports how much the term-batched vectorised path buys.
+    """
+    experiment = genomics_experiments[num_files]
+    index = _built_index(experiment, "rambo")
+    _batch_workload(index, experiment, method)  # warm the bit caches
+    benchmark.extra_info["num_files"] = num_files
+    benchmark.extra_info["structure"] = "rambo-batch" if method == "full" else "rambo+-batch"
+    benchmark(_batch_workload, index, experiment, method)
+
+
+def _best_of(fn, rounds=5):
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+@pytest.mark.parametrize("num_files", [max(TABLE2_FILE_COUNTS)])
+def test_table2_batch_at_least_3x_faster_than_scalar(genomics_experiments, num_files):
+    """Acceptance gate: the batch path is >= 3x the scalar path's throughput.
+
+    Reports both timings side by side (scalar per-term loop vs one
+    ``query_terms_batch`` call over the identical workload) for the full and
+    the sparse (RAMBO+) evaluation.
+    """
+    experiment = genomics_experiments[num_files]
+    index = _built_index(experiment, "rambo")
+    terms = experiment.workload.all_terms
+    rows = {}
+    for method in ("full", "sparse"):
+        # Warm both paths (bit-cache construction, numpy warmup) before timing.
+        index.query_terms_batch(terms, method=method)
+        index.query_term(terms[0], method=method)
+        scalar_s = _best_of(lambda: [index.query_term(t, method=method) for t in terms])
+        batch_s = _best_of(lambda: index.query_terms_batch(terms, method=method))
+        rows[method] = {
+            "scalar_ms": scalar_s * 1e3,
+            "batch_ms": batch_s * 1e3,
+            "speedup": scalar_s / batch_s,
+        }
+    print_table(f"Batch vs scalar query path ({num_files} files)", rows)
+    for method, row in rows.items():
+        assert row["speedup"] >= 3.0, (
+            f"batch path only {row['speedup']:.2f}x faster than scalar "
+            f"({method}): {row['batch_ms']:.2f}ms vs {row['scalar_ms']:.2f}ms"
+        )
 
 
 @pytest.mark.benchmark(group="table2-query-shape")

@@ -23,8 +23,14 @@ import numpy as np
 
 from repro.bloom.bitarray import BitArray
 from repro.bloom.bloom_filter import _normalise_key, optimal_num_bits
-from repro.core.base import MembershipIndex, QueryResult, Term
-from repro.hashing.murmur3 import double_hashes
+from repro.core.base import (
+    MembershipIndex,
+    QueryResult,
+    Term,
+    check_query_method,
+    iter_term_chunks,
+)
+from repro.hashing.murmur3 import double_hashes, double_hashes_batch
 from repro.kmers.extraction import DEFAULT_K, KmerDocument
 
 
@@ -123,11 +129,50 @@ class CobsIndex(MembershipIndex):
         row = matrix[positions[0]].copy()
         for pos in positions[1:]:
             row &= matrix[pos]
-        matches = np.flatnonzero(row)
-        names = frozenset(self._doc_names[i] for i in matches)
         # Probing cost is one row-AND per document per hash — report it as K
         # filter probes, the unit the paper's O(K) query complexity refers to.
-        return QueryResult(documents=names, filters_probed=len(self._doc_names))
+        return QueryResult.from_mask(
+            row.astype(bool), self._doc_names, filters_probed=len(self._doc_names)
+        )
+
+    def query_terms_batch(self, terms: Sequence[Term], method: str = "full") -> List[QueryResult]:
+        """Native bit-sliced batch query: gather all terms' rows in one pass.
+
+        One vectorised hash pass yields the ``(n_terms, eta)`` row indices;
+        a single gather pulls every term's ``eta`` rows out of the bit-sliced
+        matrix and one AND-reduction over the ``eta`` axis produces the
+        per-term document bitmaps.  Large batches are chunked so the gather
+        stays bounded at ``O(chunk x eta x num_documents)``.  ``method`` is
+        validated for interface uniformity and then ignored (COBS has a
+        single evaluation strategy).
+        """
+        check_query_method(method)
+        terms = list(terms)
+        if not terms:
+            return []
+        if not self._doc_names:
+            return [QueryResult(documents=frozenset(), filters_probed=0) for _ in terms]
+        matrix = self._ensure_row_major()
+        num_docs = len(self._doc_names)
+        results: List[QueryResult] = []
+        for chunk in iter_term_chunks(terms):
+            # Integer terms (2-bit k-mer codes) go straight to the vectorised
+            # murmur path; _normalise_key would turn them into bytes and
+            # force the scalar fallback.
+            keys = [term if isinstance(term, int) else _normalise_key(term) for term in chunk]
+            positions = double_hashes_batch(keys, self.num_hashes, self.num_bits, self.seed)
+            # Incremental AND over the eta rows (the vector form of the
+            # scalar query_term loop) keeps the peak intermediate at one
+            # (chunk, num_documents) array instead of eta of them; the
+            # matrix holds only 0/1 uint8 values, so AND them directly.
+            hits = matrix[positions[:, 0]]                # (chunk, num_documents)
+            for j in range(1, self.num_hashes):
+                hits &= matrix[positions[:, j]]
+            results.extend(
+                QueryResult.from_mask(hits[t], self._doc_names, filters_probed=num_docs)
+                for t in range(len(chunk))
+            )
+        return results
 
     # -- accounting ----------------------------------------------------------------------
 

@@ -16,13 +16,15 @@ Three membership structures are provided:
   need it.
 """
 
-from repro.bloom.bitarray import BitArray
+from repro.bloom.bitarray import BitArray, popcount_words, probe_words_batch
 from repro.bloom.bloom_filter import BloomFilter, optimal_num_hashes, optimal_num_bits
 from repro.bloom.scalable import ScalableBloomFilter
 from repro.bloom.counting import CountingBloomFilter
 
 __all__ = [
     "BitArray",
+    "popcount_words",
+    "probe_words_batch",
     "BloomFilter",
     "ScalableBloomFilter",
     "CountingBloomFilter",

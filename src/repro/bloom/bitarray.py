@@ -19,6 +19,71 @@ import numpy as np
 
 _WORD_BITS = 64
 
+# Byte-wise popcount lookup for numpy builds without ``np.bitwise_count``.
+_POPCOUNT_TABLE = np.array([bin(i).count("1") for i in range(256)], dtype=np.uint8)
+
+
+def popcount_words(words: np.ndarray) -> int:
+    """Total number of set bits across an array of ``uint64`` words.
+
+    Unlike the ``np.unpackbits`` route this never materialises an 8x-sized
+    expansion of the payload: it either uses the hardware popcount
+    (``np.bitwise_count``, numpy >= 2.0) or a 256-entry byte lookup table.
+    """
+    if hasattr(np, "bitwise_count"):
+        return int(np.bitwise_count(words).sum())
+    # .view(uint8) needs a contiguous last axis; strided inputs are legal.
+    words = np.ascontiguousarray(words)
+    return int(_POPCOUNT_TABLE[words.view(np.uint8)].sum(dtype=np.int64))
+
+
+def probe_words_batch(words: np.ndarray, positions: np.ndarray) -> np.ndarray:
+    """Batched multi-probe membership test over stacked bit-array payloads.
+
+    Parameters
+    ----------
+    words:
+        ``(num_rows, num_words)`` ``uint64`` matrix — one bit-array payload
+        per row, all sharing the same size (e.g. every BFU of one RAMBO
+        repetition, stacked).
+    positions:
+        ``(num_queries, num_probes)`` integer matrix of bit positions, one
+        row of probe positions per query key.
+
+    Returns
+    -------
+    ``(num_queries, num_rows)`` boolean matrix whose ``[q, r]`` entry is True
+    iff *every* probe position of query ``q`` is set in row ``r`` — i.e. the
+    Bloom-filter membership verdict of key ``q`` against filter ``r``.  The
+    whole test is a handful of vectorised gathers, the "fast bitwise
+    operations" the paper's query-time argument rests on.
+    """
+    words = np.asarray(words)
+    positions = np.asarray(positions)
+    if positions.ndim != 2:
+        raise ValueError(f"positions must be 2-D, got shape {positions.shape}")
+    if words.ndim != 2:
+        raise ValueError(f"words must be 2-D, got shape {words.shape}")
+    if positions.shape[1] == 0:
+        # A query with no probe positions is vacuously a member everywhere.
+        # (A zero-width payload with real probe positions is NOT vacuous —
+        # the gather below raises IndexError for it, like any out-of-range
+        # position.)
+        return np.ones((positions.shape[0], words.shape[0]), dtype=bool)
+    if (positions < 0).any():
+        # Negative fancy indices would silently wrap to the end of the
+        # payload and return a bogus verdict.
+        raise IndexError("probe positions must be non-negative")
+    word_index = positions // _WORD_BITS                       # (n, eta)
+    bit = (positions % _WORD_BITS).astype(np.uint64)           # (n, eta)
+    # Reduce over the probe axis incrementally so the peak intermediate is
+    # one (rows, n) gather per probe rather than a (rows, n, eta) cube.
+    hits = np.ones((words.shape[0], positions.shape[0]), dtype=bool)
+    for j in range(positions.shape[1]):
+        gathered = words[:, word_index[:, j]]                  # (rows, n)
+        hits &= ((gathered >> bit[None, :, j]) & np.uint64(1)).astype(bool)
+    return hits.T                                              # (n, rows)
+
 
 class BitArray:
     """Fixed-size mutable bit array with vectorised bitwise algebra."""
@@ -137,8 +202,8 @@ class BitArray:
     # -- population metrics -----------------------------------------------------
 
     def count(self) -> int:
-        """Number of set bits (popcount)."""
-        return int(np.unpackbits(self._words.view(np.uint8)).sum())
+        """Number of set bits (word-level popcount, no 8x bit expansion)."""
+        return popcount_words(self._words)
 
     def fill_ratio(self) -> float:
         """Fraction of set bits; the load factor driving the FP rate."""

@@ -8,8 +8,9 @@ sequence files; this CLI mirrors that workflow on top of the library:
     files into a serialized RAMBO index.
 
 ``repro-rambo query``
-    Load an index and query one or more terms or a whole sequence; prints one
-    line per query with the matching document names.
+    Load an index and query any number of terms and/or sequences in one
+    invocation; prints one line per query with the matching document names.
+    All terms are answered through the vectorised batch engine.
 
 ``repro-rambo info``
     Print the configuration, size breakdown and fill statistics of an index.
@@ -128,16 +129,26 @@ def _cmd_query(args: argparse.Namespace) -> int:
     method = "sparse" if args.sparse else "full"
 
     queries: List[str] = list(args.terms)
-    if args.sequence:
-        result = index.query_sequence(args.sequence)
+    sequences: List[str] = [s for s in (args.sequence or []) if s]
+    if not queries and not sequences:
+        raise SystemExit("nothing to query: pass terms and/or --sequence")
+    # Each sequence is a conjunctive batch over its k-mers, answered by the
+    # vectorised query_terms engine; one output line per sequence, in order.
+    for sequence in sequences:
+        try:
+            result = index.query_sequence(sequence, method=method)
+        except ValueError as exc:
+            raise SystemExit(f"bad --sequence value: {exc}") from exc
         matches = ",".join(sorted(result.documents)) or "-"
         print(f"sequence\t{matches}\t{result.filters_probed}")
-    for term in queries:
-        result = index.query_term(_normalise_term(term, index.k), method=method)
-        matches = ",".join(sorted(result.documents)) or "-"
-        print(f"{term}\t{matches}\t{result.filters_probed}")
-    if not queries and not args.sequence:
-        raise SystemExit("nothing to query: pass terms and/or --sequence")
+    if queries:
+        # All terms go through the batched engine in one call.
+        results = index.query_terms_batch(
+            [_normalise_term(term, index.k) for term in queries], method=method
+        )
+        for term, result in zip(queries, results):
+            matches = ",".join(sorted(result.documents)) or "-"
+            print(f"{term}\t{matches}\t{result.filters_probed}")
     return 0
 
 
@@ -197,10 +208,16 @@ def build_parser() -> argparse.ArgumentParser:
     build.add_argument("--seed", type=int, default=0, help="hash seed")
     build.set_defaults(func=_cmd_build)
 
-    query = sub.add_parser("query", help="query terms or a sequence against an index")
+    query = sub.add_parser("query", help="query terms and/or sequences against an index")
     query.add_argument("index", help="index file written by 'build'")
-    query.add_argument("terms", nargs="*", help="terms (k-mers or words) to query")
-    query.add_argument("--sequence", default="", help="query a whole sequence (conjunction of its k-mers)")
+    query.add_argument(
+        "terms", nargs="*",
+        help="terms (k-mers or words) to query; all terms are answered in one vectorised batch",
+    )
+    query.add_argument(
+        "--sequence", action="append", default=[], metavar="SEQ",
+        help="query a whole sequence (conjunction of its k-mers); repeatable",
+    )
     query.add_argument("--sparse", action="store_true", help="use the RAMBO+ sparse evaluation")
     query.set_defaults(func=_cmd_query)
 

@@ -20,7 +20,16 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
-from repro.core.base import MembershipIndex, QueryResult, Term
+import numpy as np
+
+from repro.core.base import (
+    MembershipIndex,
+    QueryResult,
+    Term,
+    check_query_method,
+    iter_conjunction_slices,
+    iter_term_chunks,
+)
 from repro.core.rambo import Rambo, RamboConfig
 from repro.hashing.universal import PartitionHashFamily, TwoLevelPartitionHash
 from repro.kmers.extraction import KmerDocument
@@ -62,6 +71,8 @@ class DistributedRambo(MembershipIndex):
         ]
         self._doc_node: Dict[str, int] = {}
         self._doc_names: List[str] = []
+        # Cached shard-local -> global doc-id arrays (rebuilt after inserts).
+        self._id_maps: Optional[List[np.ndarray]] = None
 
     # -- construction ---------------------------------------------------------------
 
@@ -86,6 +97,7 @@ class DistributedRambo(MembershipIndex):
         self._shards[node].add_document(document)
         self._doc_node[document.name] = node
         self._doc_names.append(document.name)
+        self._id_maps = None
 
     # -- query -----------------------------------------------------------------------
 
@@ -96,13 +108,86 @@ class DistributedRambo(MembershipIndex):
         entirely by that shard's own R-fold intersection; the global answer is
         the union of shard answers.
         """
-        documents = set()
+        return self.query_terms_batch([term], method=method)[0]
+
+    def _shard_id_maps(self) -> List[np.ndarray]:
+        """Per-shard arrays mapping shard-local doc ids to global doc ids (cached)."""
+        if self._id_maps is None:
+            global_ids = {name: i for i, name in enumerate(self._doc_names)}
+            self._id_maps = [
+                np.asarray(
+                    [global_ids[name] for name in shard.document_names], dtype=np.int64
+                )
+                for shard in self._shards
+            ]
+        return self._id_maps
+
+    def _chunk_masks(self, chunk: List[Term], method: str):
+        """Global ``(len(chunk), num_docs)`` hit bitmaps + per-term probes.
+
+        Every shard answers the chunk with its own vectorised engine; the
+        per-term shard bitmaps are then scattered into one global bitmap per
+        term (documents live in exactly one shard, so the scatter is the
+        union).  Shared by the batch and conjunctive query paths so neither
+        re-derives masks from id lists.
+        """
+        num_docs = len(self._doc_names)
+        masks = np.zeros((len(chunk), num_docs), dtype=bool)
+        probes = np.zeros(len(chunk), dtype=np.int64)
+        # Every shard shares BFU geometry and seed, so the chunk is hashed
+        # once and the position matrix reused across the cluster.
+        positions = self._shards[0]._probe_matrix(chunk)  # noqa: SLF001
+        for shard, id_map in zip(self._shards, self._shard_id_maps()):
+            if not id_map.size:
+                continue
+            shard._refresh_member_arrays()  # noqa: SLF001
+            alive, shard_probes = shard._batch_chunk_masks(  # noqa: SLF001
+                chunk, method, positions=positions
+            )
+            probes += shard_probes
+            # Plain scatter, not |=: shard doc-id maps are disjoint and
+            # masks starts zeroed, so each column is written exactly once.
+            masks[:, id_map] = alive
+        return masks, probes
+
+    def query_terms_batch(self, terms: Sequence[Term], method: str = "full") -> List[QueryResult]:
+        """Batched union across shards, combined on global doc-id bitmaps."""
+        check_query_method(method)
+        terms = list(terms)
+        if not terms:
+            return []
+        results: List[QueryResult] = []
+        # Chunked like the shard engines so the global mask matrix stays
+        # bounded at O(chunk x num_docs).
+        for chunk in iter_term_chunks(terms):
+            masks, probes = self._chunk_masks(list(chunk), method)
+            results.extend(
+                QueryResult.from_mask(masks[t], self._doc_names, filters_probed=int(probes[t]))
+                for t in range(len(chunk))
+            )
+        return results
+
+    def query_terms(self, terms: Sequence[Term], method: str = "full") -> QueryResult:
+        """Conjunctive query: intersect the per-term global bitmaps.
+
+        Ramped term slices AND into one running bitmap so the early exit
+        ("the first returned FALSE is conclusive") fires after a few dozen
+        terms when the intersection dies early: once it empties, no later
+        slice is evaluated on any shard.
+        """
+        check_query_method(method)
+        terms = list(terms)
+        if not terms:
+            return QueryResult(documents=frozenset(self._doc_names), filters_probed=0)
+        conjunction = np.ones(len(self._doc_names), dtype=bool)
         probes = 0
-        for shard in self._shards:
-            result = shard.query_term(term, method=method)
-            probes += result.filters_probed
-            documents.update(result.documents)
-        return QueryResult(documents=frozenset(documents), filters_probed=probes)
+        for chunk in iter_conjunction_slices(terms):
+            masks, chunk_probes = self._chunk_masks(list(chunk), method)
+            probes += int(chunk_probes.sum())
+            conjunction &= masks.all(axis=0)
+            if not conjunction.any():
+                break
+        return QueryResult.from_mask(conjunction, self._doc_names, filters_probed=probes)
 
     # -- accounting --------------------------------------------------------------------
 
@@ -153,39 +238,36 @@ def stack_shards(distributed: DistributedRambo) -> Rambo:
         k=node_config.k,
         seed=node_config.seed,
     )
-    stacked = Rambo.__new__(Rambo)
-    stacked.config = stacked_config
-    stacked.k = node_config.k
-    stacked._family = distributed._router.global_family()  # noqa: SLF001
-
     # Global document id space: concatenate shard documents node by node.
     doc_names: List[str] = []
-    doc_ids: Dict[str, int] = {}
     id_offset_per_node: List[int] = []
     for shard in distributed.shards:
         id_offset_per_node.append(len(doc_names))
-        for name in shard.document_names:
-            doc_ids[name] = len(doc_names)
-            doc_names.append(name)
-    stacked._doc_names = doc_names
-    stacked._doc_ids = doc_ids
+        doc_names.extend(shard.document_names)
 
     repetitions = node_config.repetitions
-    stacked._bfus = [[None] * total_partitions for _ in range(repetitions)]  # type: ignore[list-item]
-    stacked._members = [[[] for _ in range(total_partitions)] for _ in range(repetitions)]
-    stacked._assignments = [[0] * len(doc_names) for _ in range(repetitions)]
+    bfus: List[List] = [[None] * total_partitions for _ in range(repetitions)]
+    members: List[List[List[int]]] = [
+        [[] for _ in range(total_partitions)] for _ in range(repetitions)
+    ]
+    assignments: List[List[int]] = [[0] * len(doc_names) for _ in range(repetitions)]
 
     for node_index, shard in enumerate(distributed.shards):
         offset = id_offset_per_node[node_index]
         for r in range(repetitions):
             for local_b in range(b):
                 global_b = node_index * b + local_b
-                stacked._bfus[r][global_b] = shard.bfu(r, local_b).copy()
+                bfus[r][global_b] = shard.bfu(r, local_b).copy()
                 local_members = shard._members[r][local_b]  # noqa: SLF001
-                stacked._members[r][global_b] = [offset + doc_id for doc_id in local_members]
+                members[r][global_b] = [offset + doc_id for doc_id in local_members]
             for local_doc_id, local_assignment in enumerate(shard._assignments[r]):  # noqa: SLF001
-                stacked._assignments[r][offset + local_doc_id] = node_index * b + local_assignment
+                assignments[r][offset + local_doc_id] = node_index * b + local_assignment
 
-    stacked._member_arrays_dirty = True
-    stacked._member_arrays = []
-    return stacked
+    return Rambo._from_parts(  # noqa: SLF001
+        stacked_config,
+        bfus,
+        doc_names,
+        assignments,
+        members,
+        partition_family=distributed._router.global_family(),  # noqa: SLF001
+    )

@@ -70,21 +70,31 @@ def merge_indexes(parts: Sequence[Rambo]) -> Rambo:
                 raise ValueError(f"document {name!r} appears in more than one partial index")
             seen.add(name)
 
-    merged = Rambo(first.config)
+    repetitions = first.repetitions
+    num_partitions = first.num_partitions
+    bfus = [
+        [parts[0].bfu(r, b).copy() for b in range(num_partitions)]
+        for r in range(repetitions)
+    ]
+    doc_names: List[str] = []
+    assignments: List[List[int]] = [[] for _ in range(repetitions)]
+    members: List[List[List[int]]] = [
+        [[] for _ in range(num_partitions)] for _ in range(repetitions)
+    ]
     # Document ids are re-assigned part by part, in order.
-    for part in parts:
-        offset = len(merged._doc_names)  # noqa: SLF001
-        for name in part.document_names:
-            merged._doc_ids[name] = len(merged._doc_names)  # noqa: SLF001
-            merged._doc_names.append(name)  # noqa: SLF001
-        for r in range(merged.repetitions):
-            merged._assignments[r].extend(part._assignments[r])  # noqa: SLF001
-            for b in range(merged.num_partitions):
-                members = part._members[r][b]  # noqa: SLF001
-                merged._members[r][b].extend(offset + doc_id for doc_id in members)  # noqa: SLF001
-                merged.bfu(r, b).union_inplace(part.bfu(r, b))
-    merged._member_arrays_dirty = True  # noqa: SLF001
-    return merged
+    for part_index, part in enumerate(parts):
+        offset = len(doc_names)
+        doc_names.extend(part.document_names)
+        for r in range(repetitions):
+            assignments[r].extend(part._assignments[r])  # noqa: SLF001
+            for b in range(num_partitions):
+                part_members = part._members[r][b]  # noqa: SLF001
+                members[r][b].extend(offset + doc_id for doc_id in part_members)
+                if part_index > 0:
+                    bfus[r][b].union_inplace(part.bfu(r, b))
+    return Rambo._from_parts(  # noqa: SLF001
+        first.config, bfus, doc_names, assignments, members
+    )
 
 
 def _build_partial(config: RamboConfig, documents: Sequence[KmerDocument]) -> Rambo:

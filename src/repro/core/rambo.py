@@ -16,19 +16,35 @@ Two query strategies are provided:
 * ``method="sparse"`` is RAMBO+ (Section 5.1 "Query time speedup"): repetition
   ``r`` only probes BFUs that still contain candidates surviving repetitions
   ``1..r-1``, because any other BFU cannot change the final intersection.
+
+Both strategies exist in two forms: the scalar per-term path
+(:meth:`Rambo.query_term`) and the bitmap-native batch engine
+(:meth:`Rambo.query_terms_batch` / the conjunctive
+:meth:`Rambo.query_terms`), which hashes every term in one vectorised pass
+and evaluates all terms against all BFUs with a handful of array gathers.
+The two paths return identical documents (and probe counts, for the
+per-term form); the batch engine is several times faster on term batches.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Union
+from typing import Dict, Iterable, List, Optional, Sequence
 
 import numpy as np
 
+from repro.bloom.bitarray import probe_words_batch
 from repro.bloom.bloom_filter import BloomFilter, _normalise_key, optimal_num_bits
-from repro.core.base import MembershipIndex, QueryResult, Term
-from repro.hashing.murmur3 import combine_seeds, double_hashes
+from repro.core.base import (
+    MembershipIndex,
+    QueryResult,
+    Term,
+    check_query_method,
+    iter_conjunction_slices,
+    iter_term_chunks,
+)
+from repro.hashing.murmur3 import combine_seeds, double_hashes, double_hashes_batch
 from repro.hashing.universal import PartitionHashFamily
 from repro.kmers.extraction import DEFAULT_K, KmerDocument
 
@@ -100,7 +116,12 @@ class RamboConfig:
             2, int(round(math.sqrt(num_documents * expected_multiplicity / bfu_hashes)))
         )
         num_partitions = min(num_partitions, num_documents)
-        repetitions = max(2, int(math.ceil(math.log(max(num_documents, 2)) - math.log(fp_rate))) // 4)
+        # The max() wraps the whole expression deliberately: ceil(log K -
+        # log p) // 4 is 0 for small K / lenient p, and R = 0 would fail
+        # __post_init__.  (Guarded by a sweep test in tests/test_rambo.py.)
+        repetitions = max(
+            2, int(math.ceil(math.log(max(num_documents, 2)) - math.log(fp_rate))) // 4
+        )
         expected_insertions = max(
             1, int(terms_per_document * num_documents / num_partitions)
         )
@@ -169,6 +190,10 @@ class Rambo(MembershipIndex):
         self._members: List[List[List[int]]] = [
             [[] for _ in range(config.num_partitions)] for _ in range(config.repetitions)
         ]
+        self._invalidate_caches()
+
+    def _invalidate_caches(self) -> None:
+        """Reset every lazily-built query-acceleration structure."""
         self._member_arrays_dirty = True
         self._member_arrays: List[List[np.ndarray]] = []
         # Per-repetition (B, words) view of the BFU bits; because every BFU
@@ -176,6 +201,44 @@ class Rambo(MembershipIndex):
         # same in every BFU, so membership across all B filters is a handful
         # of vectorised gathers on this matrix.
         self._bit_cache: List[np.ndarray] = []
+        # Per-repetition (num_documents,) doc-id -> partition arrays.
+        self._assignment_arrays: List[np.ndarray] = []
+
+    @classmethod
+    def _from_parts(
+        cls,
+        config: RamboConfig,
+        bfus: List[List[BloomFilter]],
+        doc_names: List[str],
+        assignments: List[List[int]],
+        members: List[List[List[int]]],
+        partition_family: Optional[PartitionHashFamily] = None,
+    ) -> "Rambo":
+        """Assemble an index directly from its components.
+
+        This is the single internal constructor behind :meth:`fold`,
+        :func:`repro.core.parallel.merge_indexes`, shard stacking and
+        deserialisation — every path that used to poke attributes onto a bare
+        ``__new__`` instance (and could miss a cache field) goes through here,
+        so all derived state is initialised consistently.
+        """
+        index = cls.__new__(cls)
+        index.config = config
+        index.k = config.k
+        if partition_family is None:
+            partition_family = PartitionHashFamily(
+                num_partitions=config.num_partitions,
+                repetitions=config.repetitions,
+                seed=config.seed,
+            )
+        index._family = partition_family
+        index._bfus = bfus
+        index._doc_names = list(doc_names)
+        index._doc_ids = {name: i for i, name in enumerate(doc_names)}
+        index._assignments = assignments
+        index._members = members
+        index._invalidate_caches()
+        return index
 
     # -- construction -----------------------------------------------------------------
 
@@ -224,7 +287,7 @@ class Rambo(MembershipIndex):
             for bfu in target_bfus:
                 bfu.bits.set_many(positions)
                 bfu.num_items += 1
-        self._member_arrays_dirty = True
+        self._invalidate_caches()
 
     def add_terms(self, name: str, terms: Iterable[Term]) -> None:
         """Convenience wrapper building a :class:`KmerDocument` on the fly."""
@@ -241,6 +304,10 @@ class Rambo(MembershipIndex):
         self._bit_cache = [
             np.stack([bfu.bits.words for bfu in row]) for row in self._bfus
         ]
+        self._assignment_arrays = [
+            np.asarray(row, dtype=np.int64) % self.num_partitions
+            for row in self._assignments
+        ]
         self._member_arrays_dirty = False
 
     def _probe_positions(self, term: Term) -> List[int]:
@@ -252,15 +319,27 @@ class Rambo(MembershipIndex):
             combine_seeds(self.config.seed, 0xBF0),
         )
 
+    def _probe_matrix(self, terms: Sequence[Term]) -> np.ndarray:
+        """``(n_terms, eta)`` probe-position matrix, one vectorised hash pass."""
+        return double_hashes_batch(
+            list(terms),
+            self.config.bfu_hashes,
+            self.config.bfu_bits,
+            combine_seeds(self.config.seed, 0xBF0),
+        )
+
     def _hit_partitions(self, repetition: int, positions: Sequence[int]) -> np.ndarray:
-        """Indices of the BFUs in *repetition* whose bits are all set at *positions*."""
-        words = self._bit_cache[repetition]
-        hits = np.ones(words.shape[0], dtype=bool)
-        for pos in positions:
-            word_index = pos // 64
-            bit = np.uint64(pos % 64)
-            hits &= ((words[:, word_index] >> bit) & np.uint64(1)).astype(bool)
-        return np.flatnonzero(hits)
+        """Indices of the BFUs in *repetition* whose bits are all set at *positions*.
+
+        The one-query special case of the shared batch kernel — one probe
+        logic to harden and keep in sync, not two.
+        """
+        row = np.asarray(positions, dtype=np.int64)[None, :]
+        return np.flatnonzero(probe_words_batch(self._bit_cache[repetition], row)[0])
+
+    def _hit_matrix(self, repetition: int, positions: np.ndarray) -> np.ndarray:
+        """``(n_terms, B)`` membership verdict of every term against every BFU."""
+        return probe_words_batch(self._bit_cache[repetition], positions)
 
     def _candidate_mask(self, hit_partitions: Iterable[int], repetition: int) -> np.ndarray:
         """Bitmap (bool array over doc ids) of the union of the hit BFUs' documents."""
@@ -282,8 +361,7 @@ class Rambo(MembershipIndex):
         method:
             ``"full"`` probes every BFU; ``"sparse"`` is the RAMBO+ pruning.
         """
-        if method not in ("full", "sparse"):
-            raise ValueError(f"unknown query method {method!r}")
+        check_query_method(method)
         if not self._doc_names:
             return QueryResult(documents=frozenset(), filters_probed=0)
         self._refresh_member_arrays()
@@ -303,8 +381,7 @@ class Rambo(MembershipIndex):
             if not final_mask.any():
                 break
         assert final_mask is not None
-        names = frozenset(self._doc_names[i] for i in np.flatnonzero(final_mask))
-        return QueryResult(documents=names, filters_probed=probes)
+        return QueryResult.from_mask(final_mask, self._doc_names, filters_probed=probes)
 
     def _query_sparse(self, term: Term) -> QueryResult:
         """RAMBO+ query: later repetitions only probe BFUs holding survivors."""
@@ -316,8 +393,9 @@ class Rambo(MembershipIndex):
                 candidate_partitions = np.arange(self.num_partitions, dtype=np.int64)
             else:
                 surviving_ids = np.flatnonzero(final_mask)
-                assignments = np.asarray(self._assignments[r], dtype=np.int64)
-                candidate_partitions = np.unique(assignments[surviving_ids] % self.num_partitions)
+                # _assignment_arrays is already reduced mod num_partitions.
+                assignments = self._assignment_arrays[r]
+                candidate_partitions = np.unique(assignments[surviving_ids])
             probes += int(candidate_partitions.size)
             all_hits = self._hit_partitions(r, positions)
             hits = np.intersect1d(all_hits, candidate_partitions, assume_unique=True)
@@ -326,22 +404,129 @@ class Rambo(MembershipIndex):
             if not final_mask.any():
                 break
         assert final_mask is not None
-        names = frozenset(self._doc_names[i] for i in np.flatnonzero(final_mask))
-        return QueryResult(documents=names, filters_probed=probes)
+        return QueryResult.from_mask(final_mask, self._doc_names, filters_probed=probes)
+
+    # -- batched query (the bitmap-native engine) ---------------------------------------
+
+    def query_terms_batch(self, terms: Sequence[Term], method: str = "full") -> List[QueryResult]:
+        """Independent results for a whole batch of terms in one array pass.
+
+        Equivalent to ``[self.query_term(t, method=method) for t in terms]``
+        (identical documents per term) but evaluated bitmap-natively: one
+        vectorised hash pass over all terms, then per repetition a single
+        gather tests every term against every BFU and a single fancy-index
+        maps partition hits to doc-id bitmaps.  Per-term early termination
+        is preserved as a bool "active" lane mask instead of a branch.
+        """
+        check_query_method(method)
+        terms = list(terms)
+        if not terms:
+            return []
+        if not self._doc_names:
+            return [QueryResult(documents=frozenset(), filters_probed=0) for _ in terms]
+        self._refresh_member_arrays()
+        # Chunk huge batches so the (n_terms, num_docs) intermediates stay
+        # bounded; each chunk is independent, so results just concatenate.
+        results: List[QueryResult] = []
+        for chunk in iter_term_chunks(terms):
+            alive, probes = self._batch_chunk_masks(list(chunk), method)
+            results.extend(
+                QueryResult.from_mask(alive[t], self._doc_names, filters_probed=int(probes[t]))
+                for t in range(len(chunk))
+            )
+        return results
+
+    def _batch_chunk_masks(
+        self, terms: List[Term], method: str, positions: Optional[np.ndarray] = None
+    ):
+        """Per-term doc bitmaps + probe counts for one (chunk-sized) batch.
+
+        The mask-level core of :meth:`query_terms_batch`; exposed separately
+        so the distributed layer can combine shard bitmaps without a
+        round-trip through per-term ``QueryResult`` objects — and can hash
+        the chunk once, passing the shared *positions* matrix to every shard
+        (all shards share BFU geometry and seed).  The caller is responsible
+        for validation and :meth:`_refresh_member_arrays`.
+        """
+        num_terms = len(terms)
+        num_docs = len(self._doc_names)
+        if positions is None:
+            positions = self._probe_matrix(terms)
+        alive = np.ones((num_terms, num_docs), dtype=bool)
+        probes = np.zeros(num_terms, dtype=np.int64)
+        active = np.ones(num_terms, dtype=bool)
+        for r in range(self.repetitions):
+            if not active.any():
+                break
+            hits = self._hit_matrix(r, positions)            # (n_terms, B)
+            assignment = self._assignment_arrays[r]          # (num_docs,)
+            if method == "full" or r == 0:
+                # First sparse round matches the scalar path: every partition
+                # is a candidate, so the probe accounting is B per term.
+                probes[active] += self.num_partitions
+            else:
+                # RAMBO+: a term only probes BFUs that still hold survivors.
+                candidates = np.zeros((num_terms, self.num_partitions), dtype=bool)
+                rows, cols = np.nonzero(alive)
+                candidates[rows, assignment[cols]] = True
+                probes += candidates.sum(axis=1)
+                hits &= candidates
+            alive &= hits[:, assignment]
+            active &= alive.any(axis=1)
+        return alive, probes
 
     def query_terms(self, terms: Sequence[Term], method: str = "full") -> QueryResult:
-        """Conjunctive query over several terms with early termination."""
-        documents: Optional[Set[str]] = None
+        """Conjunctive query over several terms, evaluated as one batch.
+
+        The cross-term intersection and the cross-repetition intersection
+        both happen on bool arrays: per repetition, a term hits a document
+        iff it hits the document's BFU, and because every term shares the
+        partition assignment the AND over terms collapses to an AND over the
+        ``(n_terms, B)`` hit matrix before it is ever expanded to doc ids.
+        The early exit ("the first returned FALSE is conclusive") fires as
+        soon as the running intersection bitmap empties.
+        """
+        check_query_method(method)
+        terms = list(terms)
+        if not terms:
+            return QueryResult(documents=frozenset(self._doc_names), filters_probed=0)
+        if not self._doc_names:
+            return QueryResult(documents=frozenset(), filters_probed=0)
+        self._refresh_member_arrays()
+        conjunction = np.ones(len(self._doc_names), dtype=bool)
         probes = 0
-        for term in terms:
-            result = self.query_term(term, method=method)
-            probes += result.filters_probed
-            documents = set(result.documents) if documents is None else documents & result.documents
-            if not documents:
+        # Ramped term slices AND into the same running bitmap; a slice that
+        # empties the intersection makes every later slice unnecessary.
+        for chunk in iter_conjunction_slices(terms):
+            probes += self._conjunction_chunk(list(chunk), conjunction, method)
+            if not conjunction.any():
                 break
-        if documents is None:
-            documents = set(self._doc_names)
-        return QueryResult(documents=frozenset(documents), filters_probed=probes)
+        return QueryResult.from_mask(conjunction, self._doc_names, filters_probed=probes)
+
+    def _conjunction_chunk(
+        self, terms: List[Term], conjunction: np.ndarray, method: str
+    ) -> int:
+        """AND one term chunk into *conjunction* in place; returns probes."""
+        num_terms = len(terms)
+        positions = self._probe_matrix(terms)
+        probes = 0
+        for r in range(self.repetitions):
+            hits = self._hit_matrix(r, positions)            # (n_terms, B)
+            assignment = self._assignment_arrays[r]
+            if method == "full" or r == 0:
+                probes += self.num_partitions * num_terms
+            else:
+                surviving_partitions = np.unique(assignment[conjunction])
+                probes += int(surviving_partitions.size) * num_terms
+                allowed = np.zeros(self.num_partitions, dtype=bool)
+                allowed[surviving_partitions] = True
+                hits &= allowed[None, :]
+            # AND over terms first (all terms share the assignment mapping),
+            # then expand the surviving partitions to a doc bitmap.
+            conjunction &= hits.all(axis=0)[assignment]
+            if not conjunction.any():
+                break
+        return probes
 
     # -- fold-over ----------------------------------------------------------------------
 
@@ -358,8 +543,7 @@ class Rambo(MembershipIndex):
                 f"cannot fold an index with an odd number of partitions ({self.num_partitions})"
             )
         half = self.num_partitions // 2
-        folded = Rambo.__new__(Rambo)
-        folded.config = RamboConfig(
+        folded_config = RamboConfig(
             num_partitions=half,
             repetitions=self.config.repetitions,
             bfu_bits=self.config.bfu_bits,
@@ -367,13 +551,9 @@ class Rambo(MembershipIndex):
             k=self.config.k,
             seed=self.config.seed,
         )
-        folded.k = self.k
-        folded._family = self._family
-        folded._doc_names = list(self._doc_names)
-        folded._doc_ids = dict(self._doc_ids)
-        folded._bfus = []
-        folded._members = []
-        folded._assignments = []
+        bfus: List[List[BloomFilter]] = []
+        members: List[List[List[int]]] = []
+        assignments: List[List[int]] = []
         for r in range(self.repetitions):
             row_bfus: List[BloomFilter] = []
             row_members: List[List[int]] = []
@@ -382,12 +562,20 @@ class Rambo(MembershipIndex):
                 merged.union_inplace(self._bfus[r][b + half])
                 row_bfus.append(merged)
                 row_members.append(sorted(self._members[r][b] + self._members[r][b + half]))
-            folded._bfus.append(row_bfus)
-            folded._members.append(row_members)
-            folded._assignments.append([a % half for a in self._assignments[r]])
-        folded._member_arrays_dirty = True
-        folded._member_arrays = []
-        return folded
+            bfus.append(row_bfus)
+            members.append(row_members)
+            assignments.append([a % half for a in self._assignments[r]])
+        # The folded index keeps the *original* partition family: new
+        # insertions reduce its output mod the folded B, exactly like the
+        # re-mapped assignments above.
+        return Rambo._from_parts(
+            folded_config,
+            bfus,
+            self.document_names,
+            assignments,
+            members,
+            partition_family=self._family,
+        )
 
     # -- accounting ------------------------------------------------------------------------
 

@@ -25,7 +25,9 @@ from typing import Union
 import numpy as np
 
 from repro.bloom.bitarray import BitArray
+from repro.bloom.bloom_filter import BloomFilter
 from repro.core.rambo import Rambo, RamboConfig
+from repro.hashing.murmur3 import combine_seeds
 
 PathLike = Union[str, Path]
 
@@ -98,7 +100,6 @@ def load_index(path: PathLike) -> Rambo:
             k=cfg["k"],
             seed=cfg["seed"],
         )
-        index = Rambo(config)
 
         # Restore document bookkeeping.
         names = header["document_names"]
@@ -107,34 +108,45 @@ def load_index(path: PathLike) -> Rambo:
             len(row) != len(names) for row in assignments
         ):
             raise ValueError(f"{path} has inconsistent assignment tables")
-        index._doc_names = list(names)  # noqa: SLF001
-        index._doc_ids = {name: i for i, name in enumerate(names)}  # noqa: SLF001
-        index._assignments = [list(row) for row in assignments]  # noqa: SLF001
-        index._members = [  # noqa: SLF001
+        members = [
             [[] for _ in range(config.num_partitions)] for _ in range(config.repetitions)
         ]
         for r, row in enumerate(assignments):
             for doc_id, b in enumerate(row):
                 if not (0 <= b < config.num_partitions):
                     raise ValueError(f"{path} has an out-of-range partition assignment {b}")
-                index._members[r][b].append(doc_id)  # noqa: SLF001
+                members[r][b].append(doc_id)
 
         # Restore the BFU payloads.
+        bfu_seed = combine_seeds(config.seed, 0xBF0)
         words_per_bfu = (config.bfu_bits + 63) // 64
         bytes_per_bfu = words_per_bfu * 8
+        bfus = []
         for r in range(config.repetitions):
+            row_bfus = []
             for b in range(config.num_partitions):
                 payload = handle.read(bytes_per_bfu)
                 if len(payload) != bytes_per_bfu:
                     raise ValueError(f"{path} is truncated (BFU {r},{b})")
-                bfu = index.bfu(r, b)
+                bfu = BloomFilter(
+                    num_bits=config.bfu_bits,
+                    num_hashes=config.bfu_hashes,
+                    seed=bfu_seed,
+                )
                 bfu.bits = BitArray.from_bytes(config.bfu_bits, payload)
+                row_bfus.append(bfu)
+            bfus.append(row_bfus)
         trailing = handle.read(1)
         if trailing:
             raise ValueError(f"{path} has trailing data after the BFU payload")
 
-    index._member_arrays_dirty = True  # noqa: SLF001
-    return index
+    return Rambo._from_parts(  # noqa: SLF001
+        config,
+        bfus,
+        list(names),
+        [list(row) for row in assignments],
+        members,
+    )
 
 
 def _uses_default_family(index: Rambo) -> bool:

@@ -23,6 +23,7 @@ from repro.hashing.murmur3 import (
     murmur3_64,
     murmur3_32,
     double_hashes,
+    double_hashes_batch,
     hash_positions,
 )
 from repro.hashing.universal import (
@@ -44,6 +45,7 @@ __all__ = [
     "murmur3_64",
     "murmur3_32",
     "double_hashes",
+    "double_hashes_batch",
     "hash_positions",
     "MERSENNE_PRIME_61",
     "CarterWegmanHash",

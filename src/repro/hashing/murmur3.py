@@ -15,6 +15,8 @@ from __future__ import annotations
 
 from typing import Iterable, List, Sequence, Tuple, Union
 
+import numpy as np
+
 _MASK64 = 0xFFFFFFFFFFFFFFFF
 _C1 = 0x87C37B91114253D5
 _C2 = 0x4CF5AD432745937F
@@ -167,6 +169,127 @@ def hash_positions(
 ) -> List[List[int]]:
     """Vector form of :func:`double_hashes` over an iterable of keys."""
     return [double_hashes(key, count, modulus, seed) for key in keys]
+
+
+def _rotl64_arr(x: np.ndarray, r: int) -> np.ndarray:
+    return (x << np.uint64(r)) | (x >> np.uint64(64 - r))
+
+
+def _fmix64_arr(k: np.ndarray) -> np.ndarray:
+    k = k ^ (k >> np.uint64(33))
+    k = k * np.uint64(0xFF51AFD7ED558CCD)
+    k = k ^ (k >> np.uint64(33))
+    k = k * np.uint64(0xC4CEB9FE1A85EC53)
+    k = k ^ (k >> np.uint64(33))
+    return k
+
+
+def _murmur3_u64_batch(values: np.ndarray, seed: int = 0) -> Tuple[np.ndarray, np.ndarray]:
+    """Vectorised ``murmur3_x64_128`` over 8-byte little-endian keys.
+
+    A non-negative integer key is normalised to its 8-byte little-endian
+    encoding everywhere in the library (:func:`_normalise_key`), which is
+    exactly the ``uint64`` value itself — so for integer keys (2-bit k-mer
+    codes, the batch-query hot path) the whole digest reduces to the 8-byte
+    tail + finalisation of the scalar algorithm, computed here on ``uint64``
+    arrays whose natural wraparound matches the 64-bit masking.
+
+    Returns the ``(h1, h2)`` halves as two ``uint64`` arrays; bit-for-bit
+    identical to calling :func:`murmur3_x64_128` per key.
+    """
+    values = np.ascontiguousarray(values, dtype=np.uint64)
+    h1 = np.full(values.shape, np.uint64(seed & _MASK64))
+    h2 = h1.copy()
+    # tail (length 8 -> k1 only)
+    k1 = values * np.uint64(_C1)
+    k1 = _rotl64_arr(k1, 31)
+    k1 = k1 * np.uint64(_C2)
+    h1 = h1 ^ k1
+    # finalisation
+    length = np.uint64(8)
+    h1 = h1 ^ length
+    h2 = h2 ^ length
+    h1 = h1 + h2
+    h2 = h2 + h1
+    h1 = _fmix64_arr(h1)
+    h2 = _fmix64_arr(h2)
+    h1 = h1 + h2
+    h2 = h2 + h1
+    return h1, h2
+
+
+def double_hashes_batch(
+    keys: Sequence[Union[int, BytesLike]], count: int, modulus: int, seed: int = 0
+) -> np.ndarray:
+    """Batched :func:`double_hashes`: an ``(n_keys, count)`` position matrix.
+
+    Row ``i`` equals ``double_hashes(keys[i], count, modulus, seed)`` exactly.
+    Integer keys (2-bit k-mer codes) are digested in one vectorised numpy
+    pass; string/bytes keys fall back to the scalar MurmurHash3 per key, with
+    the position derivation still vectorised.
+    """
+    if count <= 0:
+        raise ValueError(f"count must be positive, got {count}")
+    if modulus <= 0:
+        raise ValueError(f"modulus must be positive, got {modulus}")
+    # Bools are ints to the scalar path (_normalise_key encodes True as 1);
+    # normalise them first so the type partition below treats them the same.
+    keys = [int(key) if isinstance(key, bool) else key for key in keys]
+    if not keys:
+        return np.zeros((0, count), dtype=np.int64)
+    for key in keys:
+        if isinstance(key, int) and key < 0:
+            # Same error contract as the scalar path's _normalise_key.
+            raise ValueError(f"integer keys must be non-negative, got {key}")
+    if count * modulus >= 1 << 64 or modulus >= 1 << 63:
+        # The uint64 position derivation below could wrap, and the int64
+        # result dtype cannot represent positions >= 2**63; such geometries
+        # never occur in practice but exactness is part of the contract.
+        return np.asarray(
+            [
+                double_hashes(
+                    key.to_bytes(8, "little") if isinstance(key, int) else key,
+                    count,
+                    modulus,
+                    seed,
+                )
+                for key in keys
+            ],
+            dtype=np.uint64 if modulus >= 1 << 63 else np.int64,
+        )
+    # Partition by key type so one stray string in a chunk of int k-mer
+    # codes doesn't degrade the whole chunk to the per-key scalar digest.
+    int_rows: List[int] = []
+    other_rows: List[int] = []
+    for i, key in enumerate(keys):
+        if isinstance(key, int):
+            int_rows.append(i)
+        else:
+            other_rows.append(i)
+    m = np.uint64(modulus)
+    steps = np.arange(count, dtype=np.uint64)
+
+    def derive(h1: np.ndarray, h2: np.ndarray) -> np.ndarray:
+        h2 = h2 | np.uint64(1)
+        # (h1 + i*h2) % m == (h1%m + i*(h2%m)) % m in exact arithmetic;
+        # reducing the operands first keeps every intermediate below 2**64
+        # so the uint64 computation matches the arbitrary-precision scalar
+        # path bit for bit.
+        return ((h1[:, None] % m + steps[None, :] * (h2[:, None] % m)) % m).astype(np.int64)
+
+    positions = np.empty((len(keys), count), dtype=np.int64)
+    if int_rows:
+        h1, h2 = _murmur3_u64_batch(
+            np.asarray([keys[i] for i in int_rows], dtype=np.uint64), seed
+        )
+        positions[int_rows] = derive(h1, h2)
+    if other_rows:
+        digests = np.asarray(
+            [murmur3_x64_128(_as_bytes(keys[i]), seed) for i in other_rows],
+            dtype=np.uint64,
+        )
+        positions[other_rows] = derive(digests[:, 0], digests[:, 1])
+    return positions
 
 
 def hash_to_range(key: BytesLike, modulus: int, seed: int = 0) -> int:

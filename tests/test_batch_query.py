@@ -1,0 +1,456 @@
+"""Tests for the bitmap-native batch query engine.
+
+The contract under test: for every structure and every method, the batched
+paths (``query_terms_batch``, the batched conjunctive ``query_terms``, the
+vectorised ``query_sequence``) return documents identical to the scalar
+per-term path they replace — the batch engine is an optimisation, never a
+semantic change.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.cobs import CobsIndex
+from repro.baselines.inverted_index import InvertedIndex
+from repro.core.base import QueryResult
+from repro.core.distributed import DistributedRambo, stack_shards
+from repro.core.parallel import merge_indexes
+from repro.core.rambo import Rambo, RamboConfig
+from repro.hashing.murmur3 import double_hashes, double_hashes_batch
+from repro.kmers.extraction import KmerDocument
+
+
+def build_index(documents, **overrides) -> Rambo:
+    params = dict(num_partitions=4, repetitions=3, bfu_bits=1 << 12, bfu_hashes=2, k=13, seed=5)
+    params.update(overrides)
+    index = Rambo(RamboConfig(**params))
+    index.add_documents(documents)
+    return index
+
+
+def scalar_reference(index, terms, method=None):
+    """The seed's scalar path: one query_term per term."""
+    if method is None:
+        return [index.query_term(t) for t in terms]
+    return [index.query_term(t, method=method) for t in terms]
+
+
+def scalar_conjunction(index, terms, method=None):
+    """The seed's conjunctive algorithm: intersect per-term results."""
+    documents = None
+    for term in terms:
+        result = (
+            index.query_term(term) if method is None else index.query_term(term, method=method)
+        )
+        documents = set(result.documents) if documents is None else documents & result.documents
+        if not documents:
+            break
+    if documents is None:
+        documents = set(index.document_names)
+    return frozenset(documents)
+
+
+# -- QueryResult ---------------------------------------------------------------------
+
+
+class TestQueryResult:
+    def test_eager_construction_back_compat(self):
+        result = QueryResult(documents=frozenset({"a", "b"}), filters_probed=7)
+        assert result.documents == frozenset({"a", "b"})
+        assert result.filters_probed == 7
+        assert "a" in result
+        assert len(result) == 2
+
+    def test_from_mask_lazy_materialisation(self):
+        names = ["d0", "d1", "d2", "d3"]
+        mask = np.array([True, False, True, False])
+        result = QueryResult.from_mask(mask, names, filters_probed=3)
+        # len and ids are available without touching the name table.
+        assert len(result) == 2
+        assert result.doc_ids.tolist() == [0, 2]
+        assert result.name_table is names
+        assert result.documents == frozenset({"d0", "d2"})
+
+    def test_from_ids(self):
+        result = QueryResult.from_ids(np.array([1, 3]), ["a", "b", "c", "d"])
+        assert result.documents == frozenset({"b", "d"})
+        assert len(result) == 2
+
+    def test_from_ids_sorts(self):
+        result = QueryResult.from_ids(np.array([3, 1]), ["a", "b", "c", "d"])
+        assert result.doc_ids.tolist() == [1, 3]
+
+    def test_eager_result_has_no_ids(self):
+        result = QueryResult(documents=frozenset({"x"}))
+        with pytest.raises(AttributeError):
+            result.doc_ids
+
+    def test_equality_is_by_documents_and_probes(self):
+        eager = QueryResult(documents=frozenset({"d1"}), filters_probed=2)
+        lazy = QueryResult.from_mask(np.array([False, True]), ["d0", "d1"], filters_probed=2)
+        assert eager == lazy
+        assert hash(eager) == hash(lazy)
+        assert eager != QueryResult(documents=frozenset({"d1"}), filters_probed=3)
+
+    def test_requires_documents_or_ids(self):
+        with pytest.raises(TypeError):
+            QueryResult(filters_probed=1)
+        with pytest.raises(TypeError):
+            QueryResult(doc_ids=np.array([0]))
+
+
+# -- hashing layer --------------------------------------------------------------------
+
+
+class TestDoubleHashesBatch:
+    @given(
+        st.lists(st.integers(min_value=0, max_value=(1 << 62) - 1), min_size=1, max_size=20),
+        st.integers(min_value=1, max_value=6),
+        st.sampled_from([64, 257, 4096, 1 << 16]),
+        st.integers(min_value=0, max_value=2**32),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_matches_scalar_for_int_keys(self, keys, count, modulus, seed):
+        batch = double_hashes_batch(keys, count, modulus, seed)
+        assert batch.shape == (len(keys), count)
+        for key, row in zip(keys, batch):
+            assert row.tolist() == double_hashes(key.to_bytes(8, "little"), count, modulus, seed)
+
+    @given(
+        st.lists(st.text(min_size=0, max_size=40), min_size=1, max_size=10),
+        st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_matches_scalar_for_string_keys(self, keys, count):
+        batch = double_hashes_batch(keys, count, 4096, seed=9)
+        for key, row in zip(keys, batch):
+            assert row.tolist() == double_hashes(key, count, 4096, 9)
+
+    def test_empty_batch(self):
+        assert double_hashes_batch([], 3, 64).shape == (0, 3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            double_hashes_batch([1], 0, 64)
+        with pytest.raises(ValueError):
+            double_hashes_batch([1], 2, 0)
+
+    def test_negative_int_keys_match_scalar_error_contract(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            double_hashes_batch([3, -5], 2, 64)
+
+    def test_huge_modulus_stays_exact(self):
+        """Moduli at/above 2**63 cannot be represented in int64; the batch
+        path must fall back to the scalar derivation and widen the dtype."""
+        for modulus in ((1 << 63) + 9, (1 << 64) - 59):
+            batch = double_hashes_batch([2, 7], 1, modulus)
+            assert batch.dtype == np.uint64
+            for key, row in zip((2, 7), batch):
+                assert row.tolist() == double_hashes(key.to_bytes(8, "little"), 1, modulus)
+
+
+class TestConjunctionSlices:
+    def test_ramp_covers_all_terms_once(self):
+        from repro.core.base import iter_conjunction_slices
+
+        terms = list(range(5000))
+        slices = list(iter_conjunction_slices(terms))
+        assert [len(s) for s in slices[:3]] == [32, 128, 512]
+        assert max(len(s) for s in slices) <= 2048
+        assert [t for s in slices for t in s] == terms
+
+
+# -- RAMBO batch engine ----------------------------------------------------------------
+
+
+class TestRamboBatch:
+    docs_strategy = st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=10**6),
+            st.frozensets(st.text(alphabet="abcdefg", min_size=1, max_size=4), min_size=1, max_size=10),
+        ),
+        min_size=1,
+        max_size=10,
+        unique_by=lambda pair: pair[0],
+    )
+
+    @given(docs_strategy, st.sampled_from(["full", "sparse"]))
+    @settings(max_examples=30, deadline=None)
+    def test_batch_equals_scalar_property(self, raw_docs, method):
+        documents = [KmerDocument(name=f"doc{i}", terms=terms) for (i, terms) in raw_docs]
+        index = build_index(documents, num_partitions=3, repetitions=3, bfu_bits=1 << 11)
+        terms = sorted({term for doc in documents for term in doc.terms})
+        terms.append("zzz-absent")
+        scalar = scalar_reference(index, terms, method)
+        batch = index.query_terms_batch(terms, method=method)
+        assert len(batch) == len(scalar)
+        for s, b in zip(scalar, batch):
+            assert s.documents == b.documents
+            assert s.filters_probed == b.filters_probed
+
+    @given(docs_strategy, st.sampled_from(["full", "sparse"]))
+    @settings(max_examples=30, deadline=None)
+    def test_conjunctive_batch_equals_scalar_property(self, raw_docs, method):
+        documents = [KmerDocument(name=f"doc{i}", terms=terms) for (i, terms) in raw_docs]
+        index = build_index(documents, num_partitions=3, repetitions=3, bfu_bits=1 << 11)
+        all_terms = sorted({term for doc in documents for term in doc.terms})
+        probes = [all_terms[:3], all_terms[:1], all_terms, all_terms[:2] + ["zzz-absent"]]
+        for terms in probes:
+            if not terms:
+                continue
+            expected = scalar_conjunction(index, terms, method)
+            assert index.query_terms(terms, method=method).documents == expected
+
+    def test_batch_on_dataset_terms(self, built_rambo, small_dataset):
+        terms = []
+        for doc in small_dataset.documents[:10]:
+            terms.extend(list(doc.terms)[:5])
+        terms.append("absent-term-zzz")
+        for method in ("full", "sparse"):
+            scalar = scalar_reference(built_rambo, terms, method)
+            batch = built_rambo.query_terms_batch(terms, method=method)
+            for s, b in zip(scalar, batch):
+                assert s.documents == b.documents
+                assert s.filters_probed == b.filters_probed
+
+    def test_empty_batch(self, built_rambo):
+        assert built_rambo.query_terms_batch([]) == []
+
+    def test_batch_on_empty_index(self):
+        index = build_index([])
+        results = index.query_terms_batch(["a", "b"])
+        assert [r.documents for r in results] == [frozenset(), frozenset()]
+
+    def test_conjunction_of_no_terms_returns_everything(self, tiny_documents):
+        index = build_index(tiny_documents)
+        assert index.query_terms([]).documents == frozenset(index.document_names)
+
+    def test_unknown_method_rejected(self, tiny_documents):
+        index = build_index(tiny_documents)
+        with pytest.raises(ValueError):
+            index.query_terms_batch(["alpha"], method="magic")
+        with pytest.raises(ValueError):
+            index.query_terms(["alpha"], method="magic")
+
+    def test_chunked_batch_equals_unchunked(self, tiny_documents, monkeypatch):
+        """Batches bigger than the chunk size concatenate per-chunk results."""
+        import repro.core.base as base_module
+
+        index = build_index(tiny_documents)
+        terms = [f"term-{i}" for i in range(10)] + ["alpha", "delta"]
+        expected = index.query_terms_batch(terms, method="sparse")
+        monkeypatch.setattr(base_module, "QUERY_BATCH_CHUNK_TERMS", 3)
+        chunked = index.query_terms_batch(terms, method="sparse")
+        assert [r.documents for r in chunked] == [r.documents for r in expected]
+        assert [r.filters_probed for r in chunked] == [r.filters_probed for r in expected]
+
+    def test_chunked_conjunction_equals_unchunked(self, tiny_documents, monkeypatch):
+        import repro.core.base as base_module
+
+        index = build_index(tiny_documents, bfu_bits=1 << 14, repetitions=4)
+        terms = ["gamma", "delta", "gamma", "delta", "gamma"]
+        expected = index.query_terms(terms).documents
+        monkeypatch.setattr(base_module, "QUERY_BATCH_CHUNK_TERMS", 2)
+        assert index.query_terms(terms).documents == expected
+        # A chunk that empties the intersection short-circuits later chunks.
+        assert index.query_terms(["alpha", "zeta", "gamma", "delta"]).documents == frozenset()
+
+    def test_method_accepted_uniformly_across_structures(self, tiny_documents):
+        """Every MembershipIndex accepts method= on the batch entry points."""
+        structures = [
+            build_index(tiny_documents),
+            InvertedIndex(k=13),
+            CobsIndex(num_bits=1 << 12, k=13),
+        ]
+        for index in structures[1:]:
+            index.add_documents(tiny_documents)
+        for index in structures:
+            batch = index.query_terms_batch(["alpha"], method="sparse")
+            conj = index.query_terms(["alpha"], method="sparse")
+            assert batch[0].documents >= frozenset({"doc_a"})
+            assert conj.documents >= frozenset({"doc_a"})
+            # Unknown methods are rejected uniformly, never silently ignored.
+            with pytest.raises(ValueError, match="unknown query method"):
+                index.query_terms_batch(["alpha"], method="sprase")
+            with pytest.raises(ValueError, match="unknown query method"):
+                index.query_terms(["alpha"], method="sprase")
+
+    def test_results_share_the_name_table(self, tiny_documents):
+        index = build_index(tiny_documents)
+        results = index.query_terms_batch(["alpha", "beta", "gamma"])
+        tables = {id(r.name_table) for r in results}
+        assert len(tables) == 1
+
+    def test_query_sequence_uses_batched_conjunction(self, small_dataset):
+        from repro.hashing.kmer_hash import int_to_kmer
+        from repro.kmers.extraction import extract_kmers
+
+        index = build_index(small_dataset.documents, num_partitions=6, bfu_bits=1 << 15)
+        doc = small_dataset.documents[0]
+        fragment = int_to_kmer(next(iter(doc.terms)), small_dataset.k)
+        result = index.query_sequence(fragment)
+        assert doc.name in result.documents
+        kmers = extract_kmers(fragment, k=index.k)
+        assert result.documents == scalar_conjunction(index, kmers)
+
+    def test_batch_after_fold(self, built_rambo, small_dataset):
+        """Regression: a freshly folded index must serve batch queries (the
+        old fold() skipped cache initialisation on the __new__ instance)."""
+        folded = built_rambo.fold()
+        assert folded._bit_cache == []  # initialised, not missing
+        terms = list(small_dataset.documents[0].terms)[:5]
+        batch = folded.query_terms_batch(terms)
+        scalar = scalar_reference(folded, terms)
+        for s, b in zip(scalar, batch):
+            assert s.documents == b.documents
+
+    def test_batch_after_merge(self, tiny_documents):
+        config = RamboConfig(num_partitions=4, repetitions=3, bfu_bits=1 << 12, k=13, seed=5)
+        part_a, part_b = Rambo(config), Rambo(config)
+        part_a.add_documents(tiny_documents[:2])
+        part_b.add_documents(tiny_documents[2:])
+        merged = merge_indexes([part_a, part_b])
+        reference = build_index(tiny_documents)
+        terms = sorted({t for d in tiny_documents for t in d.terms})
+        for got, want in zip(merged.query_terms_batch(terms), scalar_reference(reference, terms)):
+            assert got.documents == want.documents
+
+    def test_batch_after_load(self, built_rambo, small_dataset, tmp_path):
+        from repro.core.serialization import load_index, save_index
+
+        path = tmp_path / "roundtrip.rambo"
+        save_index(built_rambo, path)
+        loaded = load_index(path)
+        terms = list(small_dataset.documents[0].terms)[:5]
+        for got, want in zip(
+            loaded.query_terms_batch(terms), built_rambo.query_terms_batch(terms)
+        ):
+            assert got.documents == want.documents
+
+
+# -- COBS batch path -------------------------------------------------------------------
+
+
+class TestCobsBatch:
+    def test_batch_equals_scalar(self, small_dataset):
+        index = CobsIndex(num_bits=1 << 13, num_hashes=3, k=small_dataset.k, seed=3)
+        index.add_documents(small_dataset.documents)
+        terms = []
+        for doc in small_dataset.documents[:8]:
+            terms.extend(list(doc.terms)[:4])
+        terms.append("zz-absent")
+        scalar = scalar_reference(index, terms)
+        batch = index.query_terms_batch(terms)
+        for s, b in zip(scalar, batch):
+            assert s.documents == b.documents
+            assert s.filters_probed == b.filters_probed
+
+    def test_empty_cases(self):
+        index = CobsIndex(num_bits=256)
+        assert index.query_terms_batch([]) == []
+        assert index.query_terms_batch(["a"])[0].documents == frozenset()
+
+    def test_chunked_batch_equals_unchunked(self, tiny_documents, monkeypatch):
+        import repro.core.base as base_module
+
+        index = CobsIndex(num_bits=1 << 12, k=13)
+        index.add_documents(tiny_documents)
+        terms = ["alpha", "beta", "gamma", "delta", "epsilon", "zeta", "nope"]
+        expected = index.query_terms_batch(terms)
+        monkeypatch.setattr(base_module, "QUERY_BATCH_CHUNK_TERMS", 2)
+        chunked = index.query_terms_batch(terms)
+        assert [r.documents for r in chunked] == [r.documents for r in expected]
+
+    def test_string_and_int_terms_mix(self, tiny_documents):
+        index = CobsIndex(num_bits=1 << 12, k=13)
+        index.add_documents(tiny_documents)
+        terms = ["alpha", "delta", 12345, "zeta"]
+        scalar = scalar_reference(index, terms)
+        batch = index.query_terms_batch(terms)
+        for s, b in zip(scalar, batch):
+            assert s.documents == b.documents
+
+
+# -- distributed batch path ------------------------------------------------------------
+
+
+class TestDistributedBatch:
+    @pytest.fixture()
+    def cluster(self, small_dataset):
+        config = RamboConfig(
+            num_partitions=3, repetitions=3, bfu_bits=1 << 12, k=small_dataset.k, seed=11
+        )
+        cluster = DistributedRambo(num_nodes=4, node_config=config)
+        cluster.add_documents(small_dataset.documents)
+        return cluster
+
+    def test_batch_equals_scalar(self, cluster, small_dataset):
+        terms = []
+        for doc in small_dataset.documents[:6]:
+            terms.extend(list(doc.terms)[:4])
+        for method in ("full", "sparse"):
+            scalar = scalar_reference(cluster, terms, method)
+            batch = cluster.query_terms_batch(terms, method=method)
+            for s, b in zip(scalar, batch):
+                assert s.documents == b.documents
+                assert s.filters_probed == b.filters_probed
+
+    def test_batch_matches_stacked_index(self, cluster, small_dataset):
+        stacked = stack_shards(cluster)
+        terms = list(small_dataset.documents[0].terms)[:6]
+        for got, want in zip(
+            cluster.query_terms_batch(terms), stacked.query_terms_batch(terms)
+        ):
+            assert got.documents == want.documents
+
+    def test_conjunctive_query(self, cluster, small_dataset):
+        terms = list(small_dataset.documents[0].terms)[:4]
+        expected = scalar_conjunction(cluster, terms)
+        assert cluster.query_terms(terms).documents == expected
+        assert cluster.query_terms([]).documents == frozenset(cluster.document_names)
+
+    def test_empty_batch(self, cluster):
+        assert cluster.query_terms_batch([]) == []
+
+    def test_conjunctive_early_exit_skips_later_chunks(self, cluster, small_dataset, monkeypatch):
+        import repro.core.base as base_module
+
+        # Pick a term with no match anywhere (skipping Bloom false positives)
+        # so the conjunction provably empties inside the first chunk.
+        absent = next(
+            t
+            for t in (f"absent-{i}" for i in range(100))
+            if not cluster.query_term(t).documents
+        )
+        terms = [absent] + list(small_dataset.documents[0].terms)[:6]
+        baseline = sum(r.filters_probed for r in cluster.query_terms_batch(terms))
+        monkeypatch.setattr(base_module, "QUERY_BATCH_CHUNK_TERMS", 2)
+        result = cluster.query_terms(terms)
+        assert result.documents == frozenset()
+        # Only the first chunk should have been evaluated.
+        assert result.filters_probed < baseline
+
+    def test_id_map_cache_invalidated_on_insert(self, cluster):
+        cluster._shard_id_maps()
+        assert cluster._id_maps is not None
+        cluster.add_document(KmerDocument(name="late", terms=frozenset({"omega-term"})))
+        assert cluster._id_maps is None
+        assert "late" in cluster.query_term("omega-term").documents
+
+
+# -- default fallback -------------------------------------------------------------------
+
+
+class TestFallbackBatch:
+    def test_inverted_index_uses_fallback(self, tiny_documents):
+        index = InvertedIndex(k=13)
+        index.add_documents(tiny_documents)
+        terms = ["alpha", "delta", "zeta", "nope"]
+        batch = index.query_terms_batch(terms)
+        scalar = scalar_reference(index, terms)
+        for s, b in zip(scalar, batch):
+            assert s.documents == b.documents
+            assert s.filters_probed == b.filters_probed

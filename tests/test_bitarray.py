@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.bloom.bitarray import BitArray
+from repro.bloom.bitarray import BitArray, popcount_words, probe_words_batch
 
 sizes = st.integers(min_value=1, max_value=300)
 
@@ -169,6 +169,78 @@ class TestAlgebra:
         arr = BitArray.from_indices(size, indices)
         assert arr.count() == len(set(indices))
         assert arr.fill_ratio() == pytest.approx(len(set(indices)) / size)
+
+
+class TestPopcount:
+    @given(st.lists(st.integers(min_value=0, max_value=(1 << 64) - 1), max_size=40))
+    def test_popcount_words_matches_unpackbits(self, values):
+        words = np.array(values, dtype=np.uint64)
+        expected = int(np.unpackbits(words.view(np.uint8)).sum()) if words.size else 0
+        assert popcount_words(words) == expected
+
+    @given(sizes, st.data())
+    def test_count_matches_unpackbits_reference(self, size, data):
+        arr = BitArray.from_indices(size, data.draw(index_sets(size)))
+        reference = int(np.unpackbits(arr.words.view(np.uint8)).sum())
+        assert arr.count() == reference
+
+    def test_no_eightfold_expansion(self):
+        # count() must work on the words directly; this is a smoke check that
+        # the value is right on a large array where unpackbits would allocate
+        # 8x the payload.
+        arr = BitArray(1 << 20)
+        arr.set_many(range(0, 1 << 20, 97))
+        assert arr.count() == len(range(0, 1 << 20, 97))
+
+
+class TestProbeWordsBatch:
+    def test_matches_all_set_per_row(self):
+        rng = np.random.default_rng(3)
+        num_bits = 256
+        arrays = []
+        for _ in range(5):
+            arr = BitArray(num_bits)
+            arr.set_many(rng.integers(0, num_bits, size=60).tolist())
+            arrays.append(arr)
+        words = np.stack([a.words for a in arrays])
+        positions = rng.integers(0, num_bits, size=(7, 3))
+        verdict = probe_words_batch(words, positions)
+        assert verdict.shape == (7, 5)
+        for q in range(7):
+            for r in range(5):
+                assert verdict[q, r] == arrays[r].all_set(positions[q].tolist())
+
+    def test_empty_positions_row_is_vacuously_true(self):
+        words = np.zeros((3, 2), dtype=np.uint64)
+        verdict = probe_words_batch(words, np.zeros((2, 0), dtype=np.int64))
+        assert verdict.shape == (2, 3)
+        assert verdict.all()
+
+    def test_no_rows_yields_empty_verdict(self):
+        verdict = probe_words_batch(
+            np.zeros((0, 2), dtype=np.uint64), np.array([[1, 2]], dtype=np.int64)
+        )
+        assert verdict.shape == (1, 0)
+
+    def test_zero_width_payload_with_probes_is_an_error(self):
+        """Regression: real probe positions against a zero-word payload must
+        not report vacuous membership."""
+        with pytest.raises(IndexError):
+            probe_words_batch(
+                np.zeros((3, 0), dtype=np.uint64), np.array([[1, 2]], dtype=np.int64)
+            )
+
+    def test_negative_positions_rejected(self):
+        words = np.zeros((2, 2), dtype=np.uint64)
+        with pytest.raises(IndexError, match="non-negative"):
+            probe_words_batch(words, np.array([[3, -1]], dtype=np.int64))
+
+    def test_rejects_non_2d(self):
+        words = np.zeros((3, 2), dtype=np.uint64)
+        with pytest.raises(ValueError):
+            probe_words_batch(words, np.zeros(3, dtype=np.int64))
+        with pytest.raises(ValueError):
+            probe_words_batch(np.zeros(2, dtype=np.uint64), np.zeros((1, 1), dtype=np.int64))
 
 
 class TestSerialisation:

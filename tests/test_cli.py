@@ -127,6 +127,75 @@ class TestQuery:
         with pytest.raises(SystemExit, match="nothing to query"):
             main(["query", str(built_index_path)])
 
+    def test_query_many_terms_one_invocation(self, built_index_path, probe_kmer, capsys):
+        """Several terms are answered in one batched call, one line each."""
+        exit_code = main(["query", str(built_index_path), probe_kmer, "Z" * 8, probe_kmer])
+        assert exit_code == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 3
+        assert lines[0].startswith(probe_kmer + "\t")
+        assert "sampleA0" in lines[0]
+        assert lines[0] == lines[2]  # identical term, identical batched answer
+
+    def test_query_multiple_sequences(self, built_index_path, sequence_dir, capsys):
+        from repro.io.fasta import read_fasta
+
+        record_a = next(read_fasta(sequence_dir / "sampleA0.fasta"))
+        record_b = next(read_fasta(sequence_dir / "sampleA1.fasta"))
+        main(
+            [
+                "query", str(built_index_path),
+                "--sequence", record_a.sequence[100:160],
+                "--sequence", record_b.sequence[200:260],
+            ]
+        )
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 2
+        assert all(line.startswith("sequence\t") for line in lines)
+        assert "sampleA0" in lines[0]
+        assert "sampleA1" in lines[1]
+
+    def test_empty_sequence_value_ignored(self, built_index_path):
+        """--sequence '' is skipped like the old CLI; with nothing else to
+        query it ends in the clean nothing-to-query error, not a traceback."""
+        with pytest.raises(SystemExit, match="nothing to query"):
+            main(["query", str(built_index_path), "--sequence", ""])
+
+    def test_too_short_sequence_clean_error(self, built_index_path):
+        with pytest.raises(SystemExit, match="bad --sequence value"):
+            main(["query", str(built_index_path), "--sequence", "ACG"])
+
+    def test_sparse_reaches_sequence_queries(self, built_index_path, sequence_dir, capsys):
+        """--sparse must select the RAMBO+ evaluation for --sequence too;
+        documents are identical but the probe accounting differs."""
+        from repro.io.fasta import read_fasta
+
+        record = next(read_fasta(sequence_dir / "sampleA0.fasta"))
+        fragment = record.sequence[100:180]
+        main(["query", str(built_index_path), "--sequence", fragment])
+        full_line = capsys.readouterr().out.strip()
+        main(["query", str(built_index_path), "--sequence", fragment, "--sparse"])
+        sparse_line = capsys.readouterr().out.strip()
+        _, full_matches, full_probes = full_line.split("\t")
+        _, sparse_matches, sparse_probes = sparse_line.split("\t")
+        assert sparse_matches == full_matches
+        assert int(sparse_probes) <= int(full_probes)
+
+    def test_query_terms_and_sequence_together(self, built_index_path, sequence_dir, probe_kmer, capsys):
+        from repro.io.fasta import read_fasta
+
+        record = next(read_fasta(sequence_dir / "sampleA1.fasta"))
+        main(
+            [
+                "query", str(built_index_path), probe_kmer,
+                "--sequence", record.sequence[200:260], "--sparse",
+            ]
+        )
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 2
+        assert lines[0].startswith("sequence\t")
+        assert lines[1].startswith(probe_kmer + "\t")
+
 
 class TestInfoAndFold:
     def test_info_output(self, built_index_path, capsys):

@@ -47,6 +47,22 @@ class TestConfig:
         with pytest.raises(ValueError):
             RamboConfig.recommended(num_documents=0, terms_per_document=10)
 
+    @pytest.mark.parametrize("num_documents", [1, 2, 3, 5, 10, 100, 10_000, 1_000_000])
+    @pytest.mark.parametrize("fp_rate", [0.5, 0.3, 0.1, 0.01, 0.001])
+    def test_recommended_never_yields_zero_repetitions(self, num_documents, fp_rate):
+        """Sweep guard: ceil(log K - log p) // 4 is 0 for small collections
+        with lenient fp targets, so the max(2, ...) must wrap the division —
+        this pins that the expression is never refactored into
+        max(2, ceil(...)) // 4, which would crash __post_init__ with R=0."""
+        config = RamboConfig.recommended(
+            num_documents=num_documents, terms_per_document=50, fp_rate=fp_rate
+        )
+        assert config.repetitions >= 2
+        # B is clamped to the document count, so a 1-document collection
+        # legitimately gets a single partition.
+        assert config.num_partitions >= 1
+        assert config.bfu_bits > 0
+
 
 class TestConstruction:
     def test_add_and_count(self, tiny_documents):
