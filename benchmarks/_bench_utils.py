@@ -3,13 +3,19 @@ imports are unambiguous even when tests and benches run in one session)."""
 
 from __future__ import annotations
 
+import os
 from typing import Dict
+
+#: Smoke mode (CI): tiny dataset sizes and no performance gates, so the
+#: benches act as an execution check of the construction/query pipelines
+#: rather than a timing experiment.  Enabled with ``REPRO_BENCH_SMOKE=1``.
+BENCH_SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
 
 #: Document counts used by the Table 2/3 benches.  The paper sweeps
 #: 100..2000 real ENA files; we sweep a scaled version of that range on the
 #: synthetic archive (pure-Python document synthesis is the slow part, and
 #: the scaling shape is already visible at these sizes).
-TABLE2_FILE_COUNTS = (25, 50, 100)
+TABLE2_FILE_COUNTS = (5, 10) if BENCH_SMOKE else (25, 50, 100)
 
 #: k-mer length for the benches; 15 keeps pure-Python document synthesis fast
 #: while behaving identically to k = 31 from the index structures' viewpoint

@@ -20,7 +20,7 @@ import pytest
 from repro.experiments.genomics import build_all_indexes
 from repro.utils.timing import Timer
 
-from _bench_utils import TABLE2_FILE_COUNTS, print_table
+from _bench_utils import BENCH_SMOKE, TABLE2_FILE_COUNTS, print_table
 
 METHODS = ("rambo", "cobs", "sbt", "howdesbt")
 
@@ -63,6 +63,8 @@ def test_table2_construction_scaling_shape(benchmark, genomics_experiments):
     rows = benchmark.pedantic(measure_all, rounds=1, iterations=1)
     print_table("Table 2 (construction wall-clock seconds, McCortex)", rows)
 
+    if BENCH_SMOKE:
+        return
     counts = sorted(genomics_experiments)
     rambo_times = [rows["rambo"][f"files={c}"] for c in counts]
     # Roughly linear growth: time ratio should not blow up faster than ~2x the
@@ -108,4 +110,53 @@ def test_table2_mccortex_build_cheaper_than_fastq(benchmark, fastq_experiment):
         "Table 2 (RAMBO construction by input format, 25 files)",
         {"rambo": {"fastq_s": fastq_seconds, "mccortex_s": mccortex_seconds}},
     )
-    assert mccortex_seconds < fastq_seconds
+    if not BENCH_SMOKE:
+        assert mccortex_seconds < fastq_seconds
+
+
+@pytest.mark.benchmark(group="table2-construction-bulk")
+def test_bulk_insert_vs_scalar_construction(benchmark, genomics_experiments):
+    """The vectorised write pipeline must beat the scalar path >= 3x.
+
+    The scalar reference (``Rambo.add_document_scalar``) hashes one term at a
+    time through pure-Python MurmurHash3 — the pre-batch write path.  The
+    bulk path hashes each document's term-code array in one vectorised pass
+    and scatters it with word-OR bulk sets.  Both must produce *bit-identical*
+    indexes (also property-tested in tests/test_bulk_construction.py); here
+    we gate the speedup the batch pipeline exists for.
+    """
+    from repro.core.config import configure_from_sample
+    from repro.core.rambo import Rambo
+
+    experiment = genomics_experiments[max(genomics_experiments)]
+    documents = experiment.dataset.documents
+    config = configure_from_sample(documents, fp_rate=0.01, k=experiment.k, seed=experiment.seed)
+
+    def build_both():
+        scalar_index = Rambo(config)
+        with Timer() as scalar_timer:
+            for document in documents:
+                scalar_index.add_document_scalar(document)
+        bulk_index = Rambo(config)
+        with Timer() as bulk_timer:
+            bulk_index.add_documents(documents)
+        return scalar_timer.wall_seconds, bulk_timer.wall_seconds, scalar_index, bulk_index
+
+    scalar_s, bulk_s, scalar_index, bulk_index = benchmark.pedantic(
+        build_both, rounds=1, iterations=1
+    )
+    speedup = scalar_s / max(bulk_s, 1e-9)
+    print_table(
+        f"Table 2 (scalar vs bulk construction, {len(documents)} files)",
+        {"rambo": {"scalar_s": scalar_s, "bulk_s": bulk_s, "speedup": speedup}},
+    )
+    # Bit-identical construction: every BFU payload and item count agrees.
+    for r in range(config.repetitions):
+        for b in range(config.num_partitions):
+            assert scalar_index.bfu(r, b) == bulk_index.bfu(r, b)
+            assert scalar_index.bfu(r, b).num_items == bulk_index.bfu(r, b).num_items
+    if not BENCH_SMOKE:
+        assert speedup >= 3.0, (
+            f"bulk construction speedup {speedup:.2f}x below the 3x gate "
+            f"(scalar {scalar_s:.3f}s vs bulk {bulk_s:.3f}s)"
+        )

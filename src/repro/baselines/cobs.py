@@ -17,7 +17,7 @@ each folder's filters from its largest member, mirroring COBS' memory saving.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -65,6 +65,7 @@ class CobsIndex(MembershipIndex):
         self.k = k
         self.seed = seed
         self._doc_names: List[str] = []
+        self._doc_name_set: set = set()
         # Row-major bit matrix: _rows[bit_position] is a BitArray over documents.
         # Rows are materialised lazily (documents arrive one by one) as a list
         # of per-document column filters, then sliced on demand.
@@ -91,18 +92,32 @@ class CobsIndex(MembershipIndex):
     # -- construction --------------------------------------------------------------
 
     def add_document(self, document: KmerDocument) -> None:
-        """Build the document's Bloom-filter column and append it to the matrix."""
-        if document.name in self._doc_names:
+        """Build the document's Bloom-filter column and append it to the matrix.
+
+        Bulk column build: the whole term set is hashed in one vectorised
+        pass and written into the column with a single word-OR scatter —
+        bit-identical to the per-term scalar loop it replaced.
+        """
+        if document.name in self._doc_name_set:
             raise ValueError(f"document {document.name!r} already indexed")
         column = BitArray(self.num_bits)
-        for term in document.terms:
-            column.set_many(self._positions(term))
+        if len(document):
+            column.set_many(self._positions_matrix(document.hash_keys()).ravel())
         self._doc_names.append(document.name)
+        self._doc_name_set.add(document.name)
         self._columns.append(column)
         self._row_cache = None
 
     def _positions(self, term: Term) -> List[int]:
         return double_hashes(_normalise_key(term), self.num_hashes, self.num_bits, self.seed)
+
+    def _positions_matrix(self, terms: Union[Sequence[Term], np.ndarray]) -> np.ndarray:
+        """``(n_terms, eta)`` probe matrix; term-code arrays digest whole.
+
+        Key normalisation (ints vectorise, str/bytes fall back per key) is
+        centralised in :func:`double_hashes_batch`.
+        """
+        return double_hashes_batch(terms, self.num_hashes, self.num_bits, self.seed)
 
     def _ensure_row_major(self) -> np.ndarray:
         """Dense bit matrix of shape (num_bits, num_documents) as uint8.
@@ -156,11 +171,7 @@ class CobsIndex(MembershipIndex):
         num_docs = len(self._doc_names)
         results: List[QueryResult] = []
         for chunk in iter_term_chunks(terms):
-            # Integer terms (2-bit k-mer codes) go straight to the vectorised
-            # murmur path; _normalise_key would turn them into bytes and
-            # force the scalar fallback.
-            keys = [term if isinstance(term, int) else _normalise_key(term) for term in chunk]
-            positions = double_hashes_batch(keys, self.num_hashes, self.num_bits, self.seed)
+            positions = self._positions_matrix(list(chunk))
             # Incremental AND over the eta rows (the vector form of the
             # scalar query_term loop) keeps the peak intermediate at one
             # (chunk, num_documents) array instead of eta of them; the

@@ -9,7 +9,7 @@ construction it has neither false positives nor false negatives.
 from __future__ import annotations
 
 import sys
-from typing import Dict, List, Set
+from typing import Dict, Iterable, List, Set
 
 from repro.core.base import MembershipIndex, QueryResult, Term
 from repro.kmers.extraction import DEFAULT_K, KmerDocument
@@ -28,6 +28,7 @@ class InvertedIndex(MembershipIndex):
         self.k = k
         self._postings: Dict[Term, Set[str]] = {}
         self._doc_names: List[str] = []
+        self._name_set: Set[str] = set()
 
     @property
     def document_names(self) -> List[str]:
@@ -35,11 +36,28 @@ class InvertedIndex(MembershipIndex):
 
     def add_document(self, document: KmerDocument) -> None:
         """Append every term of the document to its posting list."""
-        if document.name in self._doc_names:
-            raise ValueError(f"document {document.name!r} already indexed")
-        self._doc_names.append(document.name)
-        for term in document.terms:
-            self._postings.setdefault(term, set()).add(document.name)
+        self.add_documents((document,))
+
+    def add_documents(self, documents: Iterable[KmerDocument]) -> None:
+        """Bulk insert: one duplicate check per batch, then posting appends.
+
+        Mirrors the ``add_many`` path the probabilistic structures gained so
+        the construction benchmarks compare like for like; duplicate names
+        (within the batch or against the index) are rejected before any
+        posting is written.
+        """
+        docs = list(documents)
+        batch_names = set()
+        for doc in docs:
+            if doc.name in self._name_set or doc.name in batch_names:
+                raise ValueError(f"document {doc.name!r} already indexed")
+            batch_names.add(doc.name)
+        postings = self._postings
+        for doc in docs:
+            self._doc_names.append(doc.name)
+            self._name_set.add(doc.name)
+            for term in doc.terms:
+                postings.setdefault(term, set()).add(doc.name)
 
     def query_term(self, term: Term) -> QueryResult:
         """Exact posting-list lookup; ``filters_probed`` counts one dict probe."""

@@ -97,8 +97,10 @@ class SequenceBloomTree(MembershipIndex):
     # -- construction ------------------------------------------------------------------
 
     def _leaf_filter(self, document: KmerDocument) -> BloomFilter:
+        # One vectorised hash pass over the whole term set (term-code arrays
+        # digest without any per-key Python work).
         bloom = BloomFilter(self.num_bits, self.num_hashes, self.seed)
-        bloom.update(document.terms)
+        bloom.add_many(document.hash_keys())
         return bloom
 
     @staticmethod

@@ -24,10 +24,12 @@ from __future__ import annotations
 
 from typing import List, Optional
 
+import numpy as np
+
 from repro.bloom.bitarray import BitArray
 from repro.bloom.bloom_filter import BloomFilter, _normalise_key, optimal_num_bits
 from repro.core.base import MembershipIndex, QueryResult, Term
-from repro.hashing.murmur3 import double_hashes
+from repro.hashing.murmur3 import double_hashes, double_hashes_batch
 from repro.kmers.extraction import DEFAULT_K, KmerDocument
 
 
@@ -110,10 +112,15 @@ class SplitSequenceBloomTree(MembershipIndex):
         return double_hashes(_normalise_key(term), self.num_hashes, self.num_bits, self.seed)
 
     def _leaf_bits(self, document: KmerDocument) -> BitArray:
+        # Bulk leaf build: one batched hash pass, one word-OR scatter.
         bits = BitArray(self.num_bits)
-        for term in document.terms:
-            bits.set_many(self._positions(term))
+        if len(document):
+            bits.set_many(self._positions_matrix(document.hash_keys()).ravel())
         return bits
+
+    def _positions_matrix(self, terms) -> "np.ndarray":
+        # Key normalisation is centralised in double_hashes_batch.
+        return double_hashes_batch(terms, self.num_hashes, self.num_bits, self.seed)
 
     def _build(self) -> None:
         """Bottom-up balanced construction by pairing adjacent subtrees."""

@@ -162,18 +162,64 @@ class BitArray:
         word = self._words[index // _WORD_BITS]
         return bool((word >> np.uint64(index % _WORD_BITS)) & np.uint64(1))
 
-    def set_many(self, indices: Iterable[int]) -> None:
-        """Set several bits; accepts any iterable of indices."""
-        idx = np.fromiter((self._check_index(i) for i in indices), dtype=np.int64)
+    def _check_indices(self, indices: Union[Iterable[int], np.ndarray]) -> np.ndarray:
+        """Validated ``int64`` index array (vectorised for numpy inputs).
+
+        Numpy integer arrays — the probe-position matrices the batched hash
+        kernel emits — are bounds-checked with two array comparisons instead
+        of a per-element Python generator; any other iterable keeps the
+        scalar semantics (including negative-index wrap) of
+        :meth:`_check_index`.
+        """
+        if isinstance(indices, np.ndarray) and np.issubdtype(indices.dtype, np.integer):
+            flat = indices.ravel()
+            if flat.size == 0:
+                return flat.astype(np.int64, copy=False)
+            if np.issubdtype(indices.dtype, np.unsignedinteger):
+                # Bounds-check in the unsigned dtype first: a blind int64
+                # cast would wrap values >= 2**63 to negative and silently
+                # hit the wrong bit instead of raising like the scalar path.
+                bad = flat >= np.uint64(self._size)
+                if bad.any():
+                    offender = int(flat[int(np.argmax(bad))])
+                    raise IndexError(
+                        f"bit index {offender} out of range for size {self._size}"
+                    )
+                return flat.astype(np.int64, copy=False)
+            idx = flat.astype(np.int64, copy=False)
+            negative = idx < 0
+            if negative.any():
+                idx = np.where(negative, idx + self._size, idx)
+            bad = (idx < 0) | (idx >= self._size)
+            if bad.any():
+                offender = int(flat[int(np.argmax(bad))])
+                raise IndexError(
+                    f"bit index {offender} out of range for size {self._size}"
+                )
+            return idx
+        return np.fromiter((self._check_index(i) for i in indices), dtype=np.int64)
+
+    def set_many(self, indices: Union[Iterable[int], np.ndarray]) -> None:
+        """Set several bits in one word-OR scatter.
+
+        Accepts any iterable of indices; a numpy integer array (of any shape
+        — position matrices are flattened) is the fast path: one vectorised
+        bounds check, then a single unbuffered ``bitwise_or`` scatter over
+        the backing words.  This is the write-side twin of
+        :func:`probe_words_batch` and the primitive every batched insert
+        (``BloomFilter.add_many``, the RAMBO construction pipeline, the COBS
+        column build) bottoms out in.
+        """
+        idx = self._check_indices(indices)
         if idx.size == 0:
             return
         np.bitwise_or.at(
             self._words, idx // _WORD_BITS, np.uint64(1) << (idx % _WORD_BITS).astype(np.uint64)
         )
 
-    def get_many(self, indices: Iterable[int]) -> np.ndarray:
+    def get_many(self, indices: Union[Iterable[int], np.ndarray]) -> np.ndarray:
         """Boolean array of the bits at *indices* (order preserved)."""
-        idx = np.fromiter((self._check_index(i) for i in indices), dtype=np.int64)
+        idx = self._check_indices(indices)
         if idx.size == 0:
             return np.zeros(0, dtype=bool)
         words = self._words[idx // _WORD_BITS]

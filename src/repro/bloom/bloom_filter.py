@@ -11,12 +11,19 @@ makes merging (union) and fold-over meaningful.
 from __future__ import annotations
 
 import math
-from typing import Iterable, List, Union
+from itertools import islice
+from typing import Iterable, List, Sequence, Union
 
-from repro.bloom.bitarray import BitArray
-from repro.hashing.murmur3 import double_hashes
+import numpy as np
+
+from repro.bloom.bitarray import BitArray, probe_words_batch
+from repro.hashing.murmur3 import double_hashes, double_hashes_batch
 
 Key = Union[str, bytes, int]
+
+#: Keys per slice in the bulk membership probe; bounds the position-matrix
+#: intermediates while keeping the conjunctive short-circuit responsive.
+BULK_PROBE_CHUNK_KEYS = 2048
 
 
 def optimal_num_bits(num_items: int, fp_rate: float) -> int:
@@ -41,12 +48,21 @@ def optimal_num_hashes(num_bits: int, num_items: int) -> int:
 
 
 def _normalise_key(key: Key) -> bytes:
-    """Keys may be strings, bytes, or integers (2-bit encoded k-mers)."""
+    """Keys may be strings, bytes(-like), or integers (2-bit encoded k-mers).
+
+    Accepts exactly what the batched contract
+    (:func:`repro.hashing.murmur3.normalise_batch_key`) accepts — including
+    bytearray/memoryview and numpy integer scalars — so any key that can be
+    inserted can also be looked up through the scalar path.
+    """
     if isinstance(key, bytes):
         return key
+    if isinstance(key, (bytearray, memoryview)):
+        return bytes(key)
     if isinstance(key, str):
         return key.encode("utf-8")
-    if isinstance(key, int):
+    if isinstance(key, (int, np.integer)):
+        key = int(key)
         if key < 0:
             raise ValueError(f"integer keys must be non-negative, got {key}")
         return key.to_bytes(8, "little")
@@ -93,15 +109,44 @@ class BloomFilter:
     def _positions(self, key: Key) -> List[int]:
         return double_hashes(_normalise_key(key), self.num_hashes, self.num_bits, self.seed)
 
-    def add(self, key: Key) -> None:
-        """Insert a key (idempotent in the bit array, counted per call)."""
-        self.bits.set_many(self._positions(key))
-        self.num_items += 1
+    def _positions_matrix(self, keys: Union[Sequence[Key], np.ndarray]) -> np.ndarray:
+        """``(n_keys, eta)`` probe matrix from one vectorised hash pass.
 
-    def update(self, keys: Iterable[Key]) -> None:
-        """Insert many keys."""
-        for key in keys:
-            self.add(key)
+        Row ``i`` equals ``_positions(keys[i])`` exactly; a numpy integer
+        array is digested whole with zero per-key Python work.  Key-type
+        normalisation and validation live inside :func:`double_hashes_batch`.
+        """
+        return double_hashes_batch(keys, self.num_hashes, self.num_bits, self.seed)
+
+    def add(self, key: Key) -> None:
+        """Insert a key (idempotent in the bit array, counted per call).
+
+        Thin scalar wrapper over :meth:`add_many`, kept so single-key
+        streaming inserts share one write path with the bulk pipeline.
+        """
+        self.add_many((key,))
+
+    def add_many(self, keys: Union[Iterable[Key], np.ndarray]) -> int:
+        """Insert a batch of keys; returns the number of keys inserted.
+
+        One vectorised hash pass produces the whole ``(n, eta)`` position
+        matrix, and one word-OR scatter writes it into the bit array —
+        bit-identical to calling :meth:`add` per key (OR is commutative), at
+        a fraction of the per-key cost.  Numpy integer arrays (2-bit k-mer
+        term codes) avoid Python-level key handling entirely.
+        """
+        if not isinstance(keys, (np.ndarray, list, tuple)):
+            keys = list(keys)
+        count = int(keys.size) if isinstance(keys, np.ndarray) else len(keys)
+        if count == 0:
+            return 0
+        self.bits.set_many(self._positions_matrix(keys).ravel())
+        self.num_items += count
+        return count
+
+    def update(self, keys: Union[Iterable[Key], np.ndarray]) -> None:
+        """Insert many keys (one batched hash pass, one bulk bit-set)."""
+        self.add_many(keys)
 
     def __contains__(self, key: Key) -> bool:
         return self.bits.all_set(self._positions(key))
@@ -110,13 +155,39 @@ class BloomFilter:
         """Membership test (no false negatives, tunable false positives)."""
         return key in self
 
-    def contains_all(self, keys: Iterable[Key]) -> bool:
+    def contains_many(self, keys: Union[Sequence[Key], np.ndarray]) -> np.ndarray:
+        """Per-key membership verdicts as one boolean array.
+
+        The single-filter instantiation of the shared
+        :func:`probe_words_batch` kernel: every key's ``eta`` probes are
+        evaluated with a handful of vectorised gathers.
+        """
+        positions = self._positions_matrix(keys)
+        if positions.shape[0] == 0:
+            return np.zeros(0, dtype=bool)
+        return probe_words_batch(self.bits.words[None, :], positions)[:, 0]
+
+    def contains_all(self, keys: Union[Iterable[Key], np.ndarray]) -> bool:
         """True iff every key appears to be a member (short-circuits on miss).
 
         This is the ``Q ∈ BFU`` predicate of Algorithm 2: a sequence query is
         a conjunction over its k-mers, and the first FALSE is conclusive.
+        Keys are probed through the batch kernel in bounded chunks, so a
+        conjunction that dies early stops after one chunk instead of hashing
+        the whole batch.
         """
-        return all(key in self for key in keys)
+        if isinstance(keys, np.ndarray):
+            chunks: Iterable = (
+                keys[start : start + BULK_PROBE_CHUNK_KEYS]
+                for start in range(0, int(keys.size), BULK_PROBE_CHUNK_KEYS)
+            )
+        else:
+            iterator = iter(keys)
+            chunks = iter(lambda: list(islice(iterator, BULK_PROBE_CHUNK_KEYS)), [])
+        for chunk in chunks:
+            if not bool(self.contains_many(chunk).all()):
+                return False
+        return True
 
     # -- metrics -------------------------------------------------------------------
 

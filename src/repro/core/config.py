@@ -79,6 +79,7 @@ def configure_from_sample(
     k: int = DEFAULT_K,
     seed: int = 0,
     sample_fraction: float = 0.05,
+    num_documents: Optional[int] = None,
 ) -> RamboConfig:
     """Full Section 5.1 parameter selection for a concrete collection.
 
@@ -87,10 +88,21 @@ def configure_from_sample(
     McCortex, R = 3 for FASTQ at K up to 2000) are well below the worst-case
     bound, and this scaling reproduces them — and the BFU size to the
     pooled-cardinality estimate.
+
+    ``num_documents`` overrides the collection size when *documents* is only
+    a sample of a larger (e.g. streamed) collection: ``B``, ``R`` and the
+    BFU size are then chosen for the full count while the per-document
+    cardinality is still pooled from the sample — exactly the paper's
+    "estimate from a tiny fraction" protocol.
     """
     if not documents:
         raise ValueError("cannot configure from an empty collection")
-    num_documents = len(documents)
+    if num_documents is None:
+        num_documents = len(documents)
+    elif num_documents < len(documents):
+        raise ValueError(
+            f"num_documents ({num_documents}) is smaller than the sample ({len(documents)})"
+        )
     if num_partitions is None:
         num_partitions = min(
             num_documents,

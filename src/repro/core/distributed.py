@@ -18,7 +18,7 @@ fold-over experiments (Table 4).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence
 
 import numpy as np
 
@@ -91,12 +91,39 @@ class DistributedRambo(MembershipIndex):
 
     def add_document(self, document: KmerDocument) -> None:
         """Route the document to its node and insert it there (no data movement)."""
-        if document.name in self._doc_node:
-            raise ValueError(f"document {document.name!r} already indexed")
-        node = self.node_of(document.name)
-        self._shards[node].add_document(document)
-        self._doc_node[document.name] = node
-        self._doc_names.append(document.name)
+        self.add_documents((document,))
+
+    def add_documents(self, documents: Iterable[KmerDocument]) -> None:
+        """Route a whole batch: group by node, one batched shard insert each.
+
+        Each shard receives its documents through :meth:`Rambo.add_documents`
+        (one vectorised hash pass per document, cache invalidation amortised
+        per shard batch), and the shard-local → global doc-id maps are
+        invalidated once for the whole batch instead of per document.
+        Duplicate names and invalid term keys are rejected before any shard
+        or bookkeeping state is mutated, so a failed batch leaves the index
+        exactly as it was.
+        """
+        docs = list(documents)
+        if not docs:
+            return
+        batch_names = set()
+        for doc in docs:
+            if doc.name in self._doc_node or doc.name in batch_names:
+                raise ValueError(f"document {doc.name!r} already indexed")
+            batch_names.add(doc.name)
+            doc.validated_hash_keys()  # surface key errors before mutating
+        routed = [(doc, self.node_of(doc.name)) for doc in docs]
+        per_node: Dict[int, List[KmerDocument]] = {}
+        for doc, node in routed:
+            per_node.setdefault(node, []).append(doc)
+        for node, batch in per_node.items():
+            self._shards[node].add_documents(batch)
+        # Global bookkeeping is recorded only after every shard insert
+        # succeeded (which validation above guarantees), in input order.
+        for doc, node in routed:
+            self._doc_node[doc.name] = node
+            self._doc_names.append(doc.name)
         self._id_maps = None
 
     # -- query -----------------------------------------------------------------------

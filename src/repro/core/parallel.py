@@ -26,9 +26,15 @@ correctness*, which the cluster/fold pipeline reuses.
 from __future__ import annotations
 
 import concurrent.futures
+from collections import deque
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence, Tuple
+from itertools import chain, islice
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 
+import numpy as np
+
+from repro.bloom.bitarray import BitArray
+from repro.bloom.bloom_filter import BloomFilter
 from repro.core.rambo import Rambo, RamboConfig
 from repro.kmers.extraction import KmerDocument
 
@@ -72,17 +78,37 @@ def merge_indexes(parts: Sequence[Rambo]) -> Rambo:
 
     repetitions = first.repetitions
     num_partitions = first.num_partitions
-    bfus = [
-        [parts[0].bfu(r, b).copy() for b in range(num_partitions)]
-        for r in range(repetitions)
-    ]
+    # BFU merge: one raw backing-array OR per repetition.  Every part's B
+    # payloads are stacked into a (B, words) matrix and OR-accumulated in a
+    # single vectorised pass — no per-filter union loop.  The merged filters
+    # are views into the accumulator rows, so each repetition's BFU bits
+    # live in one contiguous block (which is also what the batched query
+    # engine re-stacks into its bit cache).
+    bfus: List[List[BloomFilter]] = []
+    for r in range(repetitions):
+        accumulator = np.stack([bfu.bits.words for bfu in parts[0]._bfus[r]])  # noqa: SLF001
+        for part in parts[1:]:
+            np.bitwise_or(
+                accumulator,
+                np.stack([bfu.bits.words for bfu in part._bfus[r]]),  # noqa: SLF001
+                out=accumulator,
+            )
+        row: List[BloomFilter] = []
+        for b in range(num_partitions):
+            template = first.bfu(r, b)
+            merged = BloomFilter(template.num_bits, template.num_hashes, template.seed)
+            merged.bits = BitArray(template.num_bits, accumulator[b])
+            merged.num_items = sum(part.bfu(r, b).num_items for part in parts)
+            row.append(merged)
+        bfus.append(row)
+
     doc_names: List[str] = []
     assignments: List[List[int]] = [[] for _ in range(repetitions)]
     members: List[List[List[int]]] = [
         [[] for _ in range(num_partitions)] for _ in range(repetitions)
     ]
     # Document ids are re-assigned part by part, in order.
-    for part_index, part in enumerate(parts):
+    for part in parts:
         offset = len(doc_names)
         doc_names.extend(part.document_names)
         for r in range(repetitions):
@@ -90,8 +116,6 @@ def merge_indexes(parts: Sequence[Rambo]) -> Rambo:
             for b in range(num_partitions):
                 part_members = part._members[r][b]  # noqa: SLF001
                 members[r][b].extend(offset + doc_id for doc_id in part_members)
-                if part_index > 0:
-                    bfus[r][b].union_inplace(part.bfu(r, b))
     return Rambo._from_parts(  # noqa: SLF001
         first.config, bfus, doc_names, assignments, members
     )
@@ -130,27 +154,73 @@ class ParallelBuilder:
         if self.chunk_size is not None and self.chunk_size < 1:
             raise ValueError(f"chunk_size must be >= 1, got {self.chunk_size}")
 
-    def _chunks(self, documents: Sequence[KmerDocument]) -> List[Sequence[KmerDocument]]:
-        if not documents:
-            return []
+    def _chunks(self, documents: Iterable[KmerDocument]) -> Iterator[List[KmerDocument]]:
+        """Yield document batches without materialising the whole stream.
+
+        With an explicit ``chunk_size`` the input is consumed lazily (only
+        one chunk is resident at a time on the sequential path), which is
+        what lets the CLI stream an arbitrarily large directory through the
+        builder in bounded memory.  Without one, an even split across
+        workers requires the total count, so the stream is materialised.
+        """
         size = self.chunk_size
         if size is None:
+            documents = list(documents)
+            if not documents:
+                return
             size = max(1, (len(documents) + self.workers - 1) // self.workers)
-        return [documents[start : start + size] for start in range(0, len(documents), size)]
+        iterator = iter(documents)
+        while True:
+            chunk = list(islice(iterator, size))
+            if not chunk:
+                return
+            yield chunk
 
     def build(self, documents: Iterable[KmerDocument]) -> Rambo:
         """Build the full index over *documents*.
 
-        The result is independent of the chunking and of the worker count —
-        a property the test suite asserts against a sequential build.
+        Each chunk goes through the batched insert pipeline
+        (:meth:`Rambo.add_documents`) and completed partials are folded into
+        a single accumulator as they arrive (a left-fold of
+        :func:`merge_indexes`, which is order-preserving and equivalent to
+        one flat merge), so peak memory is one accumulator index plus a
+        window of in-flight chunks — never ``num_chunks`` full indexes.  The
+        result is independent of the chunking and of the worker count — a
+        property the test suite asserts against a sequential build.
         """
-        documents = list(documents)
         chunks = self._chunks(documents)
-        if not chunks:
-            return Rambo(self.config)
-        if self.workers == 1 or len(chunks) == 1:
-            parts = [_build_partial(self.config, chunk) for chunk in chunks]
+        if self.workers == 1:
+            parts: Iterator[Rambo] = (_build_partial(self.config, chunk) for chunk in chunks)
         else:
-            with concurrent.futures.ProcessPoolExecutor(max_workers=self.workers) as pool:
-                parts = list(pool.map(_build_partial, [self.config] * len(chunks), chunks))
-        return merge_indexes(parts)
+            parts = self._iter_parts_parallel(chunks)
+        merged: Optional[Rambo] = None
+        for part in parts:
+            merged = part if merged is None else merge_indexes((merged, part))
+        return merged if merged is not None else Rambo(self.config)
+
+    def _iter_parts_parallel(self, chunks: Iterator[List[KmerDocument]]) -> Iterator[Rambo]:
+        """Yield chunk partials from a process pool with a bounded window.
+
+        Chunks are submitted through a sliding window of ``2 * workers``
+        in-flight futures (``pool.map`` would drain the whole generator
+        upfront), so at most a window's worth of document batches is ever
+        resident/pickled at once.  Parts are yielded in submission order,
+        keeping the rolling merge deterministic.  A single-chunk input skips
+        the pool entirely, like the sequential path.
+        """
+        first = next(chunks, None)
+        if first is None:
+            return
+        second = next(chunks, None)
+        if second is None:
+            yield _build_partial(self.config, first)
+            return
+        window = 2 * self.workers
+        pending: deque = deque()
+        with concurrent.futures.ProcessPoolExecutor(max_workers=self.workers) as pool:
+            for chunk in chain((first, second), chunks):
+                pending.append(pool.submit(_build_partial, self.config, chunk))
+                if len(pending) >= window:
+                    yield pending.popleft().result()
+            while pending:
+                yield pending.popleft().result()

@@ -218,30 +218,84 @@ def _murmur3_u64_batch(values: np.ndarray, seed: int = 0) -> Tuple[np.ndarray, n
     return h1, h2
 
 
+def normalise_batch_key(key: Union[int, BytesLike]) -> Union[int, BytesLike]:
+    """Normalise and validate one key against the batch-hash contract.
+
+    The single source of truth for what the batched digest accepts: bools
+    and numpy integer scalars become plain ints; negative ints raise
+    ``ValueError``, >64-bit ints raise ``OverflowError``, and anything that
+    is not an int/str/bytes raises ``TypeError`` — the same errors the
+    scalar ``_normalise_key`` path produces.  Shared by
+    :func:`double_hashes_batch` and the upfront batch validators
+    (``KmerDocument.validated_hash_keys``) so pre-validation can never
+    drift from what hashing actually accepts.
+    """
+    if isinstance(key, (bool, np.integer)):
+        key = int(key)
+    if isinstance(key, int):
+        if key < 0:
+            raise ValueError(f"integer keys must be non-negative, got {key}")
+        if key >= 1 << 64:
+            raise OverflowError(f"integer keys must fit 64 bits, got {key}")
+    elif not isinstance(key, (str, bytes, bytearray, memoryview)):
+        raise TypeError(f"unsupported key type: {type(key)!r}")
+    return key
+
+
+def _derive_positions(h1: np.ndarray, h2: np.ndarray, count: int, modulus: int) -> np.ndarray:
+    """Kirsch--Mitzenmacher position derivation on uint64 digest arrays.
+
+    ``(h1 + i*h2) % m == (h1%m + i*(h2%m)) % m`` in exact arithmetic;
+    reducing the operands first keeps every intermediate below 2**64 so the
+    uint64 computation matches the arbitrary-precision scalar path bit for
+    bit (the caller guarantees ``count * modulus < 2**64``).
+    """
+    m = np.uint64(modulus)
+    steps = np.arange(count, dtype=np.uint64)
+    h2 = h2 | np.uint64(1)
+    return ((h1[:, None] % m + steps[None, :] * (h2[:, None] % m)) % m).astype(np.int64)
+
+
 def double_hashes_batch(
-    keys: Sequence[Union[int, BytesLike]], count: int, modulus: int, seed: int = 0
+    keys: Union[Iterable[Union[int, BytesLike]], np.ndarray],
+    count: int,
+    modulus: int,
+    seed: int = 0,
 ) -> np.ndarray:
     """Batched :func:`double_hashes`: an ``(n_keys, count)`` position matrix.
 
     Row ``i`` equals ``double_hashes(keys[i], count, modulus, seed)`` exactly.
-    Integer keys (2-bit k-mer codes) are digested in one vectorised numpy
-    pass; string/bytes keys fall back to the scalar MurmurHash3 per key, with
-    the position derivation still vectorised.
+    A numpy integer array (the term-code arrays the readers and simulators
+    produce) is digested whole — no per-key Python work at all; any other
+    iterable of keys is normalised and validated here (the single home of
+    the key contract every batch caller shares) and partitioned so integer
+    keys (2-bit k-mer codes) still go through the vectorised pass while
+    string/bytes keys fall back to the scalar MurmurHash3 per key, with the
+    position derivation vectorised in both cases.
     """
     if count <= 0:
         raise ValueError(f"count must be positive, got {count}")
     if modulus <= 0:
         raise ValueError(f"modulus must be positive, got {modulus}")
-    # Bools are ints to the scalar path (_normalise_key encodes True as 1);
-    # normalise them first so the type partition below treats them the same.
-    keys = [int(key) if isinstance(key, bool) else key for key in keys]
+    exact_fallback = count * modulus >= 1 << 64 or modulus >= 1 << 63
+    if isinstance(keys, np.ndarray):
+        if keys.ndim != 1:
+            raise ValueError(f"keys array must be 1-D, got shape {keys.shape}")
+        if not np.issubdtype(keys.dtype, np.integer):
+            raise TypeError(f"keys array must have an integer dtype, got {keys.dtype}")
+        if np.issubdtype(keys.dtype, np.signedinteger) and keys.size and int(keys.min()) < 0:
+            # Same error contract as the scalar path's _normalise_key.
+            raise ValueError(f"integer keys must be non-negative, got {int(keys.min())}")
+        if not exact_fallback:
+            if keys.size == 0:
+                return np.zeros((0, count), dtype=np.int64)
+            h1, h2 = _murmur3_u64_batch(keys, seed)
+            return _derive_positions(h1, h2, count, modulus)
+        keys = [int(key) for key in keys]
+    keys = [normalise_batch_key(key) for key in keys]
     if not keys:
         return np.zeros((0, count), dtype=np.int64)
-    for key in keys:
-        if isinstance(key, int) and key < 0:
-            # Same error contract as the scalar path's _normalise_key.
-            raise ValueError(f"integer keys must be non-negative, got {key}")
-    if count * modulus >= 1 << 64 or modulus >= 1 << 63:
+    if exact_fallback:
         # The uint64 position derivation below could wrap, and the int64
         # result dtype cannot represent positions >= 2**63; such geometries
         # never occur in practice but exactness is part of the contract.
@@ -266,29 +320,18 @@ def double_hashes_batch(
             int_rows.append(i)
         else:
             other_rows.append(i)
-    m = np.uint64(modulus)
-    steps = np.arange(count, dtype=np.uint64)
-
-    def derive(h1: np.ndarray, h2: np.ndarray) -> np.ndarray:
-        h2 = h2 | np.uint64(1)
-        # (h1 + i*h2) % m == (h1%m + i*(h2%m)) % m in exact arithmetic;
-        # reducing the operands first keeps every intermediate below 2**64
-        # so the uint64 computation matches the arbitrary-precision scalar
-        # path bit for bit.
-        return ((h1[:, None] % m + steps[None, :] * (h2[:, None] % m)) % m).astype(np.int64)
-
     positions = np.empty((len(keys), count), dtype=np.int64)
     if int_rows:
         h1, h2 = _murmur3_u64_batch(
             np.asarray([keys[i] for i in int_rows], dtype=np.uint64), seed
         )
-        positions[int_rows] = derive(h1, h2)
+        positions[int_rows] = _derive_positions(h1, h2, count, modulus)
     if other_rows:
         digests = np.asarray(
             [murmur3_x64_128(_as_bytes(keys[i]), seed) for i in other_rows],
             dtype=np.uint64,
         )
-        positions[other_rows] = derive(digests[:, 0], digests[:, 1])
+        positions[other_rows] = _derive_positions(digests[:, 0], digests[:, 1], count, modulus)
     return positions
 
 

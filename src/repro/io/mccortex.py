@@ -22,6 +22,8 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import FrozenSet, Iterable, Union
 
+import numpy as np
+
 from repro.kmers.extraction import KmerDocument
 
 PathLike = Union[str, Path]
@@ -29,32 +31,73 @@ PathLike = Union[str, Path]
 _MAGIC = "#mccortex-lite"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class McCortexFile:
-    """Parsed McCortex-lite file: sample name, k and the unique k-mer codes."""
+    """Parsed McCortex-lite file: sample name, k and the unique k-mer codes.
+
+    The codes live in a sorted ``uint64`` array so the whole
+    reader → hash → bitmap construction pipeline stays vectorised;
+    :attr:`kmers` offers the historical frozenset view for set-level
+    consumers (ground-truth checks, tests).
+    """
 
     sample: str
     k: int
-    kmers: FrozenSet[int]
+    codes: np.ndarray
+
+    def __eq__(self, other: object):
+        """Value equality over (sample, k, codes), matching the historical
+        dataclass contract (an ndarray field needs an explicit comparison).
+        Unhashable, like any value type holding a mutable array."""
+        if not isinstance(other, McCortexFile):
+            return NotImplemented
+        return (
+            self.sample == other.sample
+            and self.k == other.k
+            and bool(np.array_equal(self.codes, other.codes))
+        )
+
+    __hash__ = None
+
+    @property
+    def kmers(self) -> FrozenSet[int]:
+        """Frozenset view of :attr:`codes` (materialised on demand)."""
+        return frozenset(self.codes.tolist())
 
     def to_document(self) -> KmerDocument:
-        """View the file as an index-ready :class:`KmerDocument`."""
+        """View the file as an index-ready :class:`KmerDocument`.
+
+        The code array is handed through as-is, so indexing the document
+        hashes it with zero per-key Python work.
+        """
         return KmerDocument(
             name=self.sample,
-            terms=frozenset(self.kmers),
+            terms=self.codes,
             source_format="mccortex",
-            sequence_length=len(self.kmers) + self.k - 1 if self.kmers else 0,
+            sequence_length=int(self.codes.size) + self.k - 1 if self.codes.size else 0,
         )
 
 
-def write_mccortex(path: PathLike, sample: str, k: int, kmers: Iterable[int]) -> int:
+def write_mccortex(
+    path: PathLike, sample: str, k: int, kmers: Union[Iterable[int], np.ndarray]
+) -> int:
     """Serialise unique k-mer codes; returns the number of k-mers written."""
     if k <= 0:
         raise ValueError(f"k must be positive, got {k}")
-    codes = sorted(set(int(code) for code in kmers))
-    for code in codes:
-        if code < 0 or code >> (2 * k):
-            raise ValueError(f"k-mer code {code} does not fit k={k}")
+    if isinstance(kmers, np.ndarray):
+        if not np.issubdtype(kmers.dtype, np.integer):
+            raise TypeError(f"k-mer arrays must have an integer dtype, got {kmers.dtype}")
+        if np.issubdtype(kmers.dtype, np.signedinteger) and kmers.size and int(kmers.min()) < 0:
+            raise ValueError(f"k-mer code {int(kmers.min())} does not fit k={k}")
+        codes_arr = np.unique(np.ascontiguousarray(kmers.ravel(), dtype=np.uint64))
+        if codes_arr.size and int(codes_arr[-1]) >> (2 * k):
+            raise ValueError(f"k-mer code {int(codes_arr[-1])} does not fit k={k}")
+        codes = codes_arr.tolist()
+    else:
+        codes = sorted(set(int(code) for code in kmers))
+        for code in codes:
+            if code < 0 or code >> (2 * k):
+                raise ValueError(f"k-mer code {code} does not fit k={k}")
     with open(path, "w", encoding="utf-8") as handle:
         handle.write(f"{_MAGIC} k={k} kmers={len(codes)} sample={sample}\n")
         for code in codes:
@@ -63,7 +106,11 @@ def write_mccortex(path: PathLike, sample: str, k: int, kmers: Iterable[int]) ->
 
 
 def read_mccortex(path: PathLike) -> McCortexFile:
-    """Parse a McCortex-lite file, validating the header and the k-mer count."""
+    """Parse a McCortex-lite file, validating the header and the k-mer count.
+
+    The k-mer codes are returned as a sorted, deduplicated ``uint64`` array —
+    the form the construction pipeline consumes directly.
+    """
     with open(path, "r", encoding="utf-8") as handle:
         header = handle.readline().rstrip("\n")
         if not header.startswith(_MAGIC):
@@ -77,13 +124,14 @@ def read_mccortex(path: PathLike) -> McCortexFile:
             sample = fields["sample"]
         except KeyError as exc:
             raise ValueError(f"McCortex-lite header missing field: {exc}") from exc
-        codes = set()
-        for line in handle:
-            line = line.strip()
-            if line:
-                codes.add(int(line, 16))
-    if len(codes) != expected:
-        raise ValueError(
-            f"McCortex-lite file {path} is corrupt: header says {expected} k-mers, found {len(codes)}"
+        codes = np.unique(
+            np.fromiter(
+                (int(line, 16) for line in handle if line.strip()),
+                dtype=np.uint64,
+            )
         )
-    return McCortexFile(sample=sample, k=k, kmers=frozenset(codes))
+    if int(codes.size) != expected:
+        raise ValueError(
+            f"McCortex-lite file {path} is corrupt: header says {expected} k-mers, found {int(codes.size)}"
+        )
+    return McCortexFile(sample=sample, k=k, codes=codes)

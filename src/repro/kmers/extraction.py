@@ -9,10 +9,12 @@ raw sequence length).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Union
 
+import numpy as np
+
 from repro.hashing.kmer_hash import RollingKmerHasher
+from repro.hashing.murmur3 import normalise_batch_key
 
 Term = Union[int, str]
 
@@ -68,7 +70,6 @@ def extract_from_reads(
     return {code for code, count in counts.items() if count >= min_count}
 
 
-@dataclass
 class KmerDocument:
     """One document of the search problem: a named set of terms.
 
@@ -78,8 +79,13 @@ class KmerDocument:
         Document identifier (file accession in the paper's setting).
     terms:
         The term set — integer k-mer codes for genomic documents, strings for
-        text documents.  Stored as a frozenset so documents are safely
-        shareable between index builders.
+        text documents.  Exposed as a frozenset so documents are safely
+        shareable between index builders.  May be supplied as a numpy integer
+        array (the form the file readers and simulators emit): the unique
+        codes are then kept as a ``uint64`` array for the vectorised
+        construction pipeline and the frozenset view is materialised lazily,
+        only if a set-level consumer (ground truth, jaccard, workload
+        planting) asks for it — the write path never does.
     source_format:
         Provenance tag: ``"fastq"``, ``"fasta"``, ``"mccortex"`` or ``"text"``.
     sequence_length:
@@ -87,18 +93,133 @@ class KmerDocument:
         size-statistics reports mirroring Section 5.2's dataset statistics).
     """
 
-    name: str
-    terms: FrozenSet[Term]
-    source_format: str = "fasta"
-    sequence_length: int = 0
+    __slots__ = ("name", "source_format", "sequence_length", "_terms", "_codes")
 
-    def __post_init__(self) -> None:
-        if not self.name:
+    def __init__(
+        self,
+        name: str,
+        terms: Union[FrozenSet[Term], Iterable[Term], np.ndarray],
+        source_format: str = "fasta",
+        sequence_length: int = 0,
+    ) -> None:
+        if not name:
             raise ValueError("document name must be non-empty")
-        if not isinstance(self.terms, frozenset):
-            object.__setattr__(self, "terms", frozenset(self.terms))
+        self.name = name
+        self.source_format = source_format
+        self.sequence_length = sequence_length
+        # _codes: None = not derived yet; False = terms are not pure integer
+        # codes (False rather than a module sentinel so the cached state
+        # survives pickling to process-pool workers).
+        self._codes: Union[np.ndarray, None, bool] = None
+        self._terms: Optional[FrozenSet[Term]] = None
+        if isinstance(terms, np.ndarray):
+            if not np.issubdtype(terms.dtype, np.integer):
+                raise TypeError(
+                    f"term arrays must have an integer dtype, got {terms.dtype}"
+                )
+            if np.issubdtype(terms.dtype, np.signedinteger) and terms.size and int(terms.min()) < 0:
+                raise ValueError(
+                    f"integer keys must be non-negative, got {int(terms.min())}"
+                )
+            codes = np.unique(np.ascontiguousarray(terms.ravel(), dtype=np.uint64))
+            codes.setflags(write=False)
+            self._codes = codes
+        elif isinstance(terms, frozenset):
+            self._terms = terms
+        else:
+            self._terms = frozenset(terms)
+
+    @property
+    def terms(self) -> FrozenSet[Term]:
+        """The term set (materialised lazily for code-array documents)."""
+        if self._terms is None:
+            assert isinstance(self._codes, np.ndarray)
+            self._terms = frozenset(self._codes.tolist())
+        return self._terms
+
+    def term_codes(self) -> Optional[np.ndarray]:
+        """Sorted ``uint64`` array of the terms when all are integer codes.
+
+        Returns ``None`` for documents with string terms (text corpora).
+        Computed once and cached (read-only), so repeated index builds over
+        the same documents — the benchmark comparisons — hash straight from
+        the array.
+        """
+        if self._codes is None:
+            terms = self.terms
+            if terms and all(
+                isinstance(t, (int, np.integer))
+                and not isinstance(t, bool)
+                and 0 <= int(t) < 1 << 64
+                for t in terms
+            ):
+                codes = np.fromiter(
+                    (int(t) for t in terms), dtype=np.uint64, count=len(terms)
+                )
+                codes.sort()
+                codes.setflags(write=False)
+                self._codes = codes
+            else:
+                self._codes = False
+        return self._codes if self._codes is not False else None
+
+    def __getstate__(self):
+        return {slot: getattr(self, slot) for slot in self.__slots__}
+
+    def __setstate__(self, state) -> None:
+        for slot, value in state.items():
+            setattr(self, slot, value)
+
+    def __eq__(self, other: object):
+        if not isinstance(other, KmerDocument):
+            return NotImplemented
+        return (
+            self.name == other.name
+            and self.terms == other.terms
+            and self.source_format == other.source_format
+            and self.sequence_length == other.sequence_length
+        )
+
+    __hash__ = None  # mutable caches; match the previous dataclass semantics
+
+    def __repr__(self) -> str:
+        return (
+            f"KmerDocument(name={self.name!r}, terms={self.terms!r}, "
+            f"source_format={self.source_format!r}, sequence_length={self.sequence_length!r})"
+        )
+
+    def hash_keys(self) -> Union[np.ndarray, List[Term]]:
+        """Terms in hashing-ready form for :func:`double_hashes_batch`.
+
+        The ``uint64`` code array when the document is genomic (no Python-int
+        round-trip between reader and bitmap), otherwise a plain list.
+        """
+        codes = self.term_codes()
+        return codes if codes is not None else list(self.terms)
+
+    def validated_hash_keys(self) -> Union[np.ndarray, List[Term]]:
+        """:meth:`hash_keys` with the hashing layer's key validation upfront.
+
+        Raises the same errors hashing would (``ValueError`` for negative
+        ints, ``OverflowError`` for >64-bit ints, ``TypeError`` for
+        unsupported types) *before* any index state is mutated, which is what
+        lets the batch writers validate a whole batch and then insert
+        without a mid-batch failure leaving partial state.
+        """
+        keys = self.hash_keys()
+        if isinstance(keys, np.ndarray):
+            return keys  # already validated uint64 codes
+        for key in keys:
+            # Delegate to the hashing layer's single key contract so
+            # pre-validation can never drift from what hashing accepts.
+            normalise_batch_key(key)
+        return keys
 
     def __len__(self) -> int:
+        # Code-array documents know their (unique) cardinality without ever
+        # materialising the frozenset view.
+        if self._terms is None and isinstance(self._codes, np.ndarray):
+            return int(self._codes.size)
         return len(self.terms)
 
     def __contains__(self, term: Term) -> bool:
@@ -132,12 +253,16 @@ def document_from_sequences(
 
     This is the single entry point both file parsers and simulators use, so
     every document in the system is produced by the same extraction logic.
+    The k-mer codes are handed to the document as a ``uint64`` array, so the
+    batched construction pipeline hashes them without any per-key Python
+    work.
     """
     terms = extract_from_reads(sequences, k=k, canonical=canonical, min_count=min_count)
     total_length = sum(len(seq) for seq in sequences)
+    codes = np.fromiter(terms, dtype=np.uint64, count=len(terms))
     return KmerDocument(
         name=name,
-        terms=frozenset(terms),
+        terms=codes,
         source_format=source_format,
         sequence_length=total_length,
     )

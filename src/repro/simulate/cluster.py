@@ -79,16 +79,21 @@ class ClusterSimulator:
     def ingest(self, documents: Iterable[KmerDocument]) -> ClusterReport:
         """Stream documents through the router and build every shard.
 
-        Returns the work-accounting report; the built index is available as
-        :attr:`index` afterwards and can be stacked/folded.
+        The whole batch goes through :meth:`DistributedRambo.add_documents`
+        (grouped per node, one vectorised hash pass per document), so the
+        simulated cluster exercises the same bulk write pipeline a real
+        deployment would.  Returns the work-accounting report; the built
+        index is available as :attr:`index` afterwards and can be
+        stacked/folded.
         """
+        documents = list(documents)
+        self.index.add_documents(documents)
         for document in documents:
             node = self.index.node_of(document.name)
-            self.index.add_document(document)
             # R insertions per term (one per repetition); report per-node work
             # in term-insertions of a single repetition to match the paper's
             # per-file framing.
-            self._insertions_per_node[node] += len(document.terms)
+            self._insertions_per_node[node] += len(document)
         return self.report()
 
     def report(self) -> ClusterReport:

@@ -11,9 +11,10 @@ configured scale.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
 from typing import Dict, List, Sequence
+
+import numpy as np
 
 from repro.kmers.extraction import KmerDocument
 from repro.simulate.datasets import SyntheticDataset
@@ -71,37 +72,40 @@ class SyntheticCorpus:
     def __init__(self, config: CorpusConfig, seed: int = 0) -> None:
         self.config = config
         self.seed = seed
-        # Precompute the Zipf CDF once; sampling then is a bisect per draw.
-        weights = [1.0 / (rank**config.zipf_exponent) for rank in range(1, config.vocabulary_size + 1)]
-        total = sum(weights)
-        cumulative = []
-        acc = 0.0
-        for w in weights:
-            acc += w / total
-            cumulative.append(acc)
-        self._cdf = cumulative
-
-    def _sample_word_index(self, rng: random.Random) -> int:
-        from bisect import bisect_left
-
-        return bisect_left(self._cdf, rng.random())
+        # Precompute the Zipf CDF once (vectorised); sampling a document is
+        # then one batched uniform draw + one searchsorted gather.
+        weights = np.arange(1, config.vocabulary_size + 1, dtype=np.float64) ** (
+            -config.zipf_exponent
+        )
+        self._cdf = np.cumsum(weights / weights.sum())
 
     def document(self, index: int) -> KmerDocument:
-        """Deterministically generate the *index*-th document."""
+        """Deterministically generate the *index*-th document.
+
+        The word-rank draws happen in vectorised batches (uniforms →
+        ``searchsorted`` against the precomputed CDF → ``union1d``) instead
+        of one bisect per draw, mirroring the batched write pipeline the
+        generated documents feed.
+        """
         if index < 0:
             raise ValueError(f"index must be non-negative, got {index}")
-        rng = random.Random((self.seed * 7_368_787 + index) & 0xFFFFFFFFFFFFFFFF)
-        target = max(1, int(rng.gauss(self.config.terms_per_document, self.config.terms_per_document * 0.2)))
-        terms = set()
-        # Draw until the unique-term target is met; cap attempts to stay total.
-        attempts = 0
-        max_attempts = target * 20
-        while len(terms) < target and attempts < max_attempts:
-            terms.add(f"w{self._sample_word_index(rng):06d}")
-            attempts += 1
+        rng = np.random.default_rng((self.seed * 7_368_787 + index) & 0xFFFFFFFFFFFFFFFF)
+        target = max(
+            1,
+            int(rng.normal(self.config.terms_per_document, self.config.terms_per_document * 0.2)),
+        )
+        # One vectorised draw of the whole attempt budget, then the first
+        # `target` *distinct* ranks in draw order — exactly the distribution
+        # of the old one-draw-at-a-time loop (head words are drawn early and
+        # therefore kept; trimming must not subsample uniformly or the Zipf
+        # head would flatten).
+        draws = np.searchsorted(self._cdf, rng.random(target * 20), side="left")
+        _, first_positions = np.unique(draws, return_index=True)
+        unique = draws[np.sort(first_positions)][:target]
+        terms = frozenset(f"w{rank:06d}" for rank in unique)
         return KmerDocument(
             name=f"textdoc{index:06d}",
-            terms=frozenset(terms),
+            terms=terms,
             source_format="text",
             sequence_length=sum(len(t) for t in terms),
         )
