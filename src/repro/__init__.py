@@ -25,7 +25,7 @@ from repro.core.rambo import Rambo, RamboConfig
 from repro.core.distributed import DistributedRambo, stack_shards
 from repro.core.folding import fold_rambo, fold_to_target
 from repro.core.parallel import ParallelBuilder, merge_indexes
-from repro.core.serialization import load_index, save_index
+from repro.core.serialization import load_index, open_index, save_index
 from repro.bloom import BloomFilter, CountingBloomFilter, ScalableBloomFilter
 from repro.sketch import CountMinSketch
 from repro.kmers import KmerDocument, document_from_sequences, extract_kmers
@@ -51,6 +51,7 @@ __all__ = [
     "ParallelBuilder",
     "merge_indexes",
     "load_index",
+    "open_index",
     "save_index",
     "BloomFilter",
     "ScalableBloomFilter",

@@ -71,6 +71,9 @@ class CobsIndex(MembershipIndex):
         # of per-document column filters, then sliced on demand.
         self._columns: List[BitArray] = []
         self._row_cache: Optional[np.ndarray] = None
+        # (num_bits, words_over_docs) uint64 memmap when the index was opened
+        # from the on-disk mmap container; None for in-memory indexes.
+        self._packed_rows: Optional[np.ndarray] = None
 
     @classmethod
     def for_capacity(
@@ -98,6 +101,12 @@ class CobsIndex(MembershipIndex):
         pass and written into the column with a single word-OR scatter —
         bit-identical to the per-term scalar loop it replaced.
         """
+        if self._packed_rows is not None:
+            raise ValueError(
+                "COBS index is memory-mapped read-only (its bit-sliced layout "
+                "is fixed at save time); rebuild or load an in-memory index "
+                "to add documents"
+            )
         if document.name in self._doc_name_set:
             raise ValueError(f"document {document.name!r} already indexed")
         column = BitArray(self.num_bits)
@@ -133,12 +142,33 @@ class CobsIndex(MembershipIndex):
                 self._row_cache = np.stack(cols, axis=1)
         return self._row_cache
 
+    def _packed_hits(self, positions: np.ndarray) -> np.ndarray:
+        """``(n_terms, num_docs)`` verdicts from the packed bit-sliced rows.
+
+        The zero-copy serving kernel: one gather pulls each term's ``eta``
+        rows of packed ``uint64`` document-words out of the memory-mapped
+        matrix, the AND-reduction happens on words (64 documents per
+        operation), and only the final per-term verdicts are unpacked to a
+        boolean row.
+        """
+        assert self._packed_rows is not None
+        rows = self._packed_rows
+        words = np.asarray(rows[positions[:, 0]])          # (n, words) gather copy
+        for j in range(1, self.num_hashes):
+            words &= rows[positions[:, j]]
+        bits = np.unpackbits(
+            np.ascontiguousarray(words).view(np.uint8), axis=1, bitorder="little"
+        )
+        return bits[:, : len(self._doc_names)].astype(bool)
+
     # -- query ------------------------------------------------------------------------
 
     def query_term(self, term: Term) -> QueryResult:
         """AND the ``eta`` rows the term hashes to; set bits are matches."""
         if not self._doc_names:
             return QueryResult(documents=frozenset(), filters_probed=0)
+        if self._packed_rows is not None:
+            return self.query_terms_batch([term])[0]
         matrix = self._ensure_row_major()
         positions = self._positions(term)
         row = matrix[positions[0]].copy()
@@ -167,34 +197,144 @@ class CobsIndex(MembershipIndex):
             return []
         if not self._doc_names:
             return [QueryResult(documents=frozenset(), filters_probed=0) for _ in terms]
-        matrix = self._ensure_row_major()
+        matrix = None if self._packed_rows is not None else self._ensure_row_major()
         num_docs = len(self._doc_names)
         results: List[QueryResult] = []
         for chunk in iter_term_chunks(terms):
             positions = self._positions_matrix(list(chunk))
-            # Incremental AND over the eta rows (the vector form of the
-            # scalar query_term loop) keeps the peak intermediate at one
-            # (chunk, num_documents) array instead of eta of them; the
-            # matrix holds only 0/1 uint8 values, so AND them directly.
-            hits = matrix[positions[:, 0]]                # (chunk, num_documents)
-            for j in range(1, self.num_hashes):
-                hits &= matrix[positions[:, j]]
+            if matrix is None:
+                # Memory-mapped serving: gather packed uint64 rows straight
+                # from the file and AND on words (64 documents at a time).
+                hits = self._packed_hits(positions)
+            else:
+                # Incremental AND over the eta rows (the vector form of the
+                # scalar query_term loop) keeps the peak intermediate at one
+                # (chunk, num_documents) array instead of eta of them; the
+                # matrix holds only 0/1 uint8 values, so AND them directly.
+                hits = matrix[positions[:, 0]]            # (chunk, num_documents)
+                for j in range(1, self.num_hashes):
+                    hits &= matrix[positions[:, j]]
             results.extend(
                 QueryResult.from_mask(hits[t], self._doc_names, filters_probed=num_docs)
                 for t in range(len(chunk))
             )
         return results
 
+    # -- persistence ---------------------------------------------------------------------
+
+    def save_mmap(self, path) -> int:
+        """Write the index in the zero-copy serving format (v2 container).
+
+        The payload is the *bit-sliced* matrix packed into ``uint64`` words:
+        row ``p`` holds bit ``p`` of every document's filter, documents
+        packed 64 per word in little-endian bit order.  That is exactly the
+        gather axis of the batched query engine, so a mapped index serves
+        queries without unpacking anything but the final verdict rows.
+        Returns the number of bytes written.
+        """
+        from repro.io.diskformat import write_container
+
+        num_docs = len(self._doc_names)
+        words_per_row = (num_docs + 63) // 64
+        if self._packed_rows is not None:
+            # A mapped index is already in the on-disk layout; re-save it
+            # straight from the mapping (no columns exist to repack).
+            payload = np.ascontiguousarray(self._packed_rows)
+        elif num_docs:
+            bits = np.stack([col.to_bits() for col in self._columns], axis=1)
+            # packbits zero-pads to byte boundaries on its own; padding the
+            # *packed* bytes out to whole words keeps the transient at the
+            # byte-matrix size instead of a fully unpacked word-width one.
+            packed = np.packbits(bits, axis=1, bitorder="little")
+            padded = np.zeros((self.num_bits, words_per_row * 8), dtype=np.uint8)
+            padded[:, : packed.shape[1]] = packed
+            payload = padded.view(np.uint64)
+        else:
+            payload = np.zeros((self.num_bits, 0), dtype=np.uint64)
+        header = {
+            "kind": "cobs",
+            "config": {
+                "num_bits": self.num_bits,
+                "num_hashes": self.num_hashes,
+                "k": self.k,
+                "seed": self.seed,
+            },
+            "document_names": list(self._doc_names),
+        }
+        return write_container(path, header, payload)
+
+    @classmethod
+    def open_mmap(cls, path, mode: str = "r") -> "CobsIndex":
+        """Open an index written by :meth:`save_mmap` without loading it.
+
+        Only the header is read; the packed bit-sliced matrix is memory-
+        mapped and queries gather from it zero-copy.  Mapped COBS indexes
+        are always read-only for inserts — the packed layout fixes the
+        document count at save time — so :meth:`add_document` raises
+        cleanly regardless of *mode* (``"c"`` still maps copy-on-write for
+        callers who poke the matrix directly).
+
+        Raises :class:`repro.io.diskformat.DiskFormatError` on malformed,
+        truncated or version-mismatched files.
+        """
+        from repro.io.diskformat import (
+            DiskFormatError,
+            map_container_payload,
+            read_container_header,
+        )
+
+        header, payload_offset = read_container_header(path)
+        if header.get("kind") != "cobs":
+            raise DiskFormatError(
+                f"{path} holds a {header.get('kind')!r} index, not a COBS index"
+            )
+        cfg = header["config"]
+        index = cls(
+            num_bits=cfg["num_bits"],
+            num_hashes=cfg["num_hashes"],
+            k=cfg["k"],
+            seed=cfg["seed"],
+        )
+        names = header["document_names"]
+        words_per_row = (len(names) + 63) // 64
+        shape = tuple(header["payload"]["shape"])
+        if shape != (cfg["num_bits"], words_per_row):
+            raise ValueError(
+                f"{path} payload shape {shape} does not match the header "
+                f"geometry {(cfg['num_bits'], words_per_row)}"
+            )
+        index._doc_names = list(names)
+        index._doc_name_set = set(names)
+        # Plain ndarray view over the mapping: same buffer and writeability,
+        # without np.memmap's per-gather subclass overhead.
+        index._packed_rows = np.asarray(
+            map_container_payload(path, header, payload_offset, mode=mode)
+        )
+        return index
+
     # -- accounting ----------------------------------------------------------------------
 
     def size_in_bytes(self) -> int:
         """Bit-matrix payload plus the document-name table."""
-        matrix_bytes = sum(col.nbytes for col in self._columns)
+        if self._packed_rows is not None:
+            matrix_bytes = int(self._packed_rows.nbytes)
+        else:
+            matrix_bytes = sum(col.nbytes for col in self._columns)
         name_bytes = sum(len(name.encode("utf-8")) for name in self._doc_names)
         return matrix_bytes + name_bytes
 
     def fill_ratio(self) -> float:
         """Mean fill ratio across the per-document filters."""
+        if self._packed_rows is not None:
+            from repro.bloom.bitarray import popcount_words
+
+            if not self._doc_names:
+                return 0.0
+            # Padding columns beyond num_docs are zero, so the raw popcount
+            # over the packed matrix is exact.
+            return popcount_words(np.asarray(self._packed_rows)) / (
+                self.num_bits * len(self._doc_names)
+            )
         if not self._columns:
             return 0.0
         return sum(col.fill_ratio() for col in self._columns) / len(self._columns)

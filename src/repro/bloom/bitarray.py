@@ -86,7 +86,16 @@ def probe_words_batch(words: np.ndarray, positions: np.ndarray) -> np.ndarray:
 
 
 class BitArray:
-    """Fixed-size mutable bit array with vectorised bitwise algebra."""
+    """Fixed-size mutable bit array with vectorised bitwise algebra.
+
+    A BitArray may wrap a caller-provided ``uint64`` word array instead of
+    owning a fresh one — this is how the memory-mapped on-disk format
+    (:mod:`repro.io.diskformat`) serves index payloads zero-copy: the words
+    are a read-only ``np.memmap`` row and every probe pages data straight
+    from the file.  Mutating such a read-only view raises a clean
+    :class:`ValueError` (see :meth:`writeable`); ``copy()`` always yields an
+    owned, writable array.
+    """
 
     __slots__ = ("_size", "_words")
 
@@ -139,6 +148,24 @@ class BitArray:
         """Memory footprint of the payload in bytes."""
         return int(self._words.nbytes)
 
+    @property
+    def writeable(self) -> bool:
+        """Whether the backing words may be mutated.
+
+        False for arrays wrapping a read-only view — most notably the
+        ``np.memmap`` payload of an index opened with ``open_mmap`` in
+        read-only mode.  Every mutating method checks this first and raises
+        :class:`ValueError` instead of numpy's opaque buffer error.
+        """
+        return bool(self._words.flags.writeable)
+
+    def _require_writable(self) -> None:
+        if not self._words.flags.writeable:
+            raise ValueError(
+                "cannot mutate a read-only BitArray (memory-mapped payload); "
+                "copy() it, or reopen the index with mode='c' for copy-on-write"
+            )
+
     def _check_index(self, index: int) -> int:
         if index < 0:
             index += self._size
@@ -148,11 +175,13 @@ class BitArray:
 
     def set(self, index: int) -> None:
         """Set bit *index* to 1."""
+        self._require_writable()
         index = self._check_index(index)
         self._words[index // _WORD_BITS] |= np.uint64(1) << np.uint64(index % _WORD_BITS)
 
     def clear(self, index: int) -> None:
         """Set bit *index* to 0."""
+        self._require_writable()
         index = self._check_index(index)
         self._words[index // _WORD_BITS] &= ~(np.uint64(1) << np.uint64(index % _WORD_BITS))
 
@@ -210,6 +239,7 @@ class BitArray:
         (``BloomFilter.add_many``, the RAMBO construction pipeline, the COBS
         column build) bottoms out in.
         """
+        self._require_writable()
         idx = self._check_indices(indices)
         if idx.size == 0:
             return
@@ -294,16 +324,19 @@ class BitArray:
         return inverted
 
     def __ior__(self, other: "BitArray") -> "BitArray":
+        self._require_writable()
         self._check_compatible(other)
         self._words |= other._words
         return self
 
     def __iand__(self, other: "BitArray") -> "BitArray":
+        self._require_writable()
         self._check_compatible(other)
         self._words &= other._words
         return self
 
     def __ixor__(self, other: "BitArray") -> "BitArray":
+        self._require_writable()
         self._check_compatible(other)
         self._words ^= other._words
         return self

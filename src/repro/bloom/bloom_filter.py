@@ -104,6 +104,36 @@ class BloomFilter:
         num_hashes = optimal_num_hashes(num_bits, capacity)
         return cls(num_bits=num_bits, num_hashes=num_hashes, seed=seed)
 
+    @classmethod
+    def from_parts(
+        cls,
+        num_bits: int,
+        num_hashes: int,
+        seed: int,
+        bits: BitArray,
+        num_items: int = 0,
+    ) -> "BloomFilter":
+        """Assemble a filter around an existing payload without copying it.
+
+        The single constructor behind deserialisation and the memory-mapped
+        open path: *bits* may wrap an owned array or a (possibly read-only)
+        ``np.memmap`` view, and is adopted as-is — no zero-fill, no copy.
+
+        Raises :class:`ValueError` if *bits* does not have exactly
+        ``num_bits`` addressable bits.
+        """
+        if bits.size != num_bits:
+            raise ValueError(
+                f"payload has {bits.size} bits, filter expects {num_bits}"
+            )
+        bf = cls.__new__(cls)
+        bf.num_bits = int(num_bits)
+        bf.num_hashes = int(num_hashes)
+        bf.seed = int(seed)
+        bf.bits = bits
+        bf.num_items = int(num_items)
+        return bf
+
     # -- core operations ---------------------------------------------------------
 
     def _positions(self, key: Key) -> List[int]:

@@ -6,12 +6,15 @@ sequence files; this CLI mirrors that workflow on top of the library:
 ``repro-rambo build``
     Index a directory of ``.fasta`` / ``.fastq`` / ``.mcc`` (McCortex-lite)
     files into a serialized RAMBO index.  Documents stream through the
-    batched insert pipeline in bounded-memory chunks (``--batch-size``).
+    batched insert pipeline in bounded-memory chunks (``--batch-size``);
+    ``--format mmap`` writes the zero-copy serving container instead of the
+    load-into-memory v1 format.
 
 ``repro-rambo query``
-    Load an index and query any number of terms and/or sequences in one
-    invocation; prints one line per query with the matching document names.
-    All terms are answered through the vectorised batch engine.
+    Open an index (auto-detecting v1 vs mmap format) and query any number
+    of terms and/or sequences in one invocation; prints one line per query
+    with the matching document names.  All terms are answered through the
+    vectorised batch engine; mmap indexes are probed directly in the file.
 
 ``repro-rambo info``
     Print the configuration, size breakdown and fill statistics of an index.
@@ -34,7 +37,8 @@ from typing import List, Optional, Sequence
 from repro.core.config import configure_from_sample
 from repro.core.folding import fold_rambo
 from repro.core.rambo import Rambo, RamboConfig
-from repro.core.serialization import load_index, save_index
+from repro.core.serialization import open_index, save_index
+from repro.io.diskformat import detect_format
 from repro.io.fasta import read_fasta
 from repro.io.fastq import read_fastq
 from repro.io.mccortex import read_mccortex
@@ -142,9 +146,10 @@ def _cmd_build(args: argparse.Namespace) -> int:
         f"config: B={config.num_partitions} R={config.repetitions} "
         f"bfu_bits={config.bfu_bits} eta={config.bfu_hashes} k={config.k}"
     )
-    written = save_index(index, args.output)
+    written = save_index(index, args.output, format=args.format)
     print(
-        f"built in {build_seconds:.2f}s, wrote {human_bytes(written)} to {args.output}"
+        f"built in {build_seconds:.2f}s, wrote {human_bytes(written)} to {args.output} "
+        f"({args.format} format)"
     )
     return 0
 
@@ -165,7 +170,9 @@ def _normalise_term(term: str, k: int):
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
-    index = load_index(args.index)
+    # Auto-detects the file format: v1 indexes are loaded into memory, mmap
+    # indexes are served zero-copy straight from the file.
+    index = open_index(args.index)
     method = "sparse" if args.sparse else "full"
 
     queries: List[str] = list(args.terms)
@@ -193,9 +200,11 @@ def _cmd_query(args: argparse.Namespace) -> int:
 
 
 def _cmd_info(args: argparse.Namespace) -> int:
-    index = load_index(args.index)
+    file_format = detect_format(args.index)
+    index = open_index(args.index)
     config = index.config
     print(f"index file      : {args.index}")
+    print(f"format          : {file_format}" + (" (memory-mapped)" if index.is_mapped else ""))
     print(f"documents       : {index.num_documents}")
     print(f"partitions (B)  : {index.num_partitions}")
     print(f"repetitions (R) : {index.repetitions}")
@@ -212,10 +221,13 @@ def _cmd_info(args: argparse.Namespace) -> int:
 
 
 def _cmd_fold(args: argparse.Namespace) -> int:
-    index = load_index(args.index)
+    # The folded copy is written back in the input's format (folding a
+    # mapped index materialises in-memory BFUs, so both outputs are legal).
+    file_format = detect_format(args.index)
+    index = open_index(args.index)
     before = index.size_in_bytes()
     folded = fold_rambo(index, args.folds)
-    written = save_index(folded, args.output)
+    written = save_index(folded, args.output, format=file_format)
     print(
         f"folded {args.folds}x: B {index.num_partitions} -> {folded.num_partitions}, "
         f"size {human_bytes(before)} -> {human_bytes(folded.size_in_bytes())}, "
@@ -251,6 +263,12 @@ def build_parser() -> argparse.ArgumentParser:
              "(default 256; auto-configuration samples the first batch)",
     )
     build.add_argument("--seed", type=int, default=0, help="hash seed")
+    build.add_argument(
+        "--format", choices=("v1", "mmap"), default="v1",
+        help="index file format: v1 loads fully into memory on open; mmap "
+             "serves queries zero-copy via memory mapping (default v1). "
+             "'query' and 'info' auto-detect the format.",
+    )
     build.set_defaults(func=_cmd_build)
 
     query = sub.add_parser("query", help="query terms and/or sequences against an index")

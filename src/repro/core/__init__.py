@@ -19,7 +19,13 @@ from repro.core.rambo import Rambo, RamboConfig
 from repro.core.folding import fold_rambo, fold_to_target
 from repro.core.distributed import DistributedRambo, stack_shards
 from repro.core.parallel import ParallelBuilder, merge_indexes
-from repro.core.serialization import load_index, save_index
+from repro.core.serialization import (
+    load_index,
+    open_index,
+    open_index_mmap,
+    save_index,
+    save_index_mmap,
+)
 from repro.core.tuning import CollectionProfile, TuningResult, tune_for_fp_rate, tune_for_memory
 from repro.core import analysis, config
 
@@ -35,7 +41,10 @@ __all__ = [
     "ParallelBuilder",
     "merge_indexes",
     "load_index",
+    "open_index",
+    "open_index_mmap",
     "save_index",
+    "save_index_mmap",
     "CollectionProfile",
     "TuningResult",
     "tune_for_fp_rate",

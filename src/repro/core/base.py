@@ -110,8 +110,11 @@ class QueryResult:
 
     @property
     def filters_probed(self) -> int:
-        """Bloom-filter membership tests performed (read-only: results are
-        hashable, so their observable state must not mutate)."""
+        """Bloom-filter membership tests performed.
+
+        Read-only: results are hashable, so their observable state must not
+        mutate.
+        """
         return self._filters_probed
 
     @classmethod

@@ -17,7 +17,9 @@ fold-over experiments (Table 4).
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence
 
 import numpy as np
@@ -83,7 +85,13 @@ class DistributedRambo(MembershipIndex):
 
     @property
     def document_names(self) -> List[str]:
+        """Names of the indexed documents, in global insertion order."""
         return list(self._doc_names)
+
+    @property
+    def readonly(self) -> bool:
+        """True when the shards are served from read-only memory-mapped files."""
+        return any(shard.readonly for shard in self._shards)
 
     def node_of(self, name: str) -> int:
         """Which node the router assigns a document name to."""
@@ -107,6 +115,11 @@ class DistributedRambo(MembershipIndex):
         docs = list(documents)
         if not docs:
             return
+        if self.readonly:
+            raise ValueError(
+                "distributed index is memory-mapped read-only; reopen with "
+                "open_mmap(directory, mode='c') for copy-on-write mutation"
+            )
         batch_names = set()
         for doc in docs:
             if doc.name in self._doc_node or doc.name in batch_names:
@@ -215,6 +228,88 @@ class DistributedRambo(MembershipIndex):
             if not conjunction.any():
                 break
         return QueryResult.from_mask(conjunction, self._doc_names, filters_probed=probes)
+
+    # -- persistence -------------------------------------------------------------------
+
+    def save_mmap(self, directory) -> int:
+        """Write the cluster as one shard file per node plus a manifest.
+
+        *directory* receives ``manifest.json`` (cluster geometry and the
+        global document order) and ``shard-NNNN.rambo`` — each node's RAMBO
+        in the zero-copy v2 container, written with
+        :meth:`repro.core.rambo.Rambo.save_mmap`.  One file per node mirrors
+        the paper's deployment: every query node maps only the shards it
+        hosts.  Returns the total number of bytes written.
+        """
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        manifest = {
+            "format_version": 2,
+            "kind": "distributed-rambo",
+            "num_nodes": self.num_nodes,
+            "node_config": self.node_config.to_dict(),
+            "document_names": list(self._doc_names),
+        }
+        manifest_path = directory / "manifest.json"
+        manifest_path.write_text(json.dumps(manifest, separators=(",", ":")))
+        total = manifest_path.stat().st_size
+        for node, shard in enumerate(self._shards):
+            total += shard.save_mmap(directory / f"shard-{node:04d}.rambo")
+        return total
+
+    @classmethod
+    def open_mmap(cls, directory, mode: str = "r") -> "DistributedRambo":
+        """Open a cluster written by :meth:`save_mmap`, mapping every shard.
+
+        Reads only the manifest and the per-shard headers; shard payloads
+        are memory-mapped, so opening a 100-node cluster costs 100 header
+        reads regardless of the payload size.  ``mode`` is forwarded to
+        every shard (``"r"`` read-only, ``"c"`` copy-on-write).
+
+        Raises :class:`ValueError` if the manifest is missing fields or of
+        the wrong kind/version, and
+        :class:`repro.io.diskformat.DiskFormatError` for malformed shard
+        files.
+        """
+        directory = Path(directory)
+        manifest = json.loads((directory / "manifest.json").read_text())
+        if manifest.get("kind") != "distributed-rambo":
+            raise ValueError(f"{directory} does not hold a distributed RAMBO index")
+        if manifest.get("format_version") != 2:
+            raise ValueError(
+                f"{directory} has unsupported manifest version "
+                f"{manifest.get('format_version')!r}"
+            )
+        node_config = RamboConfig.from_dict(manifest["node_config"])
+        num_nodes = int(manifest["num_nodes"])
+        # Assemble without the constructor so no throwaway empty shards (and
+        # their zeroed BFU payloads) are ever allocated.
+        cluster = cls.__new__(cls)
+        cluster.num_nodes = num_nodes
+        cluster.node_config = node_config
+        cluster.k = node_config.k
+        cluster._router = TwoLevelPartitionHash(
+            num_nodes=num_nodes,
+            partitions_per_node=node_config.num_partitions,
+            repetitions=node_config.repetitions,
+            seed=node_config.seed,
+        )
+        cluster._shards = [
+            Rambo.open_mmap(directory / f"shard-{node:04d}.rambo", mode=mode)
+            for node in range(num_nodes)
+        ]
+        cluster._doc_names = list(manifest["document_names"])
+        cluster._doc_node = {
+            name: node
+            for node, shard in enumerate(cluster._shards)
+            for name in shard.document_names
+        }
+        if set(cluster._doc_node) != set(cluster._doc_names):
+            raise ValueError(
+                f"{directory} manifest document list disagrees with the shard files"
+            )
+        cluster._id_maps = None
+        return cluster
 
     # -- accounting --------------------------------------------------------------------
 

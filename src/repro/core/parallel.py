@@ -1,5 +1,6 @@
-"""Shared-nothing parallel construction on a single machine (Section 5.2's
-40-thread build, without the cluster).
+"""Shared-nothing parallel construction on a single machine.
+
+This is Section 5.2's 40-thread build, without the cluster.
 
 The paper builds each node's shard on 40 threads; the enabling property is
 that RAMBO insertion is a pure function of (document, seeds), so any partition

@@ -90,6 +90,38 @@ class RamboConfig:
         if not (1 <= self.k <= 31):
             raise ValueError(f"k must be in [1, 31], got {self.k}")
 
+    def to_dict(self) -> Dict[str, int]:
+        """JSON-ready field mapping, the single schema every on-disk header uses.
+
+        Inverse of :meth:`from_dict`; the v1/v2 index headers and the
+        distributed manifest all serialise the config through this pair, so
+        a new field only has to be added here.
+        """
+        return {
+            "num_partitions": self.num_partitions,
+            "repetitions": self.repetitions,
+            "bfu_bits": self.bfu_bits,
+            "bfu_hashes": self.bfu_hashes,
+            "k": self.k,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, fields: Dict[str, int]) -> "RamboConfig":
+        """Rebuild a config serialised by :meth:`to_dict`.
+
+        Raises :class:`KeyError` for missing fields and :class:`ValueError`
+        for out-of-range values (via ``__post_init__``).
+        """
+        return cls(
+            num_partitions=fields["num_partitions"],
+            repetitions=fields["repetitions"],
+            bfu_bits=fields["bfu_bits"],
+            bfu_hashes=fields["bfu_hashes"],
+            k=fields["k"],
+            seed=fields["seed"],
+        )
+
     @classmethod
     def recommended(
         cls,
@@ -190,6 +222,9 @@ class Rambo(MembershipIndex):
         self._members: List[List[List[int]]] = [
             [[] for _ in range(config.num_partitions)] for _ in range(config.repetitions)
         ]
+        # Per-repetition (B, words) memmap planes when the index was opened
+        # from the on-disk mmap container; None for in-memory indexes.
+        self._mapped_bits: Optional[List[np.ndarray]] = None
         self._invalidate_caches()
 
     def _invalidate_caches(self) -> None:
@@ -237,6 +272,7 @@ class Rambo(MembershipIndex):
         index._doc_ids = {name: i for i, name in enumerate(doc_names)}
         index._assignments = assignments
         index._members = members
+        index._mapped_bits = None
         index._invalidate_caches()
         return index
 
@@ -254,7 +290,35 @@ class Rambo(MembershipIndex):
 
     @property
     def document_names(self) -> List[str]:
+        """Names of the indexed documents, in insertion order."""
         return list(self._doc_names)
+
+    @property
+    def is_mapped(self) -> bool:
+        """Whether the BFU payload is served from a memory-mapped file."""
+        return self._mapped_bits is not None
+
+    @property
+    def readonly(self) -> bool:
+        """True for an index opened with ``open_mmap(..., mode="r")``.
+
+        Read-only indexes answer every query but reject mutation
+        (:meth:`add_document` and friends) with a clean :class:`ValueError`
+        before any state changes.  An index mapped copy-on-write
+        (``mode="c"``) is writable; its mutations live in anonymous memory
+        and are never written back to the file.
+        """
+        return self._mapped_bits is not None and not bool(
+            self._mapped_bits[0].flags.writeable
+        )
+
+    def _require_writable(self) -> None:
+        if self.readonly:
+            raise ValueError(
+                "index is memory-mapped read-only; reopen with "
+                "open_mmap(path, mode='c') for copy-on-write mutation, or "
+                "load_index() a v1 file for a fully in-memory index"
+            )
 
     def _partition_of(self, name: str, repetition: int) -> int:
         """Partition cell of a document, honouring any folds applied so far."""
@@ -293,6 +357,7 @@ class Rambo(MembershipIndex):
         docs = list(documents)
         if not docs:
             return
+        self._require_writable()
         batch_names = set()
         prepared = []
         for doc in docs:
@@ -326,6 +391,7 @@ class Rambo(MembershipIndex):
         pure-Python MurmurHash3 digest per term, one ``set_many`` per
         (term, BFU) pair.  Must stay bit-identical to :meth:`add_document`.
         """
+        self._require_writable()
         if document.name in self._doc_ids:
             raise ValueError(f"document {document.name!r} already indexed")
         doc_id = len(self._doc_names)
@@ -363,9 +429,16 @@ class Rambo(MembershipIndex):
         self._member_arrays = [
             [np.asarray(ids, dtype=np.int64) for ids in row] for row in self._members
         ]
-        self._bit_cache = [
-            np.stack([bfu.bits.words for bfu in row]) for row in self._bfus
-        ]
+        if self._mapped_bits is not None:
+            # Mapped indexes already hold each repetition as one contiguous
+            # (B, words) plane on disk; install the views directly so the
+            # batch engine gathers zero-copy from the page cache instead of
+            # stacking an in-memory copy of the whole payload.
+            self._bit_cache = list(self._mapped_bits)
+        else:
+            self._bit_cache = [
+                np.stack([bfu.bits.words for bfu in row]) for row in self._bfus
+            ]
         self._assignment_arrays = [
             np.asarray(row, dtype=np.int64) % self.num_partitions
             for row in self._assignments
@@ -643,6 +716,37 @@ class Rambo(MembershipIndex):
             members,
             partition_family=self._family,
         )
+
+    # -- persistence --------------------------------------------------------------------
+
+    def save_mmap(self, path) -> int:
+        """Write the index in the zero-copy serving format (v2 container).
+
+        The BFU backing words are laid out contiguously so a later
+        :meth:`open_mmap` can serve queries straight from the file via
+        ``np.memmap``.  Returns the number of bytes written.  See
+        :mod:`repro.io.diskformat` for the byte-level layout.
+        """
+        from repro.core.serialization import save_index_mmap
+
+        return save_index_mmap(self, path)
+
+    @classmethod
+    def open_mmap(cls, path, mode: str = "r") -> "Rambo":
+        """Open an index written by :meth:`save_mmap` without loading it.
+
+        Only the header is read; bitmap pages are mapped lazily, so opening
+        is O(metadata) and the first probe of a BFU is what pages its words
+        in.  With ``mode="r"`` (default) the index is read-only and mutation
+        raises cleanly; ``mode="c"`` maps copy-on-write (mutations stay in
+        memory, the file is never modified).
+
+        Raises :class:`repro.io.diskformat.DiskFormatError` on malformed,
+        truncated or version-mismatched files.
+        """
+        from repro.core.serialization import open_index_mmap
+
+        return open_index_mmap(path, mode=mode)
 
     # -- accounting ------------------------------------------------------------------------
 

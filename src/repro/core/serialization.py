@@ -6,21 +6,34 @@ to query nodes, possibly after fold-over.  That only works if the index can be
 serialized without losing the properties that make merging and folding legal —
 the hash seeds, the BFU geometry and the bucket → document mapping.
 
-The on-disk format is a single-file container:
+Two on-disk formats share one logical header (config, document names,
+per-repetition assignments — everything needed to reconstruct the partition
+bookkeeping, with member lists re-derived on open so the file stays compact):
 
-``RAMBO1`` magic, a JSON header (config, document names, per-repetition
-assignments) prefixed by its byte length, followed by the raw little-endian
-``uint64`` words of every BFU in ``(repetition, partition)`` order.  The
-header carries everything needed to reconstruct the partition bookkeeping;
-the payload is exactly the bits.  Loading re-derives the member lists from the
-assignments, so the file stays compact (no duplicated membership data).
+**v1** (``RAMBO1`` magic): a JSON header prefixed by its byte length,
+followed by the raw little-endian ``uint64`` words of every BFU in
+``(repetition, partition)`` order.  :func:`load_index` reads the whole
+payload into fresh in-memory arrays — simple, portable, and the right choice
+for indexes that will keep growing after the load.
+
+**mmap / v2** (``RAMBO2`` magic, :mod:`repro.io.diskformat`): the same
+metadata, but the BFU words are laid out as one contiguous
+``(repetitions, partitions, words)`` block that :func:`open_index_mmap` maps
+with ``np.memmap`` instead of reading.  Opening costs one header read; the
+batched query engine then probes the file zero-copy, paging in only the
+words a query touches.  Mapped indexes are read-only by default (mutation
+raises cleanly); ``mode="c"`` gives copy-on-write semantics for scratch
+experiments.
+
+:func:`open_index` dispatches on the magic so callers — the CLI in
+particular — need not know which format a file uses.
 """
 
 from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Union
+from typing import Dict, List, Tuple, Union
 
 import numpy as np
 
@@ -28,14 +41,76 @@ from repro.bloom.bitarray import BitArray
 from repro.bloom.bloom_filter import BloomFilter
 from repro.core.rambo import Rambo, RamboConfig
 from repro.hashing.murmur3 import combine_seeds
+from repro.io.diskformat import (
+    MAGIC_V2,
+    DiskFormatError,
+    detect_format,
+    map_container_payload,
+    read_container_header,
+    write_container,
+)
 
 PathLike = Union[str, Path]
 
 _MAGIC = b"RAMBO1\n"
 
+#: Formats accepted by :func:`save_index`'s ``format`` parameter.
+SAVE_FORMATS = ("v1", "mmap")
 
-def save_index(index: Rambo, path: PathLike) -> int:
+
+def _index_header(index: Rambo) -> Dict:
+    """The logical header shared by both on-disk formats.
+
+    Carries the config, the document-name table and the per-repetition
+    partition assignments; member lists are re-derived from the assignments
+    on open, so no membership data is duplicated on disk.
+    """
+    config = index.config
+    return {
+        "config": config.to_dict(),
+        "original_num_partitions": config.num_partitions,
+        "document_names": index.document_names,
+        "assignments": [list(row) for row in index._assignments],  # noqa: SLF001
+        "custom_partition_family": not _uses_default_family(index),
+    }
+
+
+def _restore_bookkeeping(
+    header: Dict, path: Path
+) -> Tuple[RamboConfig, List[str], List[List[int]], List[List[List[int]]]]:
+    """Validate a header and rebuild ``(config, names, assignments, members)``.
+
+    Raises :class:`ValueError` on inconsistent assignment tables or
+    out-of-range partition ids — the header-side integrity checks shared by
+    the v1 loader and the mmap opener.
+    """
+    config = RamboConfig.from_dict(header["config"])
+    names = header["document_names"]
+    assignments = header["assignments"]
+    if len(assignments) != config.repetitions or any(
+        len(row) != len(names) for row in assignments
+    ):
+        raise ValueError(f"{path} has inconsistent assignment tables")
+    members: List[List[List[int]]] = [
+        [[] for _ in range(config.num_partitions)] for _ in range(config.repetitions)
+    ]
+    for r, row in enumerate(assignments):
+        for doc_id, b in enumerate(row):
+            if not (0 <= b < config.num_partitions):
+                raise ValueError(f"{path} has an out-of-range partition assignment {b}")
+            members[r][b].append(doc_id)
+    return config, list(names), [list(row) for row in assignments], members
+
+
+def save_index(index: Rambo, path: PathLike, format: str = "v1") -> int:
     """Serialise *index* to *path*; returns the number of bytes written.
+
+    Parameters
+    ----------
+    format:
+        ``"v1"`` writes the self-contained load-into-memory format;
+        ``"mmap"`` delegates to :func:`save_index_mmap` for the zero-copy
+        serving container.
 
     The partition hash family is reconstructed from the stored seed on load,
     so only indexes built with the default (seed-derived) family round-trip
@@ -43,23 +118,15 @@ def save_index(index: Rambo, path: PathLike) -> int:
     two-level family; they serialise fine for querying but new insertions
     after a load will use the seed-derived family, so a warning-grade note is
     recorded in the header.
+
+    Raises :class:`ValueError` for an unknown *format*.
     """
-    config = index.config
-    header = {
-        "format_version": 1,
-        "config": {
-            "num_partitions": index.num_partitions,
-            "repetitions": index.repetitions,
-            "bfu_bits": config.bfu_bits,
-            "bfu_hashes": config.bfu_hashes,
-            "k": config.k,
-            "seed": config.seed,
-        },
-        "original_num_partitions": config.num_partitions,
-        "document_names": index.document_names,
-        "assignments": [list(row) for row in index._assignments],  # noqa: SLF001
-        "custom_partition_family": not _uses_default_family(index),
-    }
+    if format not in SAVE_FORMATS:
+        raise ValueError(f"unknown index format {format!r} (expected one of {SAVE_FORMATS})")
+    if format == "mmap":
+        return save_index_mmap(index, path)
+    header = dict(_index_header(index))
+    header["format_version"] = 1
     header_bytes = json.dumps(header, separators=(",", ":")).encode("utf-8")
 
     path = Path(path)
@@ -74,13 +141,20 @@ def save_index(index: Rambo, path: PathLike) -> int:
 
 
 def load_index(path: PathLike) -> Rambo:
-    """Load an index previously written by :func:`save_index`.
+    """Load a v1 index previously written by :func:`save_index` into memory.
 
-    Raises :class:`ValueError` on wrong magic, version or truncated payloads.
+    Raises :class:`ValueError` on wrong magic, version or truncated payloads;
+    a v2 (mmap) file is rejected with a pointer to :func:`open_index` /
+    :func:`open_index_mmap`.
     """
     path = Path(path)
     with open(path, "rb") as handle:
         magic = handle.read(len(_MAGIC))
+        if magic == MAGIC_V2:
+            raise ValueError(
+                f"{path} is an mmap-format index; open it with open_index() "
+                "or Rambo.open_mmap()"
+            )
         if magic != _MAGIC:
             raise ValueError(f"{path} is not a RAMBO index file (bad magic {magic!r})")
         header_len = int.from_bytes(handle.read(8), "little")
@@ -91,31 +165,7 @@ def load_index(path: PathLike) -> Rambo:
         if header.get("format_version") != 1:
             raise ValueError(f"unsupported format version {header.get('format_version')!r}")
 
-        cfg = header["config"]
-        config = RamboConfig(
-            num_partitions=cfg["num_partitions"],
-            repetitions=cfg["repetitions"],
-            bfu_bits=cfg["bfu_bits"],
-            bfu_hashes=cfg["bfu_hashes"],
-            k=cfg["k"],
-            seed=cfg["seed"],
-        )
-
-        # Restore document bookkeeping.
-        names = header["document_names"]
-        assignments = header["assignments"]
-        if len(assignments) != config.repetitions or any(
-            len(row) != len(names) for row in assignments
-        ):
-            raise ValueError(f"{path} has inconsistent assignment tables")
-        members = [
-            [[] for _ in range(config.num_partitions)] for _ in range(config.repetitions)
-        ]
-        for r, row in enumerate(assignments):
-            for doc_id, b in enumerate(row):
-                if not (0 <= b < config.num_partitions):
-                    raise ValueError(f"{path} has an out-of-range partition assignment {b}")
-                members[r][b].append(doc_id)
+        config, names, assignments, members = _restore_bookkeeping(header, path)
 
         # Restore the BFU payloads.
         bfu_seed = combine_seeds(config.seed, 0xBF0)
@@ -128,25 +178,117 @@ def load_index(path: PathLike) -> Rambo:
                 payload = handle.read(bytes_per_bfu)
                 if len(payload) != bytes_per_bfu:
                     raise ValueError(f"{path} is truncated (BFU {r},{b})")
-                bfu = BloomFilter(
-                    num_bits=config.bfu_bits,
-                    num_hashes=config.bfu_hashes,
-                    seed=bfu_seed,
+                row_bfus.append(
+                    BloomFilter.from_parts(
+                        config.bfu_bits,
+                        config.bfu_hashes,
+                        bfu_seed,
+                        BitArray.from_bytes(config.bfu_bits, payload),
+                    )
                 )
-                bfu.bits = BitArray.from_bytes(config.bfu_bits, payload)
-                row_bfus.append(bfu)
             bfus.append(row_bfus)
         trailing = handle.read(1)
         if trailing:
             raise ValueError(f"{path} has trailing data after the BFU payload")
 
-    return Rambo._from_parts(  # noqa: SLF001
-        config,
-        bfus,
-        list(names),
-        [list(row) for row in assignments],
-        members,
+    return Rambo._from_parts(config, bfus, names, assignments, members)  # noqa: SLF001
+
+
+def save_index_mmap(index: Rambo, path: PathLike) -> int:
+    """Write *index* in the v2 container for zero-copy serving.
+
+    The BFU words are stacked into one contiguous
+    ``(repetitions, partitions, words_per_bfu)`` block — the exact matrix
+    shape the batched query engine gathers over, so an opened index serves
+    straight from the mapping with no per-BFU reassembly.  Returns the
+    number of bytes written.
+    """
+    header = dict(_index_header(index))
+    header["kind"] = "rambo"
+    words_per_bfu = (index.config.bfu_bits + 63) // 64
+    payload = np.empty(
+        (index.repetitions, index.num_partitions, words_per_bfu), dtype=np.uint64
     )
+    for r in range(index.repetitions):
+        for b in range(index.num_partitions):
+            payload[r, b] = index.bfu(r, b).bits.words
+    return write_container(path, header, payload)
+
+
+def open_index_mmap(path: PathLike, mode: str = "r") -> Rambo:
+    """Open a v2 index by mapping its payload instead of reading it.
+
+    Only the header is read; every BFU's :class:`BitArray` wraps a view of
+    one shared ``np.memmap``, and the per-repetition ``(partitions, words)``
+    planes are installed directly as the batch engine's bit cache, so
+    ``probe_words_batch`` / ``query_terms_batch`` gather straight from the
+    page cache.
+
+    Parameters
+    ----------
+    mode:
+        ``"r"`` (default) serves read-only — any mutation (``add_document``,
+        in-place bit algebra) raises a clean :class:`ValueError`.  ``"c"``
+        maps copy-on-write: mutation succeeds in anonymous memory and is
+        never written back to the file.
+
+    Raises
+    ------
+    DiskFormatError
+        On bad magic, version mismatch, corrupt header, or a payload whose
+        size disagrees with the header (truncation / trailing data).
+    ValueError
+        If the header geometry does not match the payload shape.
+    """
+    path = Path(path)
+    header, payload_offset = read_container_header(path)
+    if header.get("kind", "rambo") != "rambo":
+        raise DiskFormatError(
+            f"{path} holds a {header.get('kind')!r} index, not a RAMBO index"
+        )
+    config, names, assignments, members = _restore_bookkeeping(header, path)
+    words_per_bfu = (config.bfu_bits + 63) // 64
+    expected_shape = (config.repetitions, config.num_partitions, words_per_bfu)
+    shape = tuple(header["payload"]["shape"])
+    if shape != expected_shape:
+        raise ValueError(
+            f"{path} payload shape {shape} does not match the header geometry "
+            f"{expected_shape}"
+        )
+    # A plain ndarray view over the mapping: same buffer, same writeability,
+    # but slicing it skips np.memmap's per-view subclass machinery — with
+    # thousands of BFUs that overhead would dominate the open time.
+    mapped = np.asarray(map_container_payload(path, header, payload_offset, mode=mode))
+
+    bfu_seed = combine_seeds(config.seed, 0xBF0)
+    bfus = [
+        [
+            BloomFilter.from_parts(
+                config.bfu_bits,
+                config.bfu_hashes,
+                bfu_seed,
+                BitArray(config.bfu_bits, mapped[r, b]),
+            )
+            for b in range(config.num_partitions)
+        ]
+        for r in range(config.repetitions)
+    ]
+    index = Rambo._from_parts(config, bfus, names, assignments, members)  # noqa: SLF001
+    index._mapped_bits = [mapped[r] for r in range(config.repetitions)]  # noqa: SLF001
+    return index
+
+
+def open_index(path: PathLike, mode: str = "r") -> Rambo:
+    """Open an index of either format, dispatching on the file magic.
+
+    v1 files are fully loaded with :func:`load_index` (always writable);
+    v2 files are mapped with :func:`open_index_mmap` honouring *mode*.
+    This is what the CLI's ``query`` / ``info`` / ``fold`` commands use, so
+    an operator never has to remember which format a file was built with.
+    """
+    if detect_format(path) == "v1":
+        return load_index(path)
+    return open_index_mmap(path, mode=mode)
 
 
 def _uses_default_family(index: Rambo) -> bool:

@@ -8,11 +8,14 @@ pipeline can stream them back exactly the way the original system ingests ENA
 files.
 """
 
+from repro.io.diskformat import DiskFormatError, detect_format
 from repro.io.fasta import FastaRecord, read_fasta, write_fasta
 from repro.io.fastq import FastqRecord, read_fastq, write_fastq
 from repro.io.mccortex import McCortexFile, read_mccortex, write_mccortex
 
 __all__ = [
+    "DiskFormatError",
+    "detect_format",
     "FastaRecord",
     "read_fasta",
     "write_fasta",

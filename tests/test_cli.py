@@ -197,6 +197,64 @@ class TestQuery:
         assert lines[1].startswith(probe_kmer + "\t")
 
 
+class TestMmapFormat:
+    @pytest.fixture(scope="class")
+    def mmap_index_path(self, sequence_dir, tmp_path_factory) -> Path:
+        path = tmp_path_factory.mktemp("indexes") / "archive.rambo2"
+        exit_code = main(
+            [
+                "build", str(sequence_dir), str(path),
+                "--kmer-size", str(K), "--seed", "3", "--format", "mmap",
+                "--partitions", "4", "--repetitions", "2", "--bfu-bits", "16384",
+            ]
+        )
+        assert exit_code == 0
+        return path
+
+    def test_build_reports_format(self, sequence_dir, tmp_path, capsys):
+        out_path = tmp_path / "m.rambo2"
+        main(["build", str(sequence_dir), str(out_path), "--kmer-size", str(K), "--format", "mmap"])
+        assert "(mmap format)" in capsys.readouterr().out
+
+    def test_query_autodetects_mmap_index(self, mmap_index_path, probe_kmer, capsys):
+        exit_code = main(["query", str(mmap_index_path), probe_kmer])
+        assert exit_code == 0
+        assert "sampleA0" in capsys.readouterr().out
+
+    def test_query_results_identical_across_formats(
+        self, built_index_path, sequence_dir, tmp_path, probe_kmer, capsys
+    ):
+        """The same corpus answers identically from a v1 and an mmap file."""
+        mmap_path = tmp_path / "same.rambo2"
+        main(
+            ["build", str(sequence_dir), str(mmap_path),
+             "--kmer-size", str(K), "--seed", "3", "--format", "mmap"]
+        )
+        capsys.readouterr()
+        main(["query", str(built_index_path), probe_kmer, "Z" * 8])
+        v1_out = capsys.readouterr().out
+        main(["query", str(mmap_path), probe_kmer, "Z" * 8])
+        assert capsys.readouterr().out == v1_out
+
+    def test_info_shows_mapped_format(self, mmap_index_path, capsys):
+        exit_code = main(["info", str(mmap_index_path)])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "format          : mmap (memory-mapped)" in output
+        assert "documents       : 6" in output
+
+    def test_fold_preserves_mmap_format(self, mmap_index_path, tmp_path, probe_kmer, capsys):
+        folded = tmp_path / "folded.rambo2"
+        exit_code = main(["fold", str(mmap_index_path), str(folded), "--folds", "1"])
+        assert exit_code == 0
+        assert "B 4 -> 2" in capsys.readouterr().out
+        from repro.io.diskformat import detect_format
+
+        assert detect_format(folded) == "mmap"
+        main(["query", str(folded), probe_kmer])
+        assert "sampleA0" in capsys.readouterr().out
+
+
 class TestInfoAndFold:
     def test_info_output(self, built_index_path, capsys):
         exit_code = main(["info", str(built_index_path)])

@@ -1,0 +1,82 @@
+"""Documentation spot check for the core and bloom layers.
+
+A pydocstyle-style pass (without the dependency) over every module in
+``repro.core`` and ``repro.bloom`` plus the on-disk format module: each
+module, public class, public method/function and public property must carry
+a docstring whose summary line is non-empty and ends with a period
+(pydocstyle D100-D103/D400).  This keeps the satellite guarantee of the
+docs issue honest — new public API cannot land undocumented.
+"""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+import pkgutil
+from typing import Iterator, List, Tuple
+
+import pytest
+
+CHECKED_PACKAGES = ("repro.core", "repro.bloom")
+EXTRA_MODULES = ("repro.io.diskformat",)
+
+
+def _checked_modules() -> List[str]:
+    names = list(EXTRA_MODULES)
+    for package_name in CHECKED_PACKAGES:
+        package = importlib.import_module(package_name)
+        names.append(package_name)
+        names.extend(
+            f"{package_name}.{info.name}"
+            for info in pkgutil.iter_modules(package.__path__)
+        )
+    return sorted(names)
+
+
+def _public_callables(cls) -> Iterator[Tuple[str, object]]:
+    for name, member in vars(cls).items():
+        if name.startswith("_"):
+            continue
+        if isinstance(member, (staticmethod, classmethod)):
+            yield name, member.__func__
+        elif inspect.isfunction(member):
+            yield name, member
+        elif isinstance(member, property):
+            yield f"{name} (property)", member.fget
+
+
+def _docstring_problem(doc) -> str:
+    if not doc:
+        return "missing docstring"
+    summary = doc.strip().splitlines()[0].strip()
+    if not summary:
+        return "empty summary line"
+    if not summary.endswith((".", ":", "?")):
+        return f"summary line does not end with a period: {summary!r}"
+    return ""
+
+
+@pytest.mark.parametrize("module_name", _checked_modules())
+def test_public_api_is_documented(module_name):
+    """Every public symbol of the module carries a well-formed docstring."""
+    module = importlib.import_module(module_name)
+    problems = []
+    problem = _docstring_problem(module.__doc__)
+    if problem:
+        problems.append(f"{module_name}: {problem}")
+    for name, obj in vars(module).items():
+        if name.startswith("_") or getattr(obj, "__module__", None) != module_name:
+            continue
+        if inspect.isclass(obj):
+            problem = _docstring_problem(obj.__doc__)
+            if problem:
+                problems.append(f"{module_name}.{name}: {problem}")
+            for member_name, func in _public_callables(obj):
+                problem = _docstring_problem(func.__doc__ if func else None)
+                if problem:
+                    problems.append(f"{module_name}.{name}.{member_name}: {problem}")
+        elif inspect.isfunction(obj):
+            problem = _docstring_problem(obj.__doc__)
+            if problem:
+                problems.append(f"{module_name}.{name}: {problem}")
+    assert not problems, "undocumented public API:\n" + "\n".join(problems)
