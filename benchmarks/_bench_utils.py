@@ -3,6 +3,7 @@ imports are unambiguous even when tests and benches run in one session)."""
 
 from __future__ import annotations
 
+import json
 import os
 from typing import Dict
 
@@ -24,7 +25,13 @@ BENCH_K = 15
 
 
 def print_table(title: str, rows: Dict[str, Dict[str, float]]) -> None:
-    """Print a paper-style comparison table to stdout (visible with ``-s``)."""
+    """Print a paper-style comparison table to stdout (visible with ``-s``).
+
+    When ``REPRO_BENCH_JSON`` names a file, every table is also appended to
+    it as one JSON line ``{"title": ..., "rows": ...}`` — the machine-readable
+    channel ``scripts/bench_all.py`` aggregates into ``BENCH_results.json``
+    so the perf trajectory is comparable across PRs.
+    """
     if not rows:
         return
     columns = sorted({key for row in rows.values() for key in row})
@@ -34,3 +41,7 @@ def print_table(title: str, rows: Dict[str, Dict[str, float]]) -> None:
     for name, row in rows.items():
         line = f"{name:<12}" + "".join(f"{row.get(col, float('nan')):>18.6g}" for col in columns)
         print(line)
+    sink = os.environ.get("REPRO_BENCH_JSON")
+    if sink:
+        with open(sink, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps({"title": title, "rows": rows}) + "\n")

@@ -28,7 +28,12 @@ from repro.core.parallel import ParallelBuilder, merge_indexes
 from repro.core.serialization import load_index, open_index, save_index
 from repro.bloom import BloomFilter, CountingBloomFilter, ScalableBloomFilter
 from repro.sketch import CountMinSketch
-from repro.kmers import KmerDocument, document_from_sequences, extract_kmers
+from repro.kmers import (
+    KmerDocument,
+    document_from_sequences,
+    extract_kmer_codes,
+    extract_kmers,
+)
 from repro.baselines import (
     CobsIndex,
     HowDeSbt,
@@ -60,6 +65,7 @@ __all__ = [
     "KmerDocument",
     "document_from_sequences",
     "extract_kmers",
+    "extract_kmer_codes",
     "CobsIndex",
     "SequenceBloomTree",
     "SplitSequenceBloomTree",

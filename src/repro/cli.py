@@ -61,12 +61,15 @@ def _document_paths(input_dir: Path) -> List[Path]:
     return paths
 
 
-def _parse_document(path: Path, k: int, min_count: int):
+def _parse_document(path: Path, k: int, min_count: int, canonical: bool = False):
     """Parse one sequence file into an index-ready document.
 
-    The McCortex reader hands back a numpy term-code array, so documents
-    flow from disk into the batched hash/scatter pipeline without a
-    Python-int round-trip.
+    Every reader hands back a numpy term-code array — sequence files run
+    through the vectorised extraction kernel, McCortex files store codes
+    directly — so documents flow from disk into the batched hash/scatter
+    pipeline without a Python-int round-trip.  McCortex input is already
+    extracted (and canonicalised upstream, if at all), so ``canonical`` and
+    ``min_count`` only apply to FASTA/FASTQ input.
     """
     suffix = path.suffix.lower()
     name = path.stem
@@ -75,10 +78,13 @@ def _parse_document(path: Path, k: int, min_count: int):
     if suffix in (".fastq", ".fq"):
         sequences = [record.sequence for record in read_fastq(path)]
         return document_from_sequences(
-            name, sequences, k=k, min_count=min_count, source_format="fastq"
+            name, sequences, k=k, canonical=canonical, min_count=min_count,
+            source_format="fastq",
         )
     sequences = [record.sequence for record in read_fasta(path)]
-    return document_from_sequences(name, sequences, k=k, source_format="fasta")
+    return document_from_sequences(
+        name, sequences, k=k, canonical=canonical, source_format="fasta"
+    )
 
 
 def _cmd_build(args: argparse.Namespace) -> int:
@@ -105,7 +111,12 @@ def _cmd_build(args: argparse.Namespace) -> int:
         return batch
 
     doc_iter = (
-        _parse_document(path, k=args.kmer_size, min_count=args.min_kmer_count)
+        _parse_document(
+            path,
+            k=args.kmer_size,
+            min_count=args.min_kmer_count,
+            canonical=args.canonical,
+        )
         for path in paths
     )
     first_batch = next_batch(doc_iter)
@@ -154,18 +165,20 @@ def _cmd_build(args: argparse.Namespace) -> int:
     return 0
 
 
-def _normalise_term(term: str, k: int):
+def _normalise_term(term: str, k: int, canonical: bool = False):
     """Encode DNA terms the way the build path stores them.
 
     Sequence files are indexed as 2-bit integer k-mer codes; a term that looks
     like a k-length DNA string is converted to that code so CLI queries hit
-    the same hash inputs.  Anything else (words, non-ACGT strings) is queried
-    verbatim.
+    the same hash inputs.  With ``canonical`` the code is canonicalised,
+    matching an index built with ``--canonical``.  Anything else (words,
+    non-ACGT strings) is queried verbatim.
     """
     if len(term) == k and all(base in "ACGTacgt" for base in term):
-        from repro.kmers.encoding import kmer_to_int
+        from repro.kmers.encoding import canonical_int, kmer_to_int
 
-        return kmer_to_int(term)
+        code = kmer_to_int(term)
+        return canonical_int(code, k) if canonical else code
     return term
 
 
@@ -183,7 +196,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
     # vectorised query_terms engine; one output line per sequence, in order.
     for sequence in sequences:
         try:
-            result = index.query_sequence(sequence, method=method)
+            result = index.query_sequence(sequence, canonical=args.canonical, method=method)
         except ValueError as exc:
             raise SystemExit(f"bad --sequence value: {exc}") from exc
         matches = ",".join(sorted(result.documents)) or "-"
@@ -191,7 +204,8 @@ def _cmd_query(args: argparse.Namespace) -> int:
     if queries:
         # All terms go through the batched engine in one call.
         results = index.query_terms_batch(
-            [_normalise_term(term, index.k) for term in queries], method=method
+            [_normalise_term(term, index.k, canonical=args.canonical) for term in queries],
+            method=method,
         )
         for term, result in zip(queries, results):
             matches = ",".join(sorted(result.documents)) or "-"
@@ -254,8 +268,14 @@ def build_parser() -> argparse.ArgumentParser:
     build.add_argument("--bfu-bits", type=int, default=0, help="override BFU size in bits (0 = auto)")
     build.add_argument("--bfu-hashes", type=int, default=2, help="hash probes per BFU (default 2)")
     build.add_argument(
-        "--min-kmer-count", type=int, default=1,
-        help="error-filter threshold applied to FASTQ input (default 1 = keep all)",
+        "--min-count", "--min-kmer-count", dest="min_kmer_count", type=int, default=1,
+        help="error-filter threshold applied to FASTQ input (default 1 = keep all); "
+             "--min-kmer-count is accepted as an alias",
+    )
+    build.add_argument(
+        "--canonical", action="store_true",
+        help="index canonical (strand-neutral) k-mers: each window is stored "
+             "as min(kmer, reverse_complement); query with --canonical too",
     )
     build.add_argument(
         "--batch-size", type=int, default=256,
@@ -282,6 +302,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="query a whole sequence (conjunction of its k-mers); repeatable",
     )
     query.add_argument("--sparse", action="store_true", help="use the RAMBO+ sparse evaluation")
+    query.add_argument(
+        "--canonical", action="store_true",
+        help="canonicalise query k-mers (use against an index built with --canonical)",
+    )
     query.set_defaults(func=_cmd_query)
 
     info = sub.add_parser("info", help="print index configuration and size breakdown")

@@ -14,7 +14,8 @@ from typing import FrozenSet, Iterable, List, Optional, Sequence, Set, Union
 
 import numpy as np
 
-from repro.kmers.extraction import DEFAULT_K, KmerDocument, extract_kmers
+from repro.kmers.extraction import DEFAULT_K, KmerDocument
+from repro.kmers.vectorized import extract_kmer_codes
 
 Term = Union[int, str]
 
@@ -265,13 +266,15 @@ class MembershipIndex(abc.ABC):
     ) -> QueryResult:
         """Documents containing every k-mer of a nucleotide *sequence*.
 
-        Large-sequence query of Section 3.3.1: slide a window of size ``k``
-        over the sequence, then run the conjunctive term query (which the
-        bitmap-native structures evaluate as one vectorised batch).
+        Large-sequence query of Section 3.3.1: the vectorised extraction
+        kernel turns the sequence into a ``uint64`` k-mer-code array in a few
+        numpy passes, and that array feeds the conjunctive term query (which
+        the bitmap-native structures evaluate as one vectorised batch) — no
+        per-k-mer Python anywhere between the raw text and the bitmaps.
         ``method`` is forwarded to :meth:`query_terms`.
         """
-        kmers = extract_kmers(sequence, k=self.k, canonical=canonical)
-        if not kmers:
+        kmers = extract_kmer_codes(sequence, k=self.k, canonical=canonical)
+        if kmers.size == 0:
             raise ValueError(
                 f"sequence of length {len(sequence)} yields no {self.k}-mers "
                 "(too short or contains only ambiguous bases)"

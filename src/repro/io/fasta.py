@@ -42,7 +42,10 @@ def _iter_records(handle: TextIO) -> Iterator[FastaRecord]:
     description = ""
     chunks: List[str] = []
     for raw_line in handle:
-        line = raw_line.rstrip("\n")
+        # Strip \r as well as \n: FASTA files written on Windows (or fetched
+        # through tools that normalise to CRLF) would otherwise leave a
+        # carriage return on every sequence chunk, corrupting the k-mers.
+        line = raw_line.rstrip("\r\n")
         if not line:
             continue
         if line.startswith(">"):

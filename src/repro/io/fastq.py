@@ -53,12 +53,17 @@ def read_fastq(path: PathLike) -> Iterator[FastqRecord]:
             header = handle.readline()
             if not header:
                 return
-            header = header.rstrip("\n")
+            # Strip \r as well as \n: CRLF files would otherwise carry a
+            # trailing carriage return into the sequence and quality strings.
+            # Both grow by one character, so the length invariant still holds
+            # and the corruption would only surface later as ambiguous-base
+            # resets during k-mer extraction — an obscure failure mode.
+            header = header.rstrip("\r\n")
             if not header.startswith("@"):
                 raise ValueError(f"expected '@' header line, got {header!r}")
-            sequence = handle.readline().rstrip("\n")
-            separator = handle.readline().rstrip("\n")
-            quality = handle.readline().rstrip("\n")
+            sequence = handle.readline().rstrip("\r\n")
+            separator = handle.readline().rstrip("\r\n")
+            quality = handle.readline().rstrip("\r\n")
             if not separator.startswith("+"):
                 raise ValueError(f"expected '+' separator line, got {separator!r}")
             if not quality and sequence:

@@ -25,6 +25,7 @@ from typing import FrozenSet, Iterable, Union
 import numpy as np
 
 from repro.kmers.extraction import KmerDocument
+from repro.kmers.vectorized import sorted_unique
 
 PathLike = Union[str, Path]
 
@@ -89,7 +90,7 @@ def write_mccortex(
             raise TypeError(f"k-mer arrays must have an integer dtype, got {kmers.dtype}")
         if np.issubdtype(kmers.dtype, np.signedinteger) and kmers.size and int(kmers.min()) < 0:
             raise ValueError(f"k-mer code {int(kmers.min())} does not fit k={k}")
-        codes_arr = np.unique(np.ascontiguousarray(kmers.ravel(), dtype=np.uint64))
+        codes_arr = sorted_unique(kmers)
         if codes_arr.size and int(codes_arr[-1]) >> (2 * k):
             raise ValueError(f"k-mer code {int(codes_arr[-1])} does not fit k={k}")
         codes = codes_arr.tolist()
@@ -112,7 +113,7 @@ def read_mccortex(path: PathLike) -> McCortexFile:
     the form the construction pipeline consumes directly.
     """
     with open(path, "r", encoding="utf-8") as handle:
-        header = handle.readline().rstrip("\n")
+        header = handle.readline().rstrip("\r\n")
         if not header.startswith(_MAGIC):
             raise ValueError(f"not a McCortex-lite file: header {header!r}")
         fields = dict(
@@ -124,7 +125,7 @@ def read_mccortex(path: PathLike) -> McCortexFile:
             sample = fields["sample"]
         except KeyError as exc:
             raise ValueError(f"McCortex-lite header missing field: {exc}") from exc
-        codes = np.unique(
+        codes = sorted_unique(
             np.fromiter(
                 (int(line, 16) for line in handle if line.strip()),
                 dtype=np.uint64,

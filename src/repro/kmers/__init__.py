@@ -17,9 +17,17 @@ from repro.kmers.encoding import (
 from repro.kmers.extraction import (
     KmerDocument,
     extract_kmers,
+    extract_kmers_scalar,
     extract_kmer_set,
     extract_from_reads,
     document_from_sequences,
+)
+from repro.kmers.vectorized import (
+    canonical_codes,
+    encode_bases,
+    extract_codes_from_reads,
+    extract_kmer_codes,
+    reverse_complement_codes,
 )
 
 __all__ = [
@@ -31,7 +39,13 @@ __all__ = [
     "reverse_complement_int",
     "KmerDocument",
     "extract_kmers",
+    "extract_kmers_scalar",
     "extract_kmer_set",
     "extract_from_reads",
     "document_from_sequences",
+    "encode_bases",
+    "extract_kmer_codes",
+    "extract_codes_from_reads",
+    "reverse_complement_codes",
+    "canonical_codes",
 ]

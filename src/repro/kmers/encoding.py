@@ -15,6 +15,7 @@ from repro.hashing.kmer_hash import (
     reverse_complement_int,
     RollingKmerHasher,
 )
+from repro.kmers.vectorized import canonical_codes, encode_bases, reverse_complement_codes
 
 __all__ = [
     "kmer_to_int",
@@ -24,4 +25,7 @@ __all__ = [
     "reverse_complement",
     "reverse_complement_int",
     "RollingKmerHasher",
+    "encode_bases",
+    "reverse_complement_codes",
+    "canonical_codes",
 ]

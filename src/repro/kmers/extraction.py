@@ -15,14 +15,25 @@ import numpy as np
 
 from repro.hashing.kmer_hash import RollingKmerHasher
 from repro.hashing.murmur3 import normalise_batch_key
+from repro.kmers.vectorized import (
+    extract_codes_from_reads,
+    extract_kmer_codes,
+    sorted_unique,
+)
 
 Term = Union[int, str]
 
 DEFAULT_K = 31
 
 
-def extract_kmers(sequence: str, k: int = DEFAULT_K, canonical: bool = False) -> List[int]:
+def extract_kmers(sequence: str, k: int = DEFAULT_K, canonical: bool = False) -> np.ndarray:
     """All k-mer codes of *sequence* in order, skipping windows with ambiguous bases.
+
+    Runs the vectorised kernel (:mod:`repro.kmers.vectorized`) and returns a
+    ``uint64`` array, so downstream consumers (the batched query and
+    construction engines) receive hashing-ready codes with no per-k-mer
+    Python work.  Elementwise identical to the scalar reference
+    :func:`extract_kmers_scalar`.
 
     Parameters
     ----------
@@ -34,13 +45,26 @@ def extract_kmers(sequence: str, k: int = DEFAULT_K, canonical: bool = False) ->
         If True, each k-mer is replaced by the lexicographically smaller of
         itself and its reverse complement.
     """
+    return extract_kmer_codes(sequence, k=k, canonical=canonical)
+
+
+def extract_kmers_scalar(
+    sequence: str, k: int = DEFAULT_K, canonical: bool = False
+) -> List[int]:
+    """Scalar reference extraction via :class:`RollingKmerHasher`.
+
+    One dict lookup per base and one Python iteration per window — kept (like
+    ``Rambo.add_document_scalar`` on the write path) as the bit-identical
+    reference the vectorised kernel is property-tested and benchmarked
+    against.
+    """
     hasher = RollingKmerHasher(k=k, canonical=canonical)
     return hasher.kmers(sequence)
 
 
 def extract_kmer_set(sequence: str, k: int = DEFAULT_K, canonical: bool = False) -> Set[int]:
     """Unique k-mer codes of *sequence* (the "McCortex style" filtered view)."""
-    return set(extract_kmers(sequence, k=k, canonical=canonical))
+    return set(extract_kmer_codes(sequence, k=k, canonical=canonical).tolist())
 
 
 def extract_from_reads(
@@ -54,20 +78,13 @@ def extract_from_reads(
     ``min_count > 1`` mimics the McCortex error-filtering step the paper
     describes: k-mers produced by isolated sequencing errors are seen only
     once and are removed, while genuine genomic k-mers are covered by several
-    reads.
+    reads.  This is the set-level view of
+    :func:`repro.kmers.vectorized.extract_codes_from_reads`; array-native
+    consumers (the document builders) use the code-array form directly.
     """
-    if min_count < 1:
-        raise ValueError(f"min_count must be >= 1, got {min_count}")
-    if min_count == 1:
-        result: Set[int] = set()
-        for read in reads:
-            result.update(extract_kmers(read, k=k, canonical=canonical))
-        return result
-    counts: dict = {}
-    for read in reads:
-        for code in extract_kmers(read, k=k, canonical=canonical):
-            counts[code] = counts.get(code, 0) + 1
-    return {code for code, count in counts.items() if count >= min_count}
+    return set(
+        extract_codes_from_reads(reads, k=k, canonical=canonical, min_count=min_count).tolist()
+    )
 
 
 class KmerDocument:
@@ -121,7 +138,7 @@ class KmerDocument:
                 raise ValueError(
                     f"integer keys must be non-negative, got {int(terms.min())}"
                 )
-            codes = np.unique(np.ascontiguousarray(terms.ravel(), dtype=np.uint64))
+            codes = sorted_unique(terms)
             codes.setflags(write=False)
             self._codes = codes
         elif isinstance(terms, frozenset):
@@ -253,13 +270,12 @@ def document_from_sequences(
 
     This is the single entry point both file parsers and simulators use, so
     every document in the system is produced by the same extraction logic.
-    The k-mer codes are handed to the document as a ``uint64`` array, so the
-    batched construction pipeline hashes them without any per-key Python
-    work.
+    The sequences flow through the vectorised extraction kernel straight into
+    the document's ``uint64`` code array — no per-k-mer Python between the
+    raw text and the batched hash/scatter construction pipeline.
     """
-    terms = extract_from_reads(sequences, k=k, canonical=canonical, min_count=min_count)
+    codes = extract_codes_from_reads(sequences, k=k, canonical=canonical, min_count=min_count)
     total_length = sum(len(seq) for seq in sequences)
-    codes = np.fromiter(terms, dtype=np.uint64, count=len(terms))
     return KmerDocument(
         name=name,
         terms=codes,

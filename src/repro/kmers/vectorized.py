@@ -1,0 +1,264 @@
+"""Vectorised sequence → k-mer-code kernel.
+
+This is the array-speed counterpart of the scalar
+:class:`~repro.hashing.kmer_hash.RollingKmerHasher`: it turns a nucleotide
+sequence into the ``uint64`` 2-bit codes of *all* of its k-mer windows with a
+handful of numpy passes and **zero per-window Python work**.  The scalar
+hasher is retained as the bit-identical reference path (exactly like the
+scalar ``Rambo.add_document_scalar`` write path), and the benchmark
+``benchmarks/bench_kmer_extraction.py`` gates both the equivalence and the
+speedup.
+
+The kernel has four stages, each a whole-array operation:
+
+1.  **LUT encode** — the sequence bytes are mapped to per-base 2-bit codes
+    through a 256-entry lookup table (``np.frombuffer`` → fancy index);
+    ambiguous bases (``N`` and anything outside ``ACGTacgt``) map to a
+    sentinel.
+2.  **Sliding-window accumulation** — the length-``k`` window code at every
+    position is built by log-doubling: windows of length 1 are pairwise
+    combined into windows of length 2, 4, 8, ... and the binary decomposition
+    of ``k`` stitches them into length-``k`` codes.  That is ``O(log k)``
+    vectorised passes instead of ``k`` per-character Python steps per window.
+3.  **Validity masking** — a window is valid iff it contains no ambiguous
+    base; the per-window invalid count is the difference of a cumulative sum
+    of the ambiguity indicator, so masking costs one cumsum and one compare.
+4.  **Canonicalisation** (optional) — the reverse complement of every code is
+    computed branch-free with 2-bit-pair bit-twiddling (pair swap, nibble
+    swap, byte reverse) over the whole array, and the canonical form is the
+    elementwise minimum — matching ``canonical_int`` bit for bit.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Union
+
+import numpy as np
+
+__all__ = [
+    "encode_bases",
+    "extract_kmer_codes",
+    "extract_codes_from_reads",
+    "reverse_complement_codes",
+    "canonical_codes",
+    "sorted_unique",
+    "sorted_unique_counts",
+    "AMBIGUOUS",
+    "CODE_TO_BASE",
+]
+
+#: Sentinel the LUT maps ambiguous (non-ACGT) bytes to.
+AMBIGUOUS = np.uint8(0xFF)
+
+#: Inverse byte table (2-bit code → uppercase ASCII base), the decode side of
+#: the LUT; shared with the simulators so vectorised sequence synthesis and
+#: extraction agree on one encoding.
+CODE_TO_BASE = np.frombuffer(b"ACGT", dtype=np.uint8)
+
+#: 256-entry byte → 2-bit-code lookup table (A=0, C=1, G=2, T=3, case
+#: insensitive, everything else ambiguous) — the same mapping as the scalar
+#: ``_BASE_TO_BITS`` dict, turned into one fancy-index pass.
+_BASE_LUT = np.full(256, AMBIGUOUS, dtype=np.uint8)
+for _i, _base in enumerate(b"ACGT"):
+    _BASE_LUT[_base] = _i
+for _i, _base in enumerate(b"acgt"):
+    _BASE_LUT[_base] = _i
+
+# Bit-twiddling masks for the 2-bit-group reversal of a 64-bit word.
+_PAIR_MASK = np.uint64(0x3333333333333333)
+_NIBBLE_MASK = np.uint64(0x0F0F0F0F0F0F0F0F)
+
+_EMPTY_CODES = np.empty(0, dtype=np.uint64)
+
+
+def _check_k(k: int) -> None:
+    if not (1 <= k <= 31):
+        raise ValueError(f"k must be in [1, 31], got {k}")
+
+
+def encode_bases(sequence: Union[str, bytes, bytearray, memoryview]) -> np.ndarray:
+    """Per-character 2-bit codes of *sequence* (:data:`AMBIGUOUS` for non-ACGT).
+
+    Strings are UTF-8 encoded; a multi-byte character becomes a short run of
+    ambiguous bytes, which breaks exactly the same windows the scalar
+    per-character path breaks (every window containing the character), so the
+    extracted codes are identical for any input text.
+    """
+    if isinstance(sequence, str):
+        raw: Union[bytes, bytearray, memoryview] = sequence.encode("utf-8")
+    else:
+        raw = sequence
+    return _BASE_LUT[np.frombuffer(raw, dtype=np.uint8)]
+
+
+def _sliding_window_codes(base_codes: np.ndarray, k: int) -> np.ndarray:
+    """``uint64`` codes of every length-``k`` window of *base_codes*.
+
+    Log-doubling accumulation: ``W(i, a+b) = (W(i, a) << 2b) | W(i+a, b)``
+    where ``W(i, L)`` is the code of the window of length ``L`` starting at
+    ``i``.  Windows of power-of-two lengths are built by pairwise doubling
+    and the binary decomposition of ``k`` stitches them together, so the
+    whole array of ``n - k + 1`` codes costs ``O(log k)`` vectorised passes.
+
+    Windows containing ambiguous sentinel bytes hold garbage; the caller
+    masks them out (their garbage never touches a valid window's bits).
+    """
+    n = base_codes.size
+    # Powers of two in k's binary decomposition, ascending.
+    powers = [1 << shift for shift in range(5) if k & (1 << shift)]
+    # The doubling chain runs in uint32: a window of <= 16 bases needs at
+    # most 32 bits, and the kernel is memory-bandwidth bound, so halving the
+    # element width halves the cost of most passes.  Each level is a
+    # shift-into-fresh-buffer plus an in-place OR — two ufunc passes and one
+    # allocation (the naive expression form costs an extra temporary).
+    windows = {1: base_codes.astype(np.uint32)}
+    length = 1
+    while length < powers[-1]:
+        prev = windows[length]
+        doubled = np.left_shift(prev[: prev.size - length], np.uint32(2 * length))
+        np.bitwise_or(doubled, prev[length:], out=doubled)
+        windows[2 * length] = doubled
+        length *= 2
+    # Stitch MSB-first in uint64 (windows beyond 16 bases exceed 32 bits):
+    # the accumulated prefix of length ``done`` is extended by the next
+    # power-of-two window starting right after it.
+    acc = windows[powers[-1]].astype(np.uint64)
+    done = powers[-1]
+    for power in reversed(powers[:-1]):
+        out_len = n - done - power + 1
+        acc = np.left_shift(acc[:out_len], np.uint64(2 * power))
+        np.bitwise_or(acc, windows[power][done : done + out_len], out=acc)
+        done += power
+    return acc
+
+
+def reverse_complement_codes(codes: np.ndarray, k: int) -> np.ndarray:
+    """Elementwise reverse complement of 2-bit k-mer codes, branch-free.
+
+    The complement of a 2-bit base code is ``3 - code``, which is a bitwise
+    NOT within each pair; reversing the 32 2-bit groups of the 64-bit word is
+    the classic three-step swap (adjacent pairs, adjacent nibbles, byte
+    reverse); the final right shift drops the ``32 - k`` unused groups.
+    Bit-identical to ``reverse_complement_int`` applied per element.
+    """
+    _check_k(k)
+    v = np.bitwise_not(np.ascontiguousarray(codes, dtype=np.uint64))
+    v = ((v >> np.uint64(2)) & _PAIR_MASK) | ((v & _PAIR_MASK) << np.uint64(2))
+    v = ((v >> np.uint64(4)) & _NIBBLE_MASK) | ((v & _NIBBLE_MASK) << np.uint64(4))
+    return v.byteswap() >> np.uint64(64 - 2 * k)
+
+
+def canonical_codes(codes: np.ndarray, k: int) -> np.ndarray:
+    """Elementwise canonical (strand-neutral) form: ``min(code, revcomp)``.
+
+    Bit-identical to ``canonical_int`` applied per element.
+    """
+    codes = np.ascontiguousarray(codes, dtype=np.uint64)
+    return np.minimum(codes, reverse_complement_codes(codes, k))
+
+
+def extract_kmer_codes(
+    sequence: Union[str, bytes, bytearray, memoryview],
+    k: int,
+    canonical: bool = False,
+) -> np.ndarray:
+    """All k-mer codes of *sequence*, in order, as a ``uint64`` array.
+
+    Windows containing ambiguous bases are skipped, exactly as the scalar
+    :class:`~repro.hashing.kmer_hash.RollingKmerHasher` skips them; with
+    ``canonical=True`` every code is replaced by the smaller of itself and
+    its reverse complement.  The output is elementwise identical to
+    ``RollingKmerHasher(k, canonical).kmers(sequence)``.
+    """
+    _check_k(k)
+    base_codes = encode_bases(sequence)
+    n = base_codes.size
+    if n < k:
+        return _EMPTY_CODES
+    codes = _sliding_window_codes(base_codes, k)
+    invalid = base_codes == AMBIGUOUS
+    if invalid.any():
+        # Cumulative invalid-count trick: window i is valid iff the number of
+        # ambiguous bases before i equals the number before i + k.  int32 is
+        # plenty for the count (sequences are chunked far below 2**31) and
+        # halves this pass's memory traffic.
+        running = np.zeros(n + 1, dtype=np.int32)
+        np.cumsum(invalid, dtype=np.int32, out=running[1:])
+        codes = codes[running[k:] == running[: n - k + 1]]
+    if canonical and codes.size:
+        codes = canonical_codes(codes, k)
+    return codes
+
+
+def sorted_unique(codes: np.ndarray) -> np.ndarray:
+    """Sorted distinct values of an integer code array (fast ``np.unique``).
+
+    ``np.unique`` takes a generic slow path for 8-byte integers that is an
+    order of magnitude slower than ``np.sort`` plus a neighbour compare, and
+    deduplication sits on every document-ingest call — so the pipeline uses
+    this explicit form.  Already-strictly-increasing input (a re-ingested
+    sorted code array) is detected with one compare pass and short-circuits
+    the sort.  Always returns a new ``uint64`` array.
+    """
+    codes = np.ascontiguousarray(codes, dtype=np.uint64).ravel()
+    if codes.size < 2:
+        return codes.copy()
+    if bool((codes[1:] > codes[:-1]).all()):
+        return codes.copy()
+    ordered = np.sort(codes)
+    keep = np.empty(ordered.size, dtype=bool)
+    keep[0] = True
+    np.not_equal(ordered[1:], ordered[:-1], out=keep[1:])
+    return ordered[keep]
+
+
+def sorted_unique_counts(codes: np.ndarray):
+    """``(sorted distinct values, occurrence counts)`` of a code array.
+
+    The counting twin of :func:`sorted_unique` (``np.unique`` with
+    ``return_counts=True`` pays the same slow generic path); feeds the
+    McCortex-style ``min_count`` frequency filter.
+    """
+    codes = np.ascontiguousarray(codes, dtype=np.uint64).ravel()
+    if codes.size == 0:
+        return codes.copy(), np.zeros(0, dtype=np.int64)
+    ordered = np.sort(codes)
+    boundary = np.empty(ordered.size, dtype=bool)
+    boundary[0] = True
+    np.not_equal(ordered[1:], ordered[:-1], out=boundary[1:])
+    starts = np.flatnonzero(boundary)
+    counts = np.diff(np.append(starts, ordered.size))
+    return ordered[starts], counts
+
+
+def extract_codes_from_reads(
+    reads: Iterable[Union[str, bytes]],
+    k: int,
+    canonical: bool = False,
+    min_count: int = 1,
+) -> np.ndarray:
+    """Unique (sorted) k-mer codes over many reads, with frequency filtering.
+
+    The array-native form of ``extract_from_reads``: the reads are joined
+    into one byte buffer around an ambiguous separator (``0xFF``, never a
+    valid UTF-8 byte) so a whole read set costs *one* kernel invocation —
+    windows spanning a read boundary contain the separator and are masked
+    out, so the pooled occurrences are exactly the per-read extractions
+    concatenated.  The McCortex-style error filter (``min_count > 1``) drops
+    low-frequency codes via the sort-based :func:`sorted_unique_counts`
+    instead of a per-k-mer Python dict — occurrence counting (a k-mer seen
+    twice in one read counts twice) matches the scalar reference exactly.
+    """
+    if min_count < 1:
+        raise ValueError(f"min_count must be >= 1, got {min_count}")
+    _check_k(k)
+    raw_reads = [
+        read.encode("utf-8") if isinstance(read, str) else bytes(read) for read in reads
+    ]
+    if not raw_reads:
+        return _EMPTY_CODES
+    occurrences = extract_kmer_codes(b"\xff".join(raw_reads), k, canonical=canonical)
+    if min_count == 1:
+        return sorted_unique(occurrences)
+    codes, counts = sorted_unique_counts(occurrences)
+    return np.ascontiguousarray(codes[counts >= min_count])

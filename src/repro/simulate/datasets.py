@@ -14,10 +14,13 @@ from __future__ import annotations
 import math
 import random
 import statistics
+
+import numpy as np
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.kmers.extraction import DEFAULT_K, KmerDocument, document_from_sequences
+from repro.kmers.vectorized import sorted_unique
 from repro.simulate.genomes import GenomeSimulator
 from repro.simulate.reads import ReadSimulator
 
@@ -37,17 +40,29 @@ class DatasetStatistics:
 
     @classmethod
     def from_documents(cls, documents: Sequence[KmerDocument]) -> "DatasetStatistics":
+        """Compute the summary statistics of a document collection.
+
+        Code-backed genomic documents are pooled as ``uint64`` arrays (one
+        concatenate + unique) so the collection-wide distinct-term count
+        never materialises per-document frozensets; text documents fall back
+        to the set union.
+        """
         sizes = [len(doc) for doc in documents]
-        all_terms: Set[Term] = set()
-        for doc in documents:
-            all_terms.update(doc.terms)
+        code_arrays = [doc.term_codes() for doc in documents]
+        if documents and all(codes is not None for codes in code_arrays):
+            total_unique = int(sorted_unique(np.concatenate(code_arrays)).size)
+        else:
+            all_terms: Set[Term] = set()
+            for doc in documents:
+                all_terms.update(doc.terms)
+            total_unique = len(all_terms)
         return cls(
             num_documents=len(documents),
             mean_terms=statistics.fmean(sizes) if sizes else 0.0,
             std_terms=statistics.pstdev(sizes) if len(sizes) > 1 else 0.0,
             mean_unique_terms=statistics.fmean(sizes) if sizes else 0.0,
             total_terms=sum(sizes),
-            total_unique_terms=len(all_terms),
+            total_unique_terms=total_unique,
         )
 
 

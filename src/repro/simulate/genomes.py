@@ -11,22 +11,57 @@ small pool of ancestral sequences by point mutation, so k-mers in conserved
 regions appear in many documents while mutated regions produce
 document-unique k-mers.  The mutation rate therefore directly dials the
 multiplicity distribution.
+
+Sequence synthesis is vectorised (numpy over the shared 2-bit byte tables of
+:mod:`repro.kmers.vectorized`): generating and mutating a genome is a handful
+of array passes instead of one Python-level RNG call per base, so document
+synthesis no longer dominates the benchmark setups.  Determinism is preserved
+— every genome is still a pure function of ``(seed, index)`` — but the
+generated sequences differ from the pre-vectorisation ``random.Random``
+streams (the same trade PR 2 made for the text corpus simulator).
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.kmers.vectorized import AMBIGUOUS, CODE_TO_BASE, encode_bases
 
 _ALPHABET = "ACGT"
 
 
+def _derived_generator(rng: random.Random) -> np.random.Generator:
+    """A numpy generator deterministically derived from a ``random.Random``.
+
+    Keeps the public simulator signatures (which take ``random.Random``)
+    while the heavy lifting runs on numpy's PCG64; drawing the seed from
+    *rng* makes the vectorised path a pure function of the caller's seed.
+    """
+    return np.random.Generator(np.random.PCG64(rng.getrandbits(64)))
+
+
 def random_sequence(length: int, rng: random.Random) -> str:
-    """Uniform random nucleotide string of the given length."""
+    """Uniform random nucleotide string of the given length (vectorised)."""
     if length < 0:
         raise ValueError(f"length must be non-negative, got {length}")
-    return "".join(rng.choice(_ALPHABET) for _ in range(length))
+    if length == 0:
+        return ""
+    draws = np.frombuffer(rng.randbytes(length), dtype=np.uint8)
+    return CODE_TO_BASE[draws & 3].tobytes().decode("ascii")
+
+
+def _mutate_scalar(sequence: str, mutation_rate: float, rng: random.Random) -> str:
+    """Per-character reference mutation path (kept for non-ACGT inputs)."""
+    bases = list(sequence)
+    for i, base in enumerate(bases):
+        if rng.random() < mutation_rate:
+            choices = [b for b in _ALPHABET if b != base.upper()]
+            bases[i] = rng.choice(choices)
+    return "".join(bases)
 
 
 def mutate_sequence(sequence: str, mutation_rate: float, rng: random.Random) -> str:
@@ -36,17 +71,30 @@ def mutate_sequence(sequence: str, mutation_rate: float, rng: random.Random) -> 
     k-mers into new ones without changing sequence length, which keeps the
     document-size statistics stable across the collection — matching the
     simplification the paper's analysis makes.
+
+    The ACGT fast path is fully vectorised: one uniform draw per base, and
+    each mutated base is replaced by a uniformly chosen *different* base via
+    a 2-bit offset in code space.  Sequences containing ambiguous or
+    non-ASCII characters fall back to the per-character reference path.
     """
     if not (0.0 <= mutation_rate <= 1.0):
         raise ValueError(f"mutation_rate must be in [0, 1], got {mutation_rate}")
-    if mutation_rate == 0.0:
+    if mutation_rate == 0.0 or not sequence:
         return sequence
-    bases = list(sequence)
-    for i, base in enumerate(bases):
-        if rng.random() < mutation_rate:
-            choices = [b for b in _ALPHABET if b != base.upper()]
-            bases[i] = rng.choice(choices)
-    return "".join(bases)
+    codes = encode_bases(sequence)
+    if codes.size != len(sequence) or bool((codes == AMBIGUOUS).any()):
+        return _mutate_scalar(sequence, mutation_rate, rng)
+    gen = _derived_generator(rng)
+    mutate = gen.random(codes.size) < mutation_rate
+    if not mutate.any():
+        return sequence
+    out = np.frombuffer(sequence.encode("ascii"), dtype=np.uint8).copy()
+    hit = codes[mutate]
+    # code + offset in {1, 2, 3} mod 4 is uniform over the three other bases,
+    # the same distribution the scalar rng.choice over choices produces.
+    offsets = gen.integers(1, 4, size=hit.size, dtype=np.uint8)
+    out[mutate] = CODE_TO_BASE[(hit + offsets) & 3]
+    return out.tobytes().decode("ascii")
 
 
 @dataclass

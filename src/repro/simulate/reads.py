@@ -6,16 +6,25 @@ between the two is exactly what this simulator recreates.  Reads are sampled
 uniformly across the genome at a configurable coverage depth, and each base is
 substituted with a small probability, producing the spurious low-frequency
 k-mers the McCortex filter removes.
+
+Like the genome simulator, read sampling is vectorised: all start positions
+are drawn in one pass over numpy's PCG64 (seeded deterministically from the
+sample name) and error injection is one mask draw per read over the shared
+2-bit byte tables — no per-base Python on the ACGT fast path.  Same-seed read
+sets differ from the pre-vectorisation ``random.Random`` streams.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Iterator, List
+from typing import List
+
+import numpy as np
 
 from repro.hashing.murmur3 import murmur3_64
 from repro.io.fastq import FastqRecord, PHRED_OFFSET
+from repro.kmers.vectorized import AMBIGUOUS, CODE_TO_BASE, encode_bases
 
 _ALPHABET = "ACGT"
 
@@ -57,7 +66,14 @@ class ReadSimulator:
             return 0
         return max(1, int(round(self.coverage * genome_length / self.read_length)))
 
-    def _inject_errors(self, read: str, rng: random.Random) -> str:
+    def _sample_rng(self, sample_name: str) -> random.Random:
+        # Seed from a process-independent hash of the sample name; Python's
+        # built-in hash() is randomised per process and would make simulated
+        # reads irreproducible across runs and worker processes.
+        return random.Random(self.seed ^ (murmur3_64(sample_name, seed=0xF00D) & 0xFFFFFFFF))
+
+    def _inject_errors_scalar(self, read: str, rng: random.Random) -> str:
+        """Per-character reference error path (kept for non-ACGT genomes)."""
         if self.error_rate == 0.0:
             return read
         bases = list(read)
@@ -66,25 +82,60 @@ class ReadSimulator:
                 bases[i] = rng.choice([b for b in _ALPHABET if b != base])
         return "".join(bases)
 
+    def _simulate_scalar(
+        self, genome: str, sample_name: str, count: int, quality: str
+    ) -> List[FastqRecord]:
+        rng = self._sample_rng(sample_name)
+        reads: List[FastqRecord] = []
+        for i in range(count):
+            start = rng.randrange(0, len(genome) - self.read_length + 1)
+            fragment = self._inject_errors_scalar(
+                genome[start : start + self.read_length], rng
+            )
+            reads.append(
+                FastqRecord(name=f"{sample_name}_read{i}", sequence=fragment, quality=quality)
+            )
+        return reads
+
     def simulate(self, genome: str, sample_name: str = "sample") -> List[FastqRecord]:
         """Generate the full read set for *genome* as FASTQ records.
 
         Quality strings encode a constant Phred 30 (the indexing pipeline does
         not use qualities; they exist so written FASTQ files are well-formed).
         """
-        # Seed from a process-independent hash of the sample name; Python's
-        # built-in hash() is randomised per process and would make simulated
-        # reads irreproducible across runs and worker processes.
-        rng = random.Random(self.seed ^ (murmur3_64(sample_name, seed=0xF00D) & 0xFFFFFFFF))
         genome_length = len(genome)
         count = self.num_reads(genome_length)
         quality = chr(PHRED_OFFSET + 30) * self.read_length
+        if count == 0:
+            return []
+        codes = encode_bases(genome)
+        if codes.size != genome_length or bool((codes == AMBIGUOUS).any()):
+            return self._simulate_scalar(genome, sample_name, count, quality)
+        gen = np.random.Generator(
+            np.random.PCG64(self._sample_rng(sample_name).getrandbits(64))
+        )
+        starts = gen.integers(0, genome_length - self.read_length + 1, size=count)
+        raw = np.frombuffer(genome.encode("ascii"), dtype=np.uint8)
         reads: List[FastqRecord] = []
         for i in range(count):
-            start = rng.randrange(0, genome_length - self.read_length + 1)
-            fragment = genome[start : start + self.read_length]
-            fragment = self._inject_errors(fragment, rng)
-            reads.append(FastqRecord(name=f"{sample_name}_read{i}", sequence=fragment, quality=quality))
+            start = int(starts[i])
+            fragment_bytes = raw[start : start + self.read_length]
+            if self.error_rate > 0.0:
+                errors = gen.random(self.read_length) < self.error_rate
+                if errors.any():
+                    fragment_bytes = fragment_bytes.copy()
+                    hit = codes[start : start + self.read_length][errors]
+                    # code + offset in {1, 2, 3} mod 4: uniform over the
+                    # three other bases, like the scalar rng.choice.
+                    offsets = gen.integers(1, 4, size=hit.size, dtype=np.uint8)
+                    fragment_bytes[errors] = CODE_TO_BASE[(hit + offsets) & 3]
+            reads.append(
+                FastqRecord(
+                    name=f"{sample_name}_read{i}",
+                    sequence=fragment_bytes.tobytes().decode("ascii"),
+                    quality=quality,
+                )
+            )
         return reads
 
     def sequences(self, genome: str, sample_name: str = "sample") -> List[str]:

@@ -95,6 +95,85 @@ class TestBuild:
             main(["build", str(empty), str(tmp_path / "o.rambo")])
 
 
+class TestCanonicalAndMinCount:
+    def test_build_and_query_canonical(self, sequence_dir, tmp_path, capsys):
+        """A --canonical index answers reverse-complement probes too."""
+        from repro.io.fasta import read_fasta
+        from repro.hashing.kmer_hash import reverse_complement
+
+        path = tmp_path / "canon.rambo"
+        assert main(
+            ["build", str(sequence_dir), str(path), "--kmer-size", str(K),
+             "--seed", "3", "--canonical"]
+        ) == 0
+        record = next(read_fasta(sequence_dir / "sampleA0.fasta"))
+        probe = int_to_kmer(extract_kmers(record.sequence, k=K)[10], K)
+        capsys.readouterr()
+        main(["query", str(path), probe, "--canonical"])
+        assert "sampleA0" in capsys.readouterr().out
+        # The reverse complement of the probe canonicalises to the same code,
+        # so a canonical index must find it in the same document.
+        main(["query", str(path), reverse_complement(probe), "--canonical"])
+        assert "sampleA0" in capsys.readouterr().out
+
+    def test_canonical_sequence_query(self, sequence_dir, tmp_path, capsys):
+        from repro.io.fasta import read_fasta
+        from repro.hashing.kmer_hash import reverse_complement
+
+        path = tmp_path / "canonseq.rambo"
+        main(["build", str(sequence_dir), str(path), "--kmer-size", str(K),
+              "--seed", "3", "--canonical"])
+        record = next(read_fasta(sequence_dir / "sampleA1.fasta"))
+        fragment = record.sequence[200:260]
+        capsys.readouterr()
+        # Query the opposite strand of a real fragment: only canonicalisation
+        # makes it land in the right document.
+        main(["query", str(path), "--sequence", reverse_complement(fragment), "--canonical"])
+        output = capsys.readouterr().out
+        assert output.startswith("sequence\t")
+        assert "sampleA1" in output
+
+    def test_min_count_flag_filters_fastq_kmers(self, tmp_path, capsys):
+        """--min-count drops k-mers seen fewer times than the threshold."""
+        directory = tmp_path / "reads"
+        directory.mkdir()
+        # "ACGTACGTACGTA" appears twice; the GGGG...-read once (an "error").
+        common = "ACGTACGTACGTA"
+        rare = "GGGGGGGGGGGGG"
+        write_fastq(
+            directory / "s.fastq",
+            [
+                FastqRecord("r0", common, "I" * len(common)),
+                FastqRecord("r1", common, "I" * len(common)),
+                FastqRecord("r2", rare, "I" * len(rare)),
+            ],
+        )
+        unfiltered = tmp_path / "all.rambo"
+        filtered = tmp_path / "filtered.rambo"
+        main(["build", str(directory), str(unfiltered), "--kmer-size", str(K),
+              "--fp-rate", "0.0001"])
+        main(["build", str(directory), str(filtered), "--kmer-size", str(K),
+              "--fp-rate", "0.0001", "--min-count", "2"])
+        capsys.readouterr()
+        main(["query", str(unfiltered), rare])
+        assert "s" in capsys.readouterr().out.split("\t")[1]
+        main(["query", str(filtered), rare])
+        assert capsys.readouterr().out.split("\t")[1] == "-"
+        main(["query", str(filtered), common[:K]])
+        assert "s" in capsys.readouterr().out.split("\t")[1]
+
+    def test_min_kmer_count_alias_still_accepted(self, tmp_path, capsys):
+        directory = tmp_path / "reads"
+        directory.mkdir()
+        write_fastq(directory / "s.fastq", [FastqRecord("r0", "ACGTACGTACGTA", "I" * 13)])
+        out = tmp_path / "alias.rambo"
+        assert main(
+            ["build", str(directory), str(out), "--kmer-size", str(K),
+             "--min-kmer-count", "1"]
+        ) == 0
+        assert out.exists()
+
+
 class TestQuery:
     def test_query_known_kmer(self, built_index_path, probe_kmer, capsys):
         exit_code = main(["query", str(built_index_path), probe_kmer])

@@ -89,6 +89,56 @@ class TestFastq:
             list(read_fastq(path))
 
 
+class TestCRLFFiles:
+    """Files with Windows (CRLF) line endings must parse identically to LF.
+
+    Before the fix the readers stripped only ``\\n``, leaving a ``\\r`` on
+    every line: FASTQ sequences and qualities both grew by one character (so
+    the length invariant held and the corruption went unnoticed until k-mer
+    extraction hit the ``\\r`` as an ambiguous base), and FASTA sequences
+    assembled from chunk lines could embed stray carriage returns.
+    """
+
+    def test_fasta_crlf(self, tmp_path):
+        path = tmp_path / "crlf.fasta"
+        path.write_bytes(b">seq1 first genome\r\nACGTACGT\r\nTTTT\r\n>seq2\r\nGGGG\r\n")
+        records = list(read_fasta(path))
+        assert records == [
+            FastaRecord("seq1", "first genome", "ACGTACGTTTTT"),
+            FastaRecord("seq2", "", "GGGG"),
+        ]
+
+    def test_fasta_crlf_leading_blank_line(self, tmp_path):
+        path = tmp_path / "blank.fasta"
+        path.write_bytes(b"\r\n>seq1\r\nACGT\r\n")
+        assert list(read_fasta(path)) == [FastaRecord("seq1", "", "ACGT")]
+
+    def test_fastq_crlf(self, tmp_path):
+        path = tmp_path / "crlf.fastq"
+        path.write_bytes(b"@read1\r\nACGTACGT\r\n+\r\nIIIIIIII\r\n")
+        records = list(read_fastq(path))
+        assert records == [FastqRecord("read1", "ACGTACGT", "IIIIIIII")]
+        # The sequence must be clean enough to extract k-mers from: a stray
+        # \r used to break the final windows as an ambiguous base.
+        assert len(extract_kmer_set(records[0].sequence, k=5)) > 0
+        assert "\r" not in records[0].sequence
+        assert "\r" not in records[0].quality
+
+    def test_fastq_crlf_matches_lf(self, tmp_path):
+        lf = tmp_path / "lf.fastq"
+        crlf = tmp_path / "crlf.fastq"
+        lf.write_bytes(b"@r\nACGT\n+\nIIII\n")
+        crlf.write_bytes(b"@r\r\nACGT\r\n+\r\nIIII\r\n")
+        assert list(read_fastq(lf)) == list(read_fastq(crlf))
+
+    def test_mccortex_crlf(self, tmp_path):
+        path = tmp_path / "crlf.mcc"
+        path.write_bytes(b"#mccortex-lite k=3 kmers=2 sample=sampleY\r\n5\r\na\r\n")
+        parsed = read_mccortex(path)
+        assert parsed.sample == "sampleY"
+        assert parsed.codes.tolist() == [5, 10]
+
+
 class TestMcCortex:
     def test_round_trip(self, tmp_path):
         kmers = extract_kmer_set("ACGTACGTTTACG", k=5)

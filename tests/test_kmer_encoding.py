@@ -99,6 +99,52 @@ class TestCanonical:
         assert canonical_kmer(reverse_complement(kmer)) == canon
 
 
+#: A (k, code) pair with k uniform in the full supported range [1, 31] and
+#: the code uniform over the 2k-bit space — so the properties below are
+#: exercised at every window length the library accepts, not just short ones.
+code_and_k = st.integers(min_value=1, max_value=31).flatmap(
+    lambda k: st.tuples(st.just(k), st.integers(min_value=0, max_value=(1 << (2 * k)) - 1))
+)
+
+
+class TestEncodingProperties:
+    """Algebraic laws of the encoding layer over randomized k in [1, 31]."""
+
+    @given(code_and_k)
+    def test_int_to_kmer_round_trip(self, pair):
+        k, code = pair
+        assert kmer_to_int(int_to_kmer(code, k)) == code
+
+    @given(code_and_k)
+    def test_reverse_complement_is_involution(self, pair):
+        k, code = pair
+        assert reverse_complement_int(reverse_complement_int(code, k), k) == code
+
+    @given(code_and_k)
+    def test_reverse_complement_stays_in_range(self, pair):
+        k, code = pair
+        assert 0 <= reverse_complement_int(code, k) < (1 << (2 * k))
+
+    @given(code_and_k)
+    def test_canonical_is_idempotent(self, pair):
+        k, code = pair
+        once = canonical_int(code, k)
+        assert canonical_int(once, k) == once
+
+    @given(code_and_k)
+    def test_canonical_is_strand_neutral(self, pair):
+        k, code = pair
+        assert canonical_int(code, k) == canonical_int(reverse_complement_int(code, k), k)
+
+    @given(code_and_k)
+    def test_canonical_never_exceeds_either_strand(self, pair):
+        k, code = pair
+        canon = canonical_int(code, k)
+        assert canon <= code
+        assert canon <= reverse_complement_int(code, k)
+        assert canon in (code, reverse_complement_int(code, k))
+
+
 class TestRollingHasher:
     def test_basic_window(self):
         hasher = RollingKmerHasher(k=3)

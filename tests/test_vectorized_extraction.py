@@ -1,0 +1,190 @@
+"""Property tests for the vectorised k-mer extraction kernel.
+
+The kernel (`repro.kmers.vectorized`) must be *bit-identical* to the scalar
+`RollingKmerHasher` reference path on every input — including ambiguous-base
+windows, canonical mode, lowercase bases, and degenerate sequences — while
+producing `uint64` arrays instead of Python lists.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hashing.kmer_hash import (
+    RollingKmerHasher,
+    canonical_int,
+    reverse_complement_int,
+)
+from repro.kmers.extraction import extract_from_reads, extract_kmers_scalar
+from repro.kmers.vectorized import (
+    AMBIGUOUS,
+    CODE_TO_BASE,
+    canonical_codes,
+    encode_bases,
+    extract_codes_from_reads,
+    extract_kmer_codes,
+    reverse_complement_codes,
+    sorted_unique,
+    sorted_unique_counts,
+)
+
+messy_dna = st.text(alphabet="ACGTNacgtn -X", min_size=0, max_size=160)
+clean_dna = st.text(alphabet="ACGT", min_size=0, max_size=160)
+any_k = st.integers(min_value=1, max_value=31)
+
+
+class TestEncodeBases:
+    def test_known_codes(self):
+        assert encode_bases("ACGT").tolist() == [0, 1, 2, 3]
+        assert encode_bases("acgt").tolist() == [0, 1, 2, 3]
+
+    def test_ambiguous_sentinel(self):
+        codes = encode_bases("ANZ-")
+        assert codes[0] == 0
+        assert all(code == AMBIGUOUS for code in codes[1:])
+
+    def test_bytes_input(self):
+        assert encode_bases(b"ACGT").tolist() == encode_bases("ACGT").tolist()
+
+    def test_code_to_base_is_inverse(self):
+        assert CODE_TO_BASE[encode_bases("ACGT")].tobytes() == b"ACGT"
+
+    def test_empty(self):
+        assert encode_bases("").size == 0
+
+
+class TestBitIdentity:
+    """The kernel's defining contract: elementwise equal to the scalar path."""
+
+    @given(messy_dna, any_k, st.booleans())
+    @settings(max_examples=200, deadline=None)
+    def test_matches_rolling_hasher(self, sequence, k, canonical):
+        reference = RollingKmerHasher(k=k, canonical=canonical).kmers(sequence)
+        codes = extract_kmer_codes(sequence, k, canonical=canonical)
+        assert codes.dtype == np.uint64
+        assert codes.tolist() == reference
+
+    @given(messy_dna, st.integers(min_value=1, max_value=8), st.booleans())
+    @settings(max_examples=60, deadline=None)
+    def test_matches_extract_kmers_scalar(self, sequence, k, canonical):
+        assert (
+            extract_kmer_codes(sequence, k, canonical=canonical).tolist()
+            == extract_kmers_scalar(sequence, k=k, canonical=canonical)
+        )
+
+    def test_all_ambiguous(self):
+        assert extract_kmer_codes("N" * 50, 5).size == 0
+
+    def test_too_short(self):
+        assert extract_kmer_codes("ACG", 31).size == 0
+        assert extract_kmer_codes("", 1).size == 0
+
+    def test_invalid_k_rejected(self):
+        with pytest.raises(ValueError):
+            extract_kmer_codes("ACGT", 0)
+        with pytest.raises(ValueError):
+            extract_kmer_codes("ACGT", 32)
+
+    def test_non_ascii_characters_break_windows(self):
+        # A multi-byte character must act like an ambiguous base: every
+        # window that contains it is dropped, everything else survives.
+        assert (
+            extract_kmer_codes("ACGéACGT", 3).tolist()
+            == RollingKmerHasher(k=3).kmers("ACGéACGT")
+        )
+
+
+class TestVectorisedComplement:
+    @given(st.lists(st.integers(min_value=0, max_value=2**62 - 1), max_size=40), any_k)
+    @settings(max_examples=100, deadline=None)
+    def test_reverse_complement_elementwise(self, values, k):
+        codes = np.asarray(values, dtype=np.uint64) & np.uint64((1 << (2 * k)) - 1)
+        expected = [reverse_complement_int(int(code), k) for code in codes]
+        assert reverse_complement_codes(codes, k).tolist() == expected
+
+    @given(st.lists(st.integers(min_value=0, max_value=2**62 - 1), max_size=40), any_k)
+    @settings(max_examples=100, deadline=None)
+    def test_canonical_elementwise(self, values, k):
+        codes = np.asarray(values, dtype=np.uint64) & np.uint64((1 << (2 * k)) - 1)
+        expected = [canonical_int(int(code), k) for code in codes]
+        assert canonical_codes(codes, k).tolist() == expected
+
+    @given(clean_dna.filter(bool), any_k)
+    @settings(max_examples=60, deadline=None)
+    def test_revcomp_involution_on_arrays(self, sequence, k):
+        codes = extract_kmer_codes(sequence, k)
+        twice = reverse_complement_codes(reverse_complement_codes(codes, k), k)
+        assert np.array_equal(twice, codes)
+
+
+class TestSortedUnique:
+    """The explicit sort-based dedup must agree with np.unique exactly."""
+
+    @given(st.lists(st.integers(min_value=0, max_value=2**64 - 1), max_size=200))
+    @settings(max_examples=100, deadline=None)
+    def test_matches_np_unique(self, values):
+        codes = np.asarray(values, dtype=np.uint64)
+        result = sorted_unique(codes)
+        assert result.dtype == np.uint64
+        assert result.tolist() == np.unique(codes).tolist()
+
+    @given(st.lists(st.integers(min_value=0, max_value=50), max_size=200))
+    @settings(max_examples=100, deadline=None)
+    def test_counts_match_np_unique(self, values):
+        codes = np.asarray(values, dtype=np.uint64)
+        result, counts = sorted_unique_counts(codes)
+        expected, expected_counts = np.unique(codes, return_counts=True)
+        assert result.tolist() == expected.tolist()
+        assert counts.tolist() == expected_counts.tolist()
+
+    def test_returns_a_fresh_array(self):
+        # Already-sorted input must still come back as an independent copy so
+        # callers can freeze it without aliasing the input.
+        codes = np.array([1, 2, 3], dtype=np.uint64)
+        result = sorted_unique(codes)
+        assert result is not codes
+        codes[0] = 9
+        assert result.tolist() == [1, 2, 3]
+
+    def test_accepts_other_integer_dtypes(self):
+        assert sorted_unique(np.array([[3, 1], [3, 2]], dtype=np.int32)).tolist() == [1, 2, 3]
+
+
+class TestExtractCodesFromReads:
+    @given(
+        st.lists(st.text(alphabet="ACGTN", min_size=0, max_size=60), max_size=6),
+        st.integers(min_value=1, max_value=8),
+        st.integers(min_value=1, max_value=3),
+        st.booleans(),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_matches_dict_counter_reference(self, reads, k, min_count, canonical):
+        counts: dict = {}
+        for read in reads:
+            for code in RollingKmerHasher(k=k, canonical=canonical).kmers(read):
+                counts[code] = counts.get(code, 0) + 1
+        expected = sorted(code for code, n in counts.items() if n >= min_count)
+        codes = extract_codes_from_reads(reads, k, canonical=canonical, min_count=min_count)
+        assert codes.dtype == np.uint64
+        assert codes.tolist() == expected
+
+    def test_set_view_agrees(self):
+        reads = ["ACGTA", "ACGTA", "GCTAG"]
+        assert extract_from_reads(reads, k=3, min_count=2) == set(
+            extract_codes_from_reads(reads, 3, min_count=2).tolist()
+        )
+
+    def test_occurrences_counted_within_one_read(self):
+        # "AAAA" contains AAA twice: one read alone must satisfy min_count=2.
+        codes = extract_codes_from_reads(["AAAA"], 3, min_count=2)
+        assert codes.tolist() == [0]
+
+    def test_empty_inputs(self):
+        assert extract_codes_from_reads([], 5).size == 0
+        assert extract_codes_from_reads(["", "N"], 5).size == 0
+
+    def test_min_count_validation(self):
+        with pytest.raises(ValueError):
+            extract_codes_from_reads(["ACGT"], 3, min_count=0)
