@@ -1,0 +1,181 @@
+"""Multi-core sharded execution — cores-vs-throughput curves and the speedup gate.
+
+The paper's system is aggressively multi-threaded (construction runs on 40
+threads per node, Section 5.2); this bench measures what the shared executor
+(:mod:`repro.core.executor`) buys on this machine.  For batch query and for
+construction it sweeps the thread count over {1, 2, 4}, printing a
+throughput curve, and — on machines with at least 4 cores, outside smoke
+mode — gates a >= 2.5x batch-query speedup at 4 threads over the inline
+single-threaded path.
+
+Bit-identity is asserted unconditionally, at every thread count, in every
+mode: the sweep first proves that results (documents AND probe counts) and
+constructed indexes are identical to the single-threaded reference, then
+times the identical work.  A machine too small for the speedup gate still
+verifies correctness.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.core.executor import num_threads
+from repro.core.rambo import Rambo
+from repro.experiments.genomics import build_all_indexes
+
+from _bench_utils import BENCH_SMOKE, TABLE2_FILE_COUNTS, print_table
+
+#: The cores-vs-throughput sweep; 4 is the gated point.
+THREAD_SWEEP = (1, 2, 4)
+#: Gate: minimum batch-query speedup at 4 threads over 1 thread.
+MIN_SPEEDUP_AT_4 = 2.5
+#: Terms per timed batch (the shard width is 64 terms, so even smoke spans
+#: many shards; the full size keeps per-call numpy work dominant).
+NUM_BENCH_TERMS = 512 if BENCH_SMOKE else 8192
+
+
+def _gate_active() -> bool:
+    """The speedup gate needs real cores and real sizes to be meaningful."""
+    cores = os.cpu_count() or 1
+    if BENCH_SMOKE:
+        print("\n[bench_parallel_query] smoke mode: speedup gate skipped")
+        return False
+    if cores < max(THREAD_SWEEP):
+        print(
+            f"\n[bench_parallel_query] only {cores} core(s) available: "
+            f"speedup gate needs {max(THREAD_SWEEP)}, skipped "
+            "(bit-identity was still asserted)"
+        )
+        return False
+    return True
+
+
+def _built_index(experiment) -> Rambo:
+    factory = build_all_indexes(experiment.dataset, seed=experiment.seed, include=["rambo"])[
+        "rambo"
+    ]
+    index = factory()
+    index.add_documents(experiment.dataset.documents)
+    return index
+
+
+def _bench_terms(experiment):
+    """A deterministic mixed hit/miss workload of NUM_BENCH_TERMS k-mer codes.
+
+    The planted workload terms (real hits) are cycled and padded with a
+    Weyl-sequence of synthetic codes (mostly misses), so the timed batch
+    exercises both the dense gather and the early-dead lanes of the sparse
+    path at a size where sharding matters.
+    """
+    planted = experiment.workload.all_terms
+    space = 4 ** experiment.dataset.k
+    terms = []
+    for i in range(NUM_BENCH_TERMS):
+        if i % 4 == 0 and planted:
+            terms.append(planted[(i // 4) % len(planted)])
+        else:
+            terms.append((i * 2654435761) % space)
+    return terms
+
+
+def _fingerprint(results):
+    return [(sorted(result.documents), result.filters_probed) for result in results]
+
+
+def _best_of(fn, rounds=3):
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+@pytest.mark.parametrize("method", ("full", "sparse"))
+def test_parallel_query_throughput_curve(genomics_experiments, method):
+    """Batch-query throughput at 1/2/4 threads; identical results required.
+
+    The gated acceptance claim: on a >= 4-core machine the sharded batch
+    path reaches at least 2.5x the single-threaded throughput at 4 threads.
+    """
+    experiment = genomics_experiments[max(TABLE2_FILE_COUNTS)]
+    index = _built_index(experiment)
+    terms = _bench_terms(experiment)
+
+    rows = {}
+    reference = None
+    base_seconds = None
+    for threads in THREAD_SWEEP:
+        with num_threads(threads):
+            observed = _fingerprint(index.query_terms_batch(terms, method=method))
+            if reference is None:
+                reference = observed
+            # The identity property is the contract; it holds in every mode.
+            assert observed == reference, f"results differ at threads={threads}"
+            seconds = _best_of(lambda: index.query_terms_batch(terms, method=method))
+        if base_seconds is None:
+            base_seconds = seconds
+        rows[f"threads={threads}"] = {
+            "batch_ms": seconds * 1e3,
+            "kterms_per_s": len(terms) / seconds / 1e3,
+            "speedup": base_seconds / seconds,
+        }
+    print_table(
+        f"Parallel batch query, {method} method "
+        f"({len(terms)} terms, {max(TABLE2_FILE_COUNTS)} files)",
+        rows,
+    )
+    if not _gate_active():
+        return
+    speedup = rows[f"threads={max(THREAD_SWEEP)}"]["speedup"]
+    assert speedup >= MIN_SPEEDUP_AT_4, (
+        f"{method} batch query only {speedup:.2f}x faster at "
+        f"{max(THREAD_SWEEP)} threads (gate: {MIN_SPEEDUP_AT_4}x)"
+    )
+
+
+def test_parallel_build_throughput_curve(genomics_experiments):
+    """Sharded construction at 1/2/4 threads; identical indexes required.
+
+    Reports the curve for ``add_documents(parallel=True)``; no speedup gate —
+    construction is scatter-bound and its parallel fraction is smaller than
+    the query path's, so the curve is informational (the gated claim lives
+    on the query side).
+    """
+    experiment = genomics_experiments[max(TABLE2_FILE_COUNTS)]
+    config = _built_index(experiment).config
+    documents = experiment.dataset.documents
+
+    def build(parallel):
+        index = Rambo(config)
+        index.add_documents(documents, parallel=parallel)
+        return index
+
+    reference = build(parallel=False)
+    rows = {}
+    base_seconds = None
+    for threads in THREAD_SWEEP:
+        with num_threads(threads):
+            observed = build(parallel=True)
+            for r in range(reference.repetitions):
+                for b in range(reference.num_partitions):
+                    assert observed.bfu(r, b).bits == reference.bfu(r, b).bits, (
+                        f"BFU ({r},{b}) differs at threads={threads}"
+                    )
+            assert observed.document_names == reference.document_names
+            seconds = _best_of(lambda: build(parallel=True))
+        if base_seconds is None:
+            base_seconds = seconds
+        rows[f"threads={threads}"] = {
+            "build_ms": seconds * 1e3,
+            "docs_per_s": len(documents) / seconds,
+            "speedup": base_seconds / seconds,
+        }
+    print_table(
+        f"Parallel construction ({len(documents)} documents, "
+        f"B={config.num_partitions} R={config.repetitions})",
+        rows,
+    )

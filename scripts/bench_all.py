@@ -38,6 +38,7 @@ DEFAULT_BENCHES = (
     "benchmarks/bench_table2_construction.py",
     "benchmarks/bench_table2_query_time.py",
     "benchmarks/bench_mmap_serving.py",
+    "benchmarks/bench_parallel_query.py",
 )
 
 

@@ -21,6 +21,7 @@ Quickstart
 """
 
 from repro.core.base import MembershipIndex, QueryResult
+from repro.core.executor import get_num_threads, num_threads, set_num_threads
 from repro.core.rambo import Rambo, RamboConfig
 from repro.core.distributed import DistributedRambo, stack_shards
 from repro.core.folding import fold_rambo, fold_to_target
@@ -58,6 +59,9 @@ __all__ = [
     "load_index",
     "open_index",
     "save_index",
+    "get_num_threads",
+    "num_threads",
+    "set_num_threads",
     "BloomFilter",
     "ScalableBloomFilter",
     "CountingBloomFilter",

@@ -30,6 +30,7 @@ from repro.core.base import (
     check_query_method,
     iter_term_chunks,
 )
+from repro.core.executor import get_num_threads, in_worker, parallel_map, shard_ranges
 from repro.hashing.murmur3 import double_hashes, double_hashes_batch
 from repro.kmers.extraction import DEFAULT_K, KmerDocument
 
@@ -202,23 +203,55 @@ class CobsIndex(MembershipIndex):
         results: List[QueryResult] = []
         for chunk in iter_term_chunks(terms):
             positions = self._positions_matrix(list(chunk))
-            if matrix is None:
-                # Memory-mapped serving: gather packed uint64 rows straight
-                # from the file and AND on words (64 documents at a time).
-                hits = self._packed_hits(positions)
-            else:
-                # Incremental AND over the eta rows (the vector form of the
-                # scalar query_term loop) keeps the peak intermediate at one
-                # (chunk, num_documents) array instead of eta of them; the
-                # matrix holds only 0/1 uint8 values, so AND them directly.
-                hits = matrix[positions[:, 0]]            # (chunk, num_documents)
-                for j in range(1, self.num_hashes):
-                    hits &= matrix[positions[:, j]]
+            hits = self._chunk_hits_sharded(positions, matrix)
             results.extend(
                 QueryResult.from_mask(hits[t], self._doc_names, filters_probed=num_docs)
                 for t in range(len(chunk))
             )
         return results
+
+    def _chunk_hits(self, positions: np.ndarray, matrix: Optional[np.ndarray]) -> np.ndarray:
+        """``(n_terms, num_docs)`` verdicts for one position chunk.
+
+        The two gather kernels behind the batch query: *matrix* is the dense
+        in-memory 0/1 layout (``None`` for a mapped index, which gathers
+        packed ``uint64`` rows straight from the file instead).
+        """
+        if matrix is None:
+            # Memory-mapped serving: gather packed uint64 rows straight
+            # from the file and AND on words (64 documents at a time).
+            return self._packed_hits(positions)
+        # Incremental AND over the eta rows (the vector form of the
+        # scalar query_term loop) keeps the peak intermediate at one
+        # (chunk, num_documents) array instead of eta of them; the
+        # matrix holds only 0/1 uint8 values, so AND them directly.
+        hits = matrix[positions[:, 0]]                    # (chunk, num_documents)
+        for j in range(1, self.num_hashes):
+            hits &= matrix[positions[:, j]]
+        return hits
+
+    #: Smallest term-shard worth handing a worker thread (see MIN_TERMS_PER_SHARD
+    #: in repro.core.rambo for the rationale).
+    _MIN_TERMS_PER_SHARD = 64
+
+    def _chunk_hits_sharded(
+        self, positions: np.ndarray, matrix: Optional[np.ndarray]
+    ) -> np.ndarray:
+        """Term-sharded :meth:`_chunk_hits` over the executor pool.
+
+        Each worker gathers (and, on the mapped path, unpacks) the rows of
+        its own contiguous term range — numpy releases the GIL inside the
+        gathers, and a memory-mapped matrix is shared read-only, so shards
+        race on nothing.  Row order is preserved by concatenation, making
+        the sharded result bit-identical to the inline gather.
+        """
+        ranges = shard_ranges(len(positions), get_num_threads(), self._MIN_TERMS_PER_SHARD)
+        if len(ranges) <= 1 or in_worker():
+            return self._chunk_hits(positions, matrix)
+        shards = parallel_map(
+            lambda span: self._chunk_hits(positions[span[0] : span[1]], matrix), ranges
+        )
+        return np.concatenate(shards, axis=0)
 
     # -- persistence ---------------------------------------------------------------------
 

@@ -35,6 +35,7 @@ from pathlib import Path
 from typing import List, Optional, Sequence
 
 from repro.core.config import configure_from_sample
+from repro.core.executor import get_num_threads, num_threads
 from repro.core.folding import fold_rambo
 from repro.core.rambo import Rambo, RamboConfig
 from repro.core.serialization import open_index, save_index
@@ -146,9 +147,14 @@ def _cmd_build(args: argparse.Namespace) -> int:
     index = Rambo(config)
     num_documents = 0
     batch = first_batch
+    # With an effective thread count above one (--threads or REPRO_THREADS)
+    # each batch's insert is sharded across the executor pool; the sharded
+    # path is bit-identical to the inline one, so the written index does
+    # not depend on the thread count.
+    parallel_insert = get_num_threads() > 1
     while batch:
         with Timer() as build_timer:
-            index.add_documents(batch)
+            index.add_documents(batch, parallel=parallel_insert)
         build_seconds += build_timer.wall_seconds
         num_documents += len(batch)
         batch = next_batch(doc_iter)
@@ -284,6 +290,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     build.add_argument("--seed", type=int, default=0, help="hash seed")
     build.add_argument(
+        "--threads", type=int, default=None, metavar="N",
+        help="worker threads for construction (default: REPRO_THREADS, else "
+             "all cores); the built index is bit-identical for every N",
+    )
+    build.add_argument(
         "--format", choices=("v1", "mmap"), default="v1",
         help="index file format: v1 loads fully into memory on open; mmap "
              "serves queries zero-copy via memory mapping (default v1). "
@@ -306,6 +317,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--canonical", action="store_true",
         help="canonicalise query k-mers (use against an index built with --canonical)",
     )
+    query.add_argument(
+        "--threads", type=int, default=None, metavar="N",
+        help="worker threads for batch query evaluation (default: REPRO_THREADS, "
+             "else all cores); results are bit-identical for every N",
+    )
     query.set_defaults(func=_cmd_query)
 
     info = sub.add_parser("info", help="print index configuration and size breakdown")
@@ -325,6 +341,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    threads = getattr(args, "threads", None)
+    if threads is not None:
+        if threads < 1:
+            raise SystemExit(f"--threads must be >= 1, got {threads}")
+        # Scoped so a --threads choice cannot leak into later library calls
+        # when main() is driven programmatically (tests, notebooks).
+        with num_threads(threads):
+            return args.func(args)
     return args.func(args)
 
 

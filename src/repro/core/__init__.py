@@ -10,11 +10,15 @@ Public entry points:
   Section 5.3 (Table 4, Figure 3).
 * :mod:`repro.core.distributed` — the two-level-hash sharded construction of
   Section 5.3 and shard stacking.
+* :mod:`repro.core.executor` — the shared thread pool behind every parallel
+  hot path (Section 5.2's multi-threaded execution), configured with
+  :func:`~repro.core.executor.set_num_threads` or ``REPRO_THREADS``.
 * :mod:`repro.core.analysis` — closed forms of Lemmas 4.1–4.6 and Theorems
   4.3/4.5 used for parameter selection and the Figure 4 curves.
 """
 
 from repro.core.base import MembershipIndex, QueryResult
+from repro.core.executor import get_num_threads, num_threads, parallel_map, set_num_threads
 from repro.core.rambo import Rambo, RamboConfig
 from repro.core.folding import fold_rambo, fold_to_target
 from repro.core.distributed import DistributedRambo, stack_shards
@@ -32,6 +36,10 @@ from repro.core import analysis, config
 __all__ = [
     "MembershipIndex",
     "QueryResult",
+    "get_num_threads",
+    "num_threads",
+    "parallel_map",
+    "set_num_threads",
     "Rambo",
     "RamboConfig",
     "fold_rambo",

@@ -32,6 +32,7 @@ from repro.core.base import (
     iter_conjunction_slices,
     iter_term_chunks,
 )
+from repro.core.executor import parallel_map
 from repro.core.rambo import Rambo, RamboConfig
 from repro.hashing.universal import PartitionHashFamily, TwoLevelPartitionHash
 from repro.kmers.extraction import KmerDocument
@@ -101,7 +102,9 @@ class DistributedRambo(MembershipIndex):
         """Route the document to its node and insert it there (no data movement)."""
         self.add_documents((document,))
 
-    def add_documents(self, documents: Iterable[KmerDocument]) -> None:
+    def add_documents(
+        self, documents: Iterable[KmerDocument], *, parallel: bool = False
+    ) -> None:
         """Route a whole batch: group by node, one batched shard insert each.
 
         Each shard receives its documents through :meth:`Rambo.add_documents`
@@ -111,6 +114,12 @@ class DistributedRambo(MembershipIndex):
         Duplicate names and invalid term keys are rejected before any shard
         or bookkeeping state is mutated, so a failed batch leaves the index
         exactly as it was.
+
+        With ``parallel=True`` the per-node inserts run concurrently on the
+        executor thread pool — the paper's construction parallelism: routing
+        makes the node batches disjoint, every shard is mutated by exactly
+        one worker, and the global bookkeeping is recorded afterwards in
+        input order, so the result is bit-identical to the serial loop.
         """
         docs = list(documents)
         if not docs:
@@ -130,8 +139,15 @@ class DistributedRambo(MembershipIndex):
         per_node: Dict[int, List[KmerDocument]] = {}
         for doc, node in routed:
             per_node.setdefault(node, []).append(doc)
-        for node, batch in per_node.items():
-            self._shards[node].add_documents(batch)
+        node_batches = list(per_node.items())
+        if parallel:
+            parallel_map(
+                lambda entry: self._shards[entry[0]].add_documents(entry[1]),
+                node_batches,
+            )
+        else:
+            for node, batch in node_batches:
+                self._shards[node].add_documents(batch)
         # Global bookkeeping is recorded only after every shard insert
         # succeeded (which validation above guarantees), in input order.
         for doc, node in routed:
@@ -170,6 +186,15 @@ class DistributedRambo(MembershipIndex):
         term (documents live in exactly one shard, so the scatter is the
         union).  Shared by the batch and conjunctive query paths so neither
         re-derives masks from id lists.
+
+        Non-empty shards are fanned out across the executor thread pool
+        (``REPRO_THREADS`` / ``set_num_threads``) — each node answers with
+        its own vectorised engine over its own (possibly memory-mapped) bit
+        planes, exactly the paper's many-nodes serving layout collapsed onto
+        one machine's cores.  Shard answers are combined in node order into
+        disjoint column sets, so the result is bit-identical to the serial
+        loop; per-shard engines run inline inside the workers (nested
+        parallelism degenerates safely, see :mod:`repro.core.executor`).
         """
         num_docs = len(self._doc_names)
         masks = np.zeros((len(chunk), num_docs), dtype=bool)
@@ -177,13 +202,22 @@ class DistributedRambo(MembershipIndex):
         # Every shard shares BFU geometry and seed, so the chunk is hashed
         # once and the position matrix reused across the cluster.
         positions = self._shards[0]._probe_matrix(chunk)  # noqa: SLF001
-        for shard, id_map in zip(self._shards, self._shard_id_maps()):
-            if not id_map.size:
-                continue
+        populated = [
+            (shard, id_map)
+            for shard, id_map in zip(self._shards, self._shard_id_maps())
+            if id_map.size
+        ]
+
+        def shard_masks(entry):
+            shard, _ = entry
+            # Safe under the fan-out: each shard is touched by exactly one
+            # worker, so its lazily-built caches see no concurrent writers.
             shard._refresh_member_arrays()  # noqa: SLF001
-            alive, shard_probes = shard._batch_chunk_masks(  # noqa: SLF001
-                chunk, method, positions=positions
-            )
+            return shard._batch_chunk_masks(chunk, method, positions=positions)  # noqa: SLF001
+
+        for (shard, id_map), (alive, shard_probes) in zip(
+            populated, parallel_map(shard_masks, populated)
+        ):
             probes += shard_probes
             # Plain scatter, not |=: shard doc-id maps are disjoint and
             # masks starts zeroed, so each column is written exactly once.

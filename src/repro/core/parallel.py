@@ -13,29 +13,29 @@ Two pieces live here:
   configuration over *disjoint* document sets into one index that is
   bit-for-bit identical to a sequential build (the merge primitive).
 * :class:`ParallelBuilder` — chunk a document collection, build each chunk's
-  partial index (optionally in worker processes), and merge.  With
+  partial index (concurrently for ``workers > 1``), and merge.  With
   ``workers=1`` this is a deterministic sequential fallback used by tests and
-  by environments where process pools are undesirable.
+  by environments where any pool is undesirable.
 
-Worker processes re-import the library and rebuild partial indexes from the
-pickled documents; for the small synthetic archives used in this repository
-the process-pool overhead usually exceeds the hashing win, so the default is
-thread-free chunked construction — the value of the class is the *merge
-correctness*, which the cluster/fold pipeline reuses.
+Chunk builds run on the shared *thread* pool of :mod:`repro.core.executor`
+rather than worker processes: every kernel a partial build bottoms out in
+(the batched MurmurHash3 pass, the ``set_many`` word-OR scatter) releases
+the GIL inside numpy, so threads deliver the concurrency without pickling a
+single document — the overhead that made the earlier process-pool variant a
+net loss on realistic chunk sizes.
 """
 
 from __future__ import annotations
 
-import concurrent.futures
-from collections import deque
 from dataclasses import dataclass
-from itertools import chain, islice
-from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+from itertools import islice
+from typing import Iterable, Iterator, List, Optional, Sequence
 
 import numpy as np
 
 from repro.bloom.bitarray import BitArray
 from repro.bloom.bloom_filter import BloomFilter
+from repro.core.executor import parallel_map
 from repro.core.rambo import Rambo, RamboConfig
 from repro.kmers.extraction import KmerDocument
 
@@ -131,16 +131,18 @@ def _build_partial(config: RamboConfig, documents: Sequence[KmerDocument]) -> Ra
 
 @dataclass
 class ParallelBuilder:
-    """Chunked (optionally multi-process) RAMBO construction.
+    """Chunked (optionally multi-threaded) RAMBO construction.
 
     Parameters
     ----------
     config:
         The index configuration shared by every chunk (and by the result).
     workers:
-        Number of worker processes.  ``1`` (default) builds the chunks in the
-        current process — deterministic and overhead-free; ``> 1`` uses a
-        :class:`concurrent.futures.ProcessPoolExecutor`.
+        Number of concurrent chunk builds.  ``1`` (default) builds the
+        chunks inline — deterministic and pool-free; ``> 1`` fans chunk
+        builds out over the shared executor thread pool
+        (:mod:`repro.core.executor`), overriding the global thread setting
+        for this build.  Either way the result is bit-identical.
     chunk_size:
         Documents per chunk; defaults to an even split across workers.
     """
@@ -200,28 +202,23 @@ class ParallelBuilder:
         return merged if merged is not None else Rambo(self.config)
 
     def _iter_parts_parallel(self, chunks: Iterator[List[KmerDocument]]) -> Iterator[Rambo]:
-        """Yield chunk partials from a process pool with a bounded window.
+        """Yield chunk partials built concurrently in bounded windows.
 
-        Chunks are submitted through a sliding window of ``2 * workers``
-        in-flight futures (``pool.map`` would drain the whole generator
-        upfront), so at most a window's worth of document batches is ever
-        resident/pickled at once.  Parts are yielded in submission order,
-        keeping the rolling merge deterministic.  A single-chunk input skips
-        the pool entirely, like the sequential path.
+        Chunks are consumed in windows of ``2 * workers`` and each window's
+        partial indexes are built concurrently on the shared executor thread
+        pool — the hash and scatter kernels inside a partial build release
+        the GIL, so the window really does occupy ``workers`` cores.  At
+        most one window of document batches plus its partials is resident
+        at a time, and window results are yielded in submission order, so
+        the rolling merge stays deterministic and bit-identical to the
+        sequential path.
         """
-        first = next(chunks, None)
-        if first is None:
-            return
-        second = next(chunks, None)
-        if second is None:
-            yield _build_partial(self.config, first)
-            return
-        window = 2 * self.workers
-        pending: deque = deque()
-        with concurrent.futures.ProcessPoolExecutor(max_workers=self.workers) as pool:
-            for chunk in chain((first, second), chunks):
-                pending.append(pool.submit(_build_partial, self.config, chunk))
-                if len(pending) >= window:
-                    yield pending.popleft().result()
-            while pending:
-                yield pending.popleft().result()
+        while True:
+            window = list(islice(chunks, 2 * self.workers))
+            if not window:
+                return
+            yield from parallel_map(
+                lambda chunk: _build_partial(self.config, chunk),
+                window,
+                threads=self.workers,
+            )

@@ -44,9 +44,20 @@ from repro.core.base import (
     iter_conjunction_slices,
     iter_term_chunks,
 )
+from repro.core.executor import get_num_threads, in_worker, parallel_map, shard_ranges
 from repro.hashing.murmur3 import combine_seeds, double_hashes, double_hashes_batch
 from repro.hashing.universal import PartitionHashFamily
 from repro.kmers.extraction import DEFAULT_K, KmerDocument
+
+#: Smallest term-shard a batched query splits off for a worker thread.  Below
+#: this the per-task Python overhead rivals the numpy work inside the shard;
+#: batches shorter than two shards' worth simply run inline.
+MIN_TERMS_PER_SHARD = 64
+
+#: Smallest document-shard the parallel write path hands a worker thread.
+#: Each shard allocates a partial index, so tiny shards would pay the full
+#: B x R x bfu_bits allocation for a handful of scatters.
+MIN_DOCS_PER_SHARD = 4
 
 
 @dataclass(frozen=True)
@@ -336,7 +347,9 @@ class Rambo(MembershipIndex):
         """
         self.add_documents((document,))
 
-    def add_documents(self, documents: Iterable[KmerDocument]) -> None:
+    def add_documents(
+        self, documents: Iterable[KmerDocument], *, parallel: bool = False
+    ) -> None:
         """Insert a batch of documents through the vectorised write pipeline.
 
         Because every BFU shares its size, hash count and seed, a term's
@@ -347,6 +360,16 @@ class Rambo(MembershipIndex):
         ``R`` assigned BFUs with one word-OR bulk set each — the write-path
         twin of the batched query engine.  Cache invalidation is amortised
         across the whole batch instead of per document.
+
+        With ``parallel=True`` and more than one executor thread the batch
+        is sharded into contiguous document chunks, each chunk builds a
+        partial index on a worker thread (the hash and scatter kernels
+        release the GIL), and the partials are absorbed back in order — the
+        in-place form of the :func:`repro.core.parallel.merge_indexes`
+        primitive: Bloom bits OR together and the bookkeeping concatenates
+        with re-based doc ids, so the outcome is bit-identical to the
+        sequential insert.  Memory-mapped indexes always insert inline
+        (their BFU payloads alias mapped planes a partial cannot produce).
 
         Bit-identical to inserting the documents one at a time through the
         scalar reference path (:meth:`add_document_scalar`): OR-scatter order
@@ -365,6 +388,11 @@ class Rambo(MembershipIndex):
                 raise ValueError(f"document {doc.name!r} already indexed")
             batch_names.add(doc.name)
             prepared.append((doc, doc.validated_hash_keys() if len(doc) else None))
+        if parallel and not self.is_mapped and not in_worker():
+            ranges = shard_ranges(len(docs), get_num_threads(), MIN_DOCS_PER_SHARD)
+            if len(ranges) > 1:
+                self._add_documents_sharded(docs, ranges)
+                return
         for doc, keys in prepared:
             doc_id = len(self._doc_names)
             self._doc_names.append(doc.name)
@@ -382,6 +410,49 @@ class Rambo(MembershipIndex):
                     bfu.bits.set_many(flat_positions)
                     bfu.num_items += num_terms
         self._invalidate_caches()
+
+    def _add_documents_sharded(
+        self, docs: List[KmerDocument], ranges: List[tuple]
+    ) -> None:
+        """Threaded insert: per-chunk partial indexes, absorbed in order.
+
+        Every chunk builds a fresh partial index against the *shared*
+        partition family (hash families are immutable, so concurrent reads
+        are safe) on the executor pool; the caller has already validated
+        names and keys.  Absorption is sequential and in-place: partial BFU
+        bits OR into the live BFUs (order-independent), ``num_items`` sums,
+        and the bookkeeping extends with doc ids re-based to the live index
+        — the same algebra :func:`repro.core.parallel.merge_indexes` applies
+        to whole indexes, without materialising a merged copy.  Chunks are
+        absorbed in input order, so doc ids come out exactly as a sequential
+        insert would assign them.
+        """
+        partials = parallel_map(
+            lambda span: self._build_partial_chunk(docs[span[0] : span[1]]), ranges
+        )
+        for partial in partials:
+            offset = len(self._doc_names)
+            for name in partial._doc_names:
+                self._doc_ids[name] = len(self._doc_names)
+                self._doc_names.append(name)
+            for r in range(self.repetitions):
+                self._assignments[r].extend(partial._assignments[r])
+                for b in range(self.num_partitions):
+                    chunk_members = partial._members[r][b]
+                    if chunk_members:
+                        self._members[r][b].extend(offset + i for i in chunk_members)
+                    source = partial._bfus[r][b]
+                    if source.num_items:
+                        target = self._bfus[r][b]
+                        target.bits |= source.bits
+                        target.num_items += source.num_items
+        self._invalidate_caches()
+
+    def _build_partial_chunk(self, docs: List[KmerDocument]) -> "Rambo":
+        """One worker's partial index over a document chunk (inline insert)."""
+        partial = Rambo(self.config, partition_family=self._family)
+        partial.add_documents(docs)
+        return partial
 
     def add_document_scalar(self, document: KmerDocument) -> None:
         """Reference per-term write path (the pre-batch implementation).
@@ -481,6 +552,26 @@ class Rambo(MembershipIndex):
         """``(n_terms, B)`` membership verdict of every term against every BFU."""
         return probe_words_batch(self._bit_cache[repetition], positions)
 
+    def _parallel_hit_matrices(self, positions: np.ndarray) -> Optional[List[np.ndarray]]:
+        """All ``R`` hit matrices at once, gathered concurrently — or ``None``.
+
+        The repetition plane is embarrassingly parallel: every repetition's
+        ``probe_words_batch`` gather reads its own ``(B, words)`` bit plane
+        with the shared position matrix, and the gathers release the GIL.
+        Pre-computing them in parallel and then replaying the *sequential*
+        combine loop over the ready matrices keeps the combine's early-exit
+        and probe accounting bit-identical to the inline path — the only
+        difference is that a batch that dies early has gathered some planes
+        it will not read, which costs work, never correctness.
+
+        Returns ``None`` when inline evaluation is the right call (single
+        thread, single repetition, or already inside a pool worker), so the
+        caller's loop keeps its lazy per-repetition gathers.
+        """
+        if self.repetitions <= 1 or get_num_threads() <= 1 or in_worker():
+            return None
+        return parallel_map(lambda r: self._hit_matrix(r, positions), range(self.repetitions))
+
     def _candidate_mask(self, hit_partitions: Iterable[int], repetition: int) -> np.ndarray:
         """Bitmap (bool array over doc ids) of the union of the hit BFUs' documents."""
         mask = np.zeros(len(self._doc_names), dtype=bool)
@@ -557,6 +648,13 @@ class Rambo(MembershipIndex):
         gather tests every term against every BFU and a single fancy-index
         maps partition hits to doc-id bitmaps.  Per-term early termination
         is preserved as a bool "active" lane mask instead of a branch.
+
+        With more than one executor thread (``REPRO_THREADS`` /
+        :func:`repro.core.executor.set_num_threads`) each chunk is sharded
+        along the term axis across the thread pool — terms are mutually
+        independent, so per-shard masks and probe counts re-assemble by
+        concatenation and the results are bit-identical to the inline path,
+        probe accounting included.
         """
         check_query_method(method)
         terms = list(terms)
@@ -569,12 +667,33 @@ class Rambo(MembershipIndex):
         # bounded; each chunk is independent, so results just concatenate.
         results: List[QueryResult] = []
         for chunk in iter_term_chunks(terms):
-            alive, probes = self._batch_chunk_masks(list(chunk), method)
+            alive, probes = self._chunk_masks_sharded(list(chunk), method)
             results.extend(
                 QueryResult.from_mask(alive[t], self._doc_names, filters_probed=int(probes[t]))
                 for t in range(len(chunk))
             )
         return results
+
+    def _chunk_masks_sharded(self, terms: List[Term], method: str):
+        """One chunk's masks/probes, term-sharded across the executor pool.
+
+        The parallel twin of :meth:`_batch_chunk_masks`: the chunk is split
+        into contiguous term ranges, every worker runs the unchanged
+        sequential kernel on its range (each numpy gather/AND inside releases
+        the GIL), and the per-shard ``(alive, probes)`` pairs — one row per
+        term in both — concatenate back in order.  Falls through to the
+        plain kernel for a single effective thread or a short chunk.
+        """
+        ranges = shard_ranges(len(terms), get_num_threads(), MIN_TERMS_PER_SHARD)
+        if len(ranges) <= 1 or in_worker():
+            return self._batch_chunk_masks(terms, method)
+        shards = parallel_map(
+            lambda span: self._batch_chunk_masks(terms[span[0] : span[1]], method),
+            ranges,
+        )
+        alive = np.concatenate([shard[0] for shard in shards], axis=0)
+        probes = np.concatenate([shard[1] for shard in shards])
+        return alive, probes
 
     def _batch_chunk_masks(
         self, terms: List[Term], method: str, positions: Optional[np.ndarray] = None
@@ -592,13 +711,15 @@ class Rambo(MembershipIndex):
         num_docs = len(self._doc_names)
         if positions is None:
             positions = self._probe_matrix(terms)
+        hit_planes = self._parallel_hit_matrices(positions)
         alive = np.ones((num_terms, num_docs), dtype=bool)
         probes = np.zeros(num_terms, dtype=np.int64)
         active = np.ones(num_terms, dtype=bool)
         for r in range(self.repetitions):
             if not active.any():
                 break
-            hits = self._hit_matrix(r, positions)            # (n_terms, B)
+            # (n_terms, B) membership verdicts for repetition r.
+            hits = hit_planes[r] if hit_planes is not None else self._hit_matrix(r, positions)
             assignment = self._assignment_arrays[r]          # (num_docs,)
             if method == "full" or r == 0:
                 # First sparse round matches the scalar path: every partition
@@ -646,12 +767,21 @@ class Rambo(MembershipIndex):
     def _conjunction_chunk(
         self, terms: List[Term], conjunction: np.ndarray, method: str
     ) -> int:
-        """AND one term chunk into *conjunction* in place; returns probes."""
+        """AND one term chunk into *conjunction* in place; returns probes.
+
+        The per-repetition gathers — the chunk's dominant cost — run
+        concurrently on the executor pool (see
+        :meth:`_parallel_hit_matrices`); the AND-combine and the sparse
+        pruning replay sequentially over the ready matrices, so the result
+        and the probe count are bit-identical to the inline evaluation.
+        """
         num_terms = len(terms)
         positions = self._probe_matrix(terms)
+        hit_planes = self._parallel_hit_matrices(positions)
         probes = 0
         for r in range(self.repetitions):
-            hits = self._hit_matrix(r, positions)            # (n_terms, B)
+            # (n_terms, B) membership verdicts for repetition r.
+            hits = hit_planes[r] if hit_planes is not None else self._hit_matrix(r, positions)
             assignment = self._assignment_arrays[r]
             if method == "full" or r == 0:
                 probes += self.num_partitions * num_terms

@@ -334,6 +334,48 @@ class TestMmapFormat:
         assert "sampleA0" in capsys.readouterr().out
 
 
+class TestThreads:
+    """--threads must change only the execution schedule, never the output."""
+
+    def test_build_identical_bytes_across_thread_counts(self, sequence_dir, tmp_path):
+        outputs = []
+        for threads in (1, 3):
+            path = tmp_path / f"t{threads}.rambo"
+            assert main(
+                ["build", str(sequence_dir), str(path), "--kmer-size", str(K),
+                 "--seed", "3", "--threads", str(threads)]
+            ) == 0
+            outputs.append(path.read_bytes())
+        assert outputs[0] == outputs[1]
+
+    def test_query_identical_output_across_thread_counts(
+        self, built_index_path, probe_kmer, capsys
+    ):
+        terms = [probe_kmer, "Z" * 8, probe_kmer]
+        observed = []
+        for threads in ("1", "3"):
+            assert main(
+                ["query", str(built_index_path), *terms, "--threads", threads]
+            ) == 0
+            observed.append(capsys.readouterr().out)
+        assert observed[0] == observed[1]
+        assert "sampleA0" in observed[0]
+
+    def test_threads_override_is_scoped(self, built_index_path, probe_kmer):
+        from repro.core.executor import get_num_threads, set_num_threads
+
+        set_num_threads(2)
+        try:
+            main(["query", str(built_index_path), probe_kmer, "--threads", "5"])
+            assert get_num_threads() == 2  # --threads did not leak
+        finally:
+            set_num_threads(None)
+
+    def test_threads_must_be_positive(self, built_index_path, probe_kmer):
+        with pytest.raises(SystemExit, match="--threads must be >= 1"):
+            main(["query", str(built_index_path), probe_kmer, "--threads", "0"])
+
+
 class TestInfoAndFold:
     def test_info_output(self, built_index_path, capsys):
         exit_code = main(["info", str(built_index_path)])

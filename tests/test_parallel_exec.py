@@ -1,0 +1,364 @@
+"""Property tests for the shared executor and every parallel hot path.
+
+The single contract under test: *thread count is invisible in results*.
+For every structure (Rambo full and sparse, COBS, DistributedRambo, a
+memory-mapped index) and every thread count, the parallel paths must return
+documents AND probe counts bit-identical to the single-threaded reference,
+and parallel construction must produce byte-identical indexes.  Alongside
+the identity properties sit unit tests for the executor itself:
+configuration precedence, inline guarantees, nested-parallelism safety,
+sharding arithmetic, and error propagation.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.cobs import CobsIndex
+from repro.core import executor
+from repro.core.distributed import DistributedRambo
+from repro.core.executor import (
+    THREADS_ENV_VAR,
+    get_num_threads,
+    in_worker,
+    num_threads,
+    parallel_map,
+    set_num_threads,
+    shard_ranges,
+    shutdown_pool,
+)
+from repro.core.parallel import ParallelBuilder
+from repro.core.rambo import Rambo, RamboConfig
+from repro.core.serialization import open_index, save_index
+
+#: Every identity property is checked at these counts: the inline reference,
+#: the smallest real pool, and an awkward prime larger than the shard count.
+THREAD_COUNTS = (1, 2, 7)
+
+
+@pytest.fixture(autouse=True)
+def _clean_executor_state(monkeypatch):
+    """Each test starts from the no-override, no-env default and leaks nothing."""
+    monkeypatch.delenv(THREADS_ENV_VAR, raising=False)
+    set_num_threads(None)
+    yield
+    set_num_threads(None)
+
+
+def rambo_config(**overrides) -> RamboConfig:
+    params = dict(num_partitions=4, repetitions=3, bfu_bits=1 << 12, bfu_hashes=2, k=13, seed=5)
+    params.update(overrides)
+    return RamboConfig(**params)
+
+
+def fingerprint(results):
+    """Everything a query answer exposes: documents and probe accounting."""
+    return [(sorted(result.documents), result.filters_probed) for result in results]
+
+
+@pytest.fixture(scope="module")
+def query_terms(workload):
+    """Enough terms (mixed hit/miss, with duplicates) to span several shards."""
+    _, plan = workload
+    return plan.all_terms * 3  # 240 terms -> multiple term shards at 64 terms/shard
+
+
+# -- executor unit tests -------------------------------------------------------------
+
+
+class TestConfiguration:
+    def test_default_is_cpu_count(self):
+        import os
+
+        assert get_num_threads() == (os.cpu_count() or 1)
+
+    def test_env_variable_respected(self, monkeypatch):
+        monkeypatch.setenv(THREADS_ENV_VAR, "3")
+        assert get_num_threads() == 3
+
+    def test_override_beats_env(self, monkeypatch):
+        monkeypatch.setenv(THREADS_ENV_VAR, "3")
+        set_num_threads(5)
+        assert get_num_threads() == 5
+
+    @pytest.mark.parametrize("value", ["zero", "1.5", "0", "-2"])
+    def test_malformed_env_rejected(self, monkeypatch, value):
+        monkeypatch.setenv(THREADS_ENV_VAR, value)
+        with pytest.raises(ValueError):
+            get_num_threads()
+
+    @pytest.mark.parametrize("value", [0, -1, "four"])
+    def test_invalid_override_rejected(self, value):
+        with pytest.raises(ValueError):
+            set_num_threads(value)
+
+    def test_none_clears_override(self, monkeypatch):
+        monkeypatch.setenv(THREADS_ENV_VAR, "2")
+        set_num_threads(9)
+        set_num_threads(None)
+        assert get_num_threads() == 2
+
+    def test_context_manager_restores_previous(self):
+        set_num_threads(4)
+        with num_threads(2):
+            assert get_num_threads() == 2
+            with num_threads(6):
+                assert get_num_threads() == 6
+            assert get_num_threads() == 2
+        assert get_num_threads() == 4
+
+    def test_context_manager_restores_on_error(self):
+        set_num_threads(4)
+        with pytest.raises(RuntimeError):
+            with num_threads(2):
+                raise RuntimeError("boom")
+        assert get_num_threads() == 4
+
+
+class TestParallelMap:
+    def test_results_in_input_order(self):
+        with num_threads(4):
+            assert parallel_map(lambda x: x * x, range(50)) == [x * x for x in range(50)]
+
+    def test_single_thread_runs_inline(self):
+        shutdown_pool()
+        with num_threads(1):
+            main_thread = [parallel_map(lambda _: threading.current_thread(), [0, 1, 2])]
+        assert all(t is threading.main_thread() for t in main_thread[0])
+        assert executor._pool is None  # strictly no pool was created
+
+    def test_multi_thread_uses_workers(self):
+        with num_threads(3):
+            names = parallel_map(lambda _: threading.current_thread().name, range(8))
+        assert any(name.startswith("repro-exec") for name in names)
+
+    def test_explicit_threads_argument_overrides_global(self):
+        shutdown_pool()
+        with num_threads(8):
+            parallel_map(lambda x: x, [1, 2, 3], threads=1)
+            assert executor._pool is None  # threads=1 bypassed the pool
+        with num_threads(1):
+            names = parallel_map(
+                lambda _: threading.current_thread().name, range(8), threads=3
+            )
+        assert any(name.startswith("repro-exec") for name in names)
+
+    def test_error_propagates(self):
+        def explode(x):
+            if x == 3:
+                raise ValueError("item 3")
+            return x
+
+        with num_threads(4):
+            with pytest.raises(ValueError, match="item 3"):
+                parallel_map(explode, range(8))
+
+    def test_nested_calls_run_inline(self):
+        """A worker that fans out again must not deadlock the finite pool."""
+
+        def outer(x):
+            assert in_worker()
+            # Inner map is forced inline, so its work stays on this worker.
+            inner = parallel_map(lambda y: threading.current_thread(), range(4))
+            assert all(t is threading.current_thread() for t in inner)
+            return x
+
+        with num_threads(2):
+            assert parallel_map(outer, range(6)) == list(range(6))
+        assert not in_worker()
+
+    def test_pool_grows_but_is_reused(self):
+        shutdown_pool()
+        with num_threads(2):
+            parallel_map(lambda x: x, range(4))
+        small = executor._pool
+        with num_threads(4):
+            parallel_map(lambda x: x, range(4))
+        grown = executor._pool
+        assert grown is not small
+        with num_threads(3):
+            parallel_map(lambda x: x, range(4))
+        assert executor._pool is grown  # no churn when shrinking the request
+
+
+class TestShardRanges:
+    @given(
+        total=st.integers(min_value=0, max_value=10_000),
+        num_shards=st.integers(min_value=1, max_value=64),
+        min_per_shard=st.integers(min_value=1, max_value=256),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_tiles_range_exactly(self, total, num_shards, min_per_shard):
+        ranges = shard_ranges(total, num_shards, min_per_shard)
+        if total == 0:
+            assert ranges == []
+            return
+        assert ranges[0][0] == 0 and ranges[-1][1] == total
+        assert all(a[1] == b[0] for a, b in zip(ranges, ranges[1:]))
+        sizes = [stop - start for start, stop in ranges]
+        assert max(sizes) - min(sizes) <= 1
+        assert len(ranges) <= num_shards
+        if len(ranges) > 1:
+            assert min(sizes) >= min_per_shard
+
+    def test_exact_split(self):
+        assert shard_ranges(10, 2) == [(0, 5), (5, 10)]
+
+    def test_remainder_spread_over_leading_shards(self):
+        assert shard_ranges(10, 4) == [(0, 3), (3, 6), (6, 8), (8, 10)]
+
+    def test_min_per_shard_caps_shard_count(self):
+        assert shard_ranges(100, 16, min_per_shard=64) == [(0, 100)]
+        assert shard_ranges(130, 16, min_per_shard=64) == [(0, 65), (65, 130)]
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            shard_ranges(10, 0)
+        with pytest.raises(ValueError):
+            shard_ranges(10, 2, min_per_shard=0)
+
+
+# -- bit-identity of parallel queries ------------------------------------------------
+
+
+class TestRamboQueryIdentity:
+    @pytest.mark.parametrize("method", ["full", "sparse"])
+    def test_batch_identical_across_thread_counts(self, built_rambo, query_terms, method):
+        with num_threads(1):
+            reference = fingerprint(built_rambo.query_terms_batch(query_terms, method=method))
+        for threads in THREAD_COUNTS[1:]:
+            with num_threads(threads):
+                observed = fingerprint(
+                    built_rambo.query_terms_batch(query_terms, method=method)
+                )
+            assert observed == reference, f"method={method} threads={threads}"
+
+    @pytest.mark.parametrize("method", ["full", "sparse"])
+    def test_conjunction_identical_across_thread_counts(self, built_rambo, small_dataset, method):
+        terms = sorted(small_dataset.documents[0].terms)[:40]
+        with num_threads(1):
+            reference = built_rambo.query_terms(terms, method=method)
+        for threads in THREAD_COUNTS[1:]:
+            with num_threads(threads):
+                observed = built_rambo.query_terms(terms, method=method)
+            assert observed.documents == reference.documents
+            assert observed.filters_probed == reference.filters_probed
+
+
+class TestMmapQueryIdentity:
+    @pytest.mark.parametrize("method", ["full", "sparse"])
+    def test_mapped_index_identical_across_thread_counts(
+        self, built_rambo, query_terms, tmp_path, method
+    ):
+        path = tmp_path / "index.rambo2"
+        save_index(built_rambo, path, format="mmap")
+        mapped = open_index(path)
+        assert mapped.is_mapped
+        with num_threads(1):
+            reference = fingerprint(mapped.query_terms_batch(query_terms, method=method))
+        for threads in THREAD_COUNTS[1:]:
+            with num_threads(threads):
+                observed = fingerprint(mapped.query_terms_batch(query_terms, method=method))
+            assert observed == reference, f"method={method} threads={threads}"
+
+
+class TestCobsQueryIdentity:
+    def test_batch_identical_across_thread_counts(self, small_dataset, query_terms):
+        index = CobsIndex(num_bits=1 << 13, num_hashes=3, k=small_dataset.k, seed=2)
+        index.add_documents(small_dataset.documents)
+        with num_threads(1):
+            reference = fingerprint(index.query_terms_batch(query_terms))
+        for threads in THREAD_COUNTS[1:]:
+            with num_threads(threads):
+                observed = fingerprint(index.query_terms_batch(query_terms))
+            assert observed == reference, f"threads={threads}"
+
+
+class TestDistributedQueryIdentity:
+    @pytest.mark.parametrize("method", ["full", "sparse"])
+    def test_batch_identical_across_thread_counts(self, small_dataset, query_terms, method):
+        index = DistributedRambo(num_nodes=3, node_config=rambo_config(seed=21))
+        index.add_documents(small_dataset.documents)
+        with num_threads(1):
+            reference = fingerprint(index.query_terms_batch(query_terms, method=method))
+        for threads in THREAD_COUNTS[1:]:
+            with num_threads(threads):
+                observed = fingerprint(index.query_terms_batch(query_terms, method=method))
+            assert observed == reference, f"method={method} threads={threads}"
+
+
+# -- bit-identity of parallel construction -------------------------------------------
+
+
+def assert_indexes_identical(observed: Rambo, reference: Rambo) -> None:
+    """Full structural equality: bookkeeping and every BFU bit."""
+    assert observed.document_names == reference.document_names
+    for r in range(reference.repetitions):
+        assert observed._assignments[r] == reference._assignments[r]  # noqa: SLF001
+        for b in range(reference.num_partitions):
+            assert observed._members[r][b] == reference._members[r][b]  # noqa: SLF001
+            assert observed.bfu(r, b).bits == reference.bfu(r, b).bits
+            assert observed.bfu(r, b).num_items == reference.bfu(r, b).num_items
+
+
+class TestParallelBuildIdentity:
+    def test_add_documents_parallel_identical(self, small_dataset):
+        reference = Rambo(rambo_config())
+        reference.add_documents(small_dataset.documents)
+        for threads in THREAD_COUNTS[1:]:
+            with num_threads(threads):
+                observed = Rambo(rambo_config())
+                observed.add_documents(small_dataset.documents, parallel=True)
+            assert_indexes_identical(observed, reference)
+
+    def test_add_documents_parallel_inline_when_single_threaded(self, small_dataset):
+        with num_threads(1):
+            observed = Rambo(rambo_config())
+            observed.add_documents(small_dataset.documents, parallel=True)
+        reference = Rambo(rambo_config())
+        reference.add_documents(small_dataset.documents)
+        assert_indexes_identical(observed, reference)
+
+    def test_parallel_index_serializes_identically(self, small_dataset, tmp_path):
+        reference = Rambo(rambo_config())
+        reference.add_documents(small_dataset.documents)
+        with num_threads(4):
+            observed = Rambo(rambo_config())
+            observed.add_documents(small_dataset.documents, parallel=True)
+        ref_path, obs_path = tmp_path / "ref.rambo", tmp_path / "obs.rambo"
+        save_index(reference, ref_path)
+        save_index(observed, obs_path)
+        assert obs_path.read_bytes() == ref_path.read_bytes()
+
+    def test_parallel_builder_identical_across_workers(self, small_dataset):
+        cfg = rambo_config()
+        reference = ParallelBuilder(cfg, workers=1, chunk_size=7).build(
+            small_dataset.documents
+        )
+        for workers in THREAD_COUNTS[1:]:
+            observed = ParallelBuilder(cfg, workers=workers, chunk_size=7).build(
+                small_dataset.documents
+            )
+            assert_indexes_identical(observed, reference)
+
+    def test_distributed_parallel_add_identical(self, small_dataset):
+        reference = DistributedRambo(num_nodes=3, node_config=rambo_config(seed=21))
+        reference.add_documents(small_dataset.documents)
+        with num_threads(4):
+            observed = DistributedRambo(num_nodes=3, node_config=rambo_config(seed=21))
+            observed.add_documents(small_dataset.documents, parallel=True)
+        for shard_obs, shard_ref in zip(observed._shards, reference._shards):  # noqa: SLF001
+            assert_indexes_identical(shard_obs, shard_ref)
+
+    def test_queries_after_parallel_build_identical(self, small_dataset, query_terms):
+        reference = Rambo(rambo_config())
+        reference.add_documents(small_dataset.documents)
+        with num_threads(4):
+            observed = Rambo(rambo_config())
+            observed.add_documents(small_dataset.documents, parallel=True)
+            obs_results = fingerprint(observed.query_terms_batch(query_terms))
+        ref_results = fingerprint(reference.query_terms_batch(query_terms))
+        assert obs_results == ref_results
