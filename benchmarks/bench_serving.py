@@ -1,0 +1,259 @@
+"""Query serving — coalesced multi-client throughput and rotation liveness.
+
+The serving layer exists to make many concurrent clients cheaper than the
+sum of their individual requests: the coalescer folds each tick's requests
+into **one** ``query_terms_batch`` call over the deduplicated term union,
+and the answer cache short-circuits hot terms entirely.  This bench gates
+that claim and the rotation-liveness property:
+
+* **Throughput**: with 8 concurrent clients replaying a skewed (hot-term)
+  workload, the coalesced service must answer at least **2x** the
+  queries/sec of per-request sequential serving (the same thread-per-request
+  clients, each paying one batch-engine call per request — a naive server).
+  ``REPRO_BENCH_SMOKE=1`` skips the gate with a notice (tiny corpora make
+  the timing meaningless) but still runs both paths.
+* **Identity** (always asserted): every served answer — coalesced, cached or
+  sequential — is bit-identical to a local ``query_terms_batch`` call:
+  same documents, same probe accounting.
+* **Rotation liveness** (always asserted): a snapshot rotation fired in the
+  middle of the client storm drops zero queries; every request completes
+  and stays bit-identical, and the retired snapshot drains.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.rambo import Rambo, RamboConfig
+from repro.simulate.datasets import ENADatasetBuilder, build_query_workload
+from repro.serve import QueryService
+from repro.utils.timing import Timer
+
+from _bench_utils import BENCH_SMOKE, BENCH_K, print_table
+
+if BENCH_SMOKE:
+    NUM_DOCUMENTS = 12
+    CONFIG = RamboConfig(num_partitions=4, repetitions=2, bfu_bits=1 << 14, k=BENCH_K, seed=23)
+    NUM_CLIENTS = 4
+    REQUESTS_PER_CLIENT = 10
+else:
+    NUM_DOCUMENTS = 60
+    CONFIG = RamboConfig(num_partitions=16, repetitions=3, bfu_bits=1 << 18, k=BENCH_K, seed=23)
+    NUM_CLIENTS = 8
+    REQUESTS_PER_CLIENT = 40
+
+#: Terms per client request; small requests are where per-request overhead
+#: dominates and coalescing pays.
+TERMS_PER_REQUEST = 8
+
+#: The hot-term pool size.  Clients draw from this pool, so concurrent
+#: requests overlap heavily — the regime the dedup + answer cache target.
+POOL_SIZE = 64
+
+#: The coalescer's accumulation window for the bench.  Zero means
+#: opportunistic batching — whatever queued while the previous batch was
+#: being answered forms the next batch.  That is the right setting here:
+#: the clients are local threads with zero network latency, so any fixed
+#: sleep would dominate the wall clock instead of folding more clients in.
+TICK_SECONDS = 0.0
+
+#: Throughput gate for coalesced vs sequential serving at NUM_CLIENTS.
+SPEEDUP_GATE = 2.0
+
+
+@pytest.fixture(scope="module")
+def serving_corpus():
+    """A built index plus per-client request streams over a hot-term pool."""
+    builder = ENADatasetBuilder(k=BENCH_K, genome_length=1_000, seed=23)
+    base = builder.build(NUM_DOCUMENTS, file_format="mccortex")
+    dataset, workload = build_query_workload(
+        base, num_positive=48, num_negative=16, mean_multiplicity=4.0, seed=23
+    )
+    index = Rambo(CONFIG)
+    index.add_documents(dataset.documents)
+
+    pool = workload.all_terms[:POOL_SIZE]
+    rng = np.random.default_rng(23)
+    streams = [
+        [
+            [pool[i] for i in rng.integers(0, len(pool), size=TERMS_PER_REQUEST)]
+            for _ in range(REQUESTS_PER_CLIENT)
+        ]
+        for _ in range(NUM_CLIENTS)
+    ]
+    reference = {
+        method: dict(zip(pool, index.query_terms_batch(pool, method=method)))
+        for method in ("full",)
+    }
+    return index, dataset, streams, reference
+
+
+def _identical(got, want) -> bool:
+    return (
+        np.array_equal(got.doc_ids, want.doc_ids)
+        and got.filters_probed == want.filters_probed
+    )
+
+
+def _run_clients(service: QueryService, streams, query) -> tuple:
+    """Replay every client stream concurrently; returns (wall_s, responses).
+
+    ``responses`` collects ``(terms, batch)`` pairs so identity is verified
+    *after* the timed region — the checks must not pollute the measurement.
+    """
+    responses = [[] for _ in streams]
+    errors = []
+
+    def client(client_id: int) -> None:
+        try:
+            for terms in streams[client_id]:
+                responses[client_id].append((terms, query(terms)))
+        except BaseException as exc:  # noqa: BLE001 - surfaced after join
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=client, args=(i,), name=f"bench-client-{i}")
+        for i in range(len(streams))
+    ]
+    with Timer() as timer:
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+    if errors:
+        raise errors[0]
+    return timer.wall_seconds, responses
+
+
+def _assert_identity(responses, reference) -> int:
+    """Every served answer must match the local batch engine bit for bit."""
+    total = 0
+    for stream in responses:
+        for terms, batch in stream:
+            for term, got in zip(terms, batch):
+                assert _identical(got, reference[term]), (
+                    f"served answer for term {term!r} diverged from local "
+                    f"query_terms_batch"
+                )
+            total += 1
+    return total
+
+
+@pytest.mark.benchmark(group="serving-throughput")
+def test_coalesced_vs_sequential_throughput(benchmark, serving_corpus):
+    """Coalesced serving must reach >= 2x sequential queries/sec at 8 clients."""
+    index, _, streams, reference = serving_corpus
+    total_requests = NUM_CLIENTS * REQUESTS_PER_CLIENT
+
+    def measure():
+        with QueryService(index, tick_seconds=TICK_SECONDS) as service:
+            sequential_s, sequential_responses = _run_clients(
+                service, streams, lambda terms: service.query_direct(terms)
+            )
+            coalesced_s, coalesced_responses = _run_clients(
+                service, streams, lambda terms: service.query(terms, timeout=120)
+            )
+            stats = service.stats()
+        return sequential_s, coalesced_s, sequential_responses, coalesced_responses, stats
+
+    sequential_s, coalesced_s, sequential_responses, coalesced_responses, stats = (
+        benchmark.pedantic(measure, rounds=1, iterations=1)
+    )
+
+    # Identity is a correctness property: asserted in smoke mode too.
+    assert _assert_identity(sequential_responses, reference["full"]) == total_requests
+    assert _assert_identity(coalesced_responses, reference["full"]) == total_requests
+
+    sequential_qps = total_requests / max(sequential_s, 1e-9)
+    coalesced_qps = total_requests / max(coalesced_s, 1e-9)
+    speedup = coalesced_qps / max(sequential_qps, 1e-9)
+    print_table(
+        f"query serving ({NUM_CLIENTS} clients x {REQUESTS_PER_CLIENT} requests "
+        f"x {TERMS_PER_REQUEST} terms, pool {POOL_SIZE})",
+        {
+            "sequential": {"qps": sequential_qps, "wall_s": sequential_s},
+            "coalesced": {
+                "qps": coalesced_qps,
+                "wall_s": coalesced_s,
+                "speedup": speedup,
+                "cache_hits": stats["cache"]["hits"],
+                "ticks": stats["coalescer"]["ticks"],
+            },
+        },
+    )
+    if BENCH_SMOKE:
+        print(
+            "NOTE: smoke mode — the >=2x coalescing throughput gate is skipped "
+            "(tiny corpus; identity was still asserted)"
+        )
+    else:
+        assert speedup >= SPEEDUP_GATE, (
+            f"coalesced serving reached only {speedup:.2f}x sequential "
+            f"({coalesced_qps:.0f} vs {sequential_qps:.0f} qps) — below the "
+            f"{SPEEDUP_GATE}x gate at {NUM_CLIENTS} clients"
+        )
+
+
+@pytest.mark.benchmark(group="serving-rotation")
+def test_rotation_mid_benchmark_drops_zero_queries(benchmark, serving_corpus):
+    """A snapshot swap during the client storm loses no queries, no identity.
+
+    The replacement is a rebuild of the same corpus, so both generations
+    answer identically and one reference map verifies every response no
+    matter which snapshot served it.
+    """
+    index, dataset, streams, reference = serving_corpus
+    rebuilt = Rambo(CONFIG)
+    rebuilt.add_documents(dataset.documents)
+    total_requests = NUM_CLIENTS * REQUESTS_PER_CLIENT
+
+    def measure():
+        with QueryService(index, tick_seconds=TICK_SECONDS) as service:
+            rotated = threading.Event()
+
+            def rotate_mid_flight():
+                rotated.wait()
+                service.swap(rebuilt)
+
+            rotator = threading.Thread(target=rotate_mid_flight, name="bench-rotator")
+            rotator.start()
+            progress = {"n": 0}
+            lock = threading.Lock()
+
+            def query(terms):
+                batch = service.query(terms, timeout=120)
+                with lock:
+                    progress["n"] += 1
+                    # Fire the rotation once the storm is genuinely mid-flight.
+                    if progress["n"] == total_requests // 3:
+                        rotated.set()
+                return batch
+
+            wall_s, responses = _run_clients(service, streams, query)
+            rotated.set()  # smoke-mode safety: tiny runs may end before 1/3
+            rotator.join()
+            stats = service.stats()
+        return wall_s, responses, stats
+
+    wall_s, responses, stats = benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    answered = _assert_identity(responses, reference["full"])
+    assert answered == total_requests, (
+        f"rotation dropped queries: {total_requests - answered} of "
+        f"{total_requests} never completed"
+    )
+    assert stats["snapshots"]["rotations"] == 1
+    assert stats["snapshots"]["draining"] == []  # old snapshot fully drained
+    print_table(
+        f"query serving with mid-flight rotation ({NUM_CLIENTS} clients)",
+        {
+            "coalesced+rotate": {
+                "qps": answered / max(wall_s, 1e-9),
+                "wall_s": wall_s,
+                "dropped": total_requests - answered,
+            }
+        },
+    )

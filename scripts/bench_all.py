@@ -10,9 +10,10 @@ single JSON document::
     python scripts/bench_all.py --json BENCH_results.json
 
 The output records, per bench module, the wall-clock seconds, the pass/fail
-status and every comparison table it produced — plus a flattened
-``speedups`` map (every ``speedup`` column of every table) so the perf
-trajectory of the repository is diffable across PRs with no table parsing.
+status and every comparison table it produced — plus flattened ``speedups``
+and ``throughput`` maps (every ``speedup`` / ``qps`` column of every table,
+the latter in queries/sec from the serving bench) so the perf trajectory of
+the repository is diffable across PRs with no table parsing.
 ``REPRO_BENCH_SMOKE=1`` (or ``--smoke``) runs the benches at smoke sizes
 with the performance gates off, which is how the CI smoke job invokes it.
 """
@@ -39,6 +40,7 @@ DEFAULT_BENCHES = (
     "benchmarks/bench_table2_query_time.py",
     "benchmarks/bench_mmap_serving.py",
     "benchmarks/bench_parallel_query.py",
+    "benchmarks/bench_serving.py",
 )
 
 
@@ -82,13 +84,22 @@ def run_bench(module: str, env: Dict[str, str]) -> Dict[str, object]:
 
 def flatten_speedups(results: List[Dict[str, object]]) -> Dict[str, float]:
     """Every ``speedup`` column of every table, keyed ``<table> / <method>``."""
-    speedups: Dict[str, float] = {}
+    return _flatten_column(results, "speedup")
+
+
+def flatten_throughput(results: List[Dict[str, object]]) -> Dict[str, float]:
+    """Every ``qps`` column of every table (the serving benches), same keying."""
+    return _flatten_column(results, "qps")
+
+
+def _flatten_column(results: List[Dict[str, object]], column: str) -> Dict[str, float]:
+    values: Dict[str, float] = {}
     for result in results:
         for table in result["tables"]:  # type: ignore[index]
             for method, row in table["rows"].items():  # type: ignore[index]
-                if "speedup" in row:
-                    speedups[f"{table['title']} / {method}"] = row["speedup"]
-    return speedups
+                if column in row:
+                    values[f"{table['title']} / {method}"] = row[column]
+    return values
 
 
 def main(argv: List[str] | None = None) -> int:
@@ -130,11 +141,13 @@ def main(argv: List[str] | None = None) -> int:
         "python": sys.version.split()[0],
         "benches": results,
         "speedups": flatten_speedups(results),
+        "throughput": flatten_throughput(results),
     }
     out_path = Path(args.json)
     out_path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8")
     print(f"[bench_all] wrote {out_path} ({len(results)} benches, "
-          f"{len(payload['speedups'])} speedup figures)")
+          f"{len(payload['speedups'])} speedup figures, "
+          f"{len(payload['throughput'])} throughput figures)")
     return 0 if all(result["passed"] for result in results) else 1
 
 

@@ -30,7 +30,13 @@ from repro.core.base import (
     check_query_method,
     iter_term_chunks,
 )
-from repro.core.executor import get_num_threads, in_worker, parallel_map, shard_ranges
+from repro.core.executor import (
+    get_min_terms_per_shard,
+    get_num_threads,
+    in_worker,
+    parallel_map,
+    shard_ranges,
+)
 from repro.hashing.murmur3 import double_hashes, double_hashes_batch
 from repro.kmers.extraction import DEFAULT_K, KmerDocument
 
@@ -230,10 +236,6 @@ class CobsIndex(MembershipIndex):
             hits &= matrix[positions[:, j]]
         return hits
 
-    #: Smallest term-shard worth handing a worker thread (see MIN_TERMS_PER_SHARD
-    #: in repro.core.rambo for the rationale).
-    _MIN_TERMS_PER_SHARD = 64
-
     def _chunk_hits_sharded(
         self, positions: np.ndarray, matrix: Optional[np.ndarray]
     ) -> np.ndarray:
@@ -245,7 +247,7 @@ class CobsIndex(MembershipIndex):
         race on nothing.  Row order is preserved by concatenation, making
         the sharded result bit-identical to the inline gather.
         """
-        ranges = shard_ranges(len(positions), get_num_threads(), self._MIN_TERMS_PER_SHARD)
+        ranges = shard_ranges(len(positions), get_num_threads(), get_min_terms_per_shard())
         if len(ranges) <= 1 or in_worker():
             return self._chunk_hits(positions, matrix)
         shards = parallel_map(

@@ -17,10 +17,22 @@ sequence files; this CLI mirrors that workflow on top of the library:
     vectorised batch engine; mmap indexes are probed directly in the file.
 
 ``repro-rambo info``
-    Print the configuration, size breakdown and fill statistics of an index.
+    Print the configuration, size breakdown and fill statistics of an index;
+    ``--json`` emits the same record machine-readably (the exact schema the
+    serve command's ``/stats`` endpoint embeds).
 
 ``repro-rambo fold``
     Load an index, fold it over N times and write the smaller index back out.
+
+``repro-rambo serve``
+    Hold an index open and answer concurrent clients over JSON/HTTP: many
+    clients' terms coalesce into one batched engine call per tick, hot terms
+    are answered from an LRU cache, and ``POST /rotate`` swaps in a rebuilt
+    index atomically without dropping in-flight queries.
+
+``repro-rambo query --server URL``
+    Send the terms to a running ``serve`` process instead of opening an
+    index file locally; output format is identical to the local path.
 
 The CLI is intentionally a thin shell over the public API so that every code
 path it exercises is also reachable (and tested) as a library call.
@@ -29,6 +41,7 @@ path it exercises is also reachable (and tested) as a library call.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from itertools import islice
 from pathlib import Path
@@ -38,12 +51,12 @@ from repro.core.config import configure_from_sample
 from repro.core.executor import get_num_threads, num_threads
 from repro.core.folding import fold_rambo
 from repro.core.rambo import Rambo, RamboConfig
-from repro.core.serialization import open_index, save_index
+from repro.core.serialization import describe_index, open_index, save_index
 from repro.io.diskformat import detect_format
 from repro.io.fasta import read_fasta
 from repro.io.fastq import read_fastq
 from repro.io.mccortex import read_mccortex
-from repro.kmers.extraction import DEFAULT_K, document_from_sequences
+from repro.kmers.extraction import DEFAULT_K, document_from_sequences, normalise_query_term
 from repro.utils.memory import human_bytes
 from repro.utils.timing import Timer
 
@@ -174,23 +187,48 @@ def _cmd_build(args: argparse.Namespace) -> int:
 def _normalise_term(term: str, k: int, canonical: bool = False):
     """Encode DNA terms the way the build path stores them.
 
-    Sequence files are indexed as 2-bit integer k-mer codes; a term that looks
-    like a k-length DNA string is converted to that code so CLI queries hit
-    the same hash inputs.  With ``canonical`` the code is canonicalised,
-    matching an index built with ``--canonical``.  Anything else (words,
-    non-ACGT strings) is queried verbatim.
+    Thin alias of :func:`repro.kmers.extraction.normalise_query_term` — the
+    one rule the CLI, the serve HTTP front end and the client share, so a
+    term means the same thing through every door.
     """
-    if len(term) == k and all(base in "ACGTacgt" for base in term):
-        from repro.kmers.encoding import canonical_int, kmer_to_int
+    return normalise_query_term(term, k, canonical=canonical)
 
-        code = kmer_to_int(term)
-        return canonical_int(code, k) if canonical else code
-    return term
+
+def _cmd_query_server(args: argparse.Namespace) -> int:
+    """Answer the query against a running ``serve`` process over HTTP."""
+    from repro.serve.client import ServeClient, ServeClientError
+
+    if args.sequence:
+        raise SystemExit(
+            "--sequence is not supported with --server (sequence queries are "
+            "conjunctive; query the index file locally instead)"
+        )
+    # With --server there is no local index file, so every positional —
+    # including the slot that would otherwise name the index — is a term.
+    terms = ([args.index] if args.index else []) + list(args.terms)
+    if not terms:
+        raise SystemExit("nothing to query: pass terms")
+    method = "sparse" if args.sparse else "full"
+    client = ServeClient(args.server)
+    try:
+        # Terms go up verbatim; the server normalises DNA words against its
+        # own k, exactly like the local path does.
+        response = client.query(terms, method=method, canonical=args.canonical)
+    except ServeClientError as exc:
+        raise SystemExit(f"server query failed: {exc}") from exc
+    for entry in response["results"]:
+        matches = ",".join(entry["documents"]) or "-"
+        print(f"{entry['term']}\t{matches}\t{entry['filters_probed']}")
+    return 0
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
+    if args.server:
+        return _cmd_query_server(args)
     # Auto-detects the file format: v1 indexes are loaded into memory, mmap
     # indexes are served zero-copy straight from the file.
+    if not args.index:
+        raise SystemExit("an index file is required unless --server is given")
     index = open_index(args.index)
     method = "sparse" if args.sparse else "full"
 
@@ -220,23 +258,66 @@ def _cmd_query(args: argparse.Namespace) -> int:
 
 
 def _cmd_info(args: argparse.Namespace) -> int:
-    file_format = detect_format(args.index)
+    # Both output modes render the same describe_index record — the schema
+    # the serve command's /stats endpoint embeds — so ops tooling parsing
+    # either source sees identical numbers.
     index = open_index(args.index)
+    record = describe_index(index, args.index)
+    if args.json:
+        print(json.dumps(record, indent=2, sort_keys=True))
+        return 0
     config = index.config
-    print(f"index file      : {args.index}")
-    print(f"format          : {file_format}" + (" (memory-mapped)" if index.is_mapped else ""))
-    print(f"documents       : {index.num_documents}")
-    print(f"partitions (B)  : {index.num_partitions}")
-    print(f"repetitions (R) : {index.repetitions}")
+    print(f"index file      : {record['path']}")
+    print(f"format          : {record['format']}" + (" (memory-mapped)" if record["mapped"] else ""))
+    print(f"documents       : {record['documents']}")
+    print(f"partitions (B)  : {record['partitions']}")
+    print(f"repetitions (R) : {record['repetitions']}")
     print(f"BFU bits        : {config.bfu_bits} ({config.bfu_hashes} hashes)")
-    print(f"k-mer length    : {config.k}")
-    for component, size in index.size_components().items():
-        print(f"size[{component:<11}]: {human_bytes(size)}")
-    print(f"size[total      ]: {human_bytes(index.size_in_bytes())}")
-    ratios = [r for row in index.fill_ratios() for r in row]
-    if ratios:
-        print(f"BFU fill ratio  : min={min(ratios):.3f} mean={sum(ratios)/len(ratios):.3f} "
-              f"max={max(ratios):.3f}")
+    print(f"k-mer length    : {record['k']}")
+    for component, size in record["size_bytes"].items():
+        if component != "total":
+            print(f"size[{component:<11}]: {human_bytes(size)}")
+    print(f"size[total      ]: {human_bytes(record['size_bytes']['total'])}")
+    fill = record.get("fill_ratio")
+    if fill and index.num_partitions * index.repetitions:
+        print(f"BFU fill ratio  : min={fill['min']:.3f} mean={fill['mean']:.3f} "
+              f"max={fill['max']:.3f}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    # The service opens the index once (mmap files serve zero-copy) and the
+    # HTTP layer fans every client into the shared coalescer.
+    from repro.serve.http import start_http_server
+    from repro.serve.service import QueryService
+
+    if args.tick_ms < 0:
+        raise SystemExit(f"--tick-ms must be >= 0, got {args.tick_ms}")
+    if args.cache_size < 0:
+        raise SystemExit(f"--cache-size must be >= 0, got {args.cache_size}")
+    service = QueryService.open(
+        args.index,
+        cache_size=args.cache_size,
+        tick_seconds=args.tick_ms / 1000.0,
+    )
+    server, _thread = start_http_server(
+        service, host=args.host, port=args.port, quiet=not args.verbose
+    )
+    host, port = server.server_address[:2]
+    print(f"serving {args.index} on http://{host}:{port}", flush=True)
+    if args.ready_file:
+        # Ops/CI handshake: the file appears only once the socket is bound,
+        # so a supervisor can poll for it instead of parsing stdout.
+        Path(args.ready_file).write_text(f"{host} {port}\n", encoding="utf-8")
+    try:
+        # serve_forever runs on the daemon thread; this thread just waits
+        # for the interrupt so Ctrl-C shuts down cleanly.
+        _thread.join()
+    except KeyboardInterrupt:
+        print("shutting down", flush=True)
+    finally:
+        server.shutdown()
+        service.close()
     return 0
 
 
@@ -303,10 +384,20 @@ def build_parser() -> argparse.ArgumentParser:
     build.set_defaults(func=_cmd_build)
 
     query = sub.add_parser("query", help="query terms and/or sequences against an index")
-    query.add_argument("index", help="index file written by 'build'")
+    query.add_argument(
+        "index", nargs="?", default=None,
+        help="index file written by 'build' (omitted when --server is used: "
+             "every positional is then a term)",
+    )
     query.add_argument(
         "terms", nargs="*",
         help="terms (k-mers or words) to query; all terms are answered in one vectorised batch",
+    )
+    query.add_argument(
+        "--server", metavar="URL", default=None,
+        help="query a running 'repro-rambo serve' process at URL instead of "
+             "opening an index file locally (terms only; output format is "
+             "identical to the local path)",
     )
     query.add_argument(
         "--sequence", action="append", default=[], metavar="SEQ",
@@ -326,7 +417,44 @@ def build_parser() -> argparse.ArgumentParser:
 
     info = sub.add_parser("info", help="print index configuration and size breakdown")
     info.add_argument("index", help="index file written by 'build'")
+    info.add_argument(
+        "--json", action="store_true",
+        help="emit the machine-readable describe_index record (the same "
+             "schema the serve command's /stats endpoint embeds)",
+    )
     info.set_defaults(func=_cmd_info)
+
+    serve = sub.add_parser(
+        "serve", help="serve an index over JSON/HTTP with coalescing and caching"
+    )
+    serve.add_argument("index", help="index file written by 'build' (v1 or mmap)")
+    serve.add_argument("--host", default="127.0.0.1", help="bind address (default 127.0.0.1)")
+    serve.add_argument(
+        "--port", type=int, default=8080,
+        help="bind port (default 8080; 0 picks a free port, printed on start)",
+    )
+    serve.add_argument(
+        "--cache-size", type=int, default=4096, metavar="N",
+        help="hot-term answer-cache capacity in entries (default 4096; 0 disables)",
+    )
+    serve.add_argument(
+        "--tick-ms", type=float, default=2.0, metavar="MS",
+        help="request-coalescing window in milliseconds (default 2.0; 0 = "
+             "opportunistic batching); co-tune with REPRO_MIN_TERMS_PER_SHARD",
+    )
+    serve.add_argument(
+        "--ready-file", metavar="PATH", default=None,
+        help="write 'host port' to PATH once the socket is bound (supervisor/CI handshake)",
+    )
+    serve.add_argument(
+        "--verbose", action="store_true", help="log every HTTP request to stderr"
+    )
+    serve.add_argument(
+        "--threads", type=int, default=None, metavar="N",
+        help="worker threads for batch evaluation inside the server "
+             "(default: REPRO_THREADS, else all cores)",
+    )
+    serve.set_defaults(func=_cmd_serve)
 
     fold = sub.add_parser("fold", help="fold an index over to shrink it")
     fold.add_argument("index", help="index file written by 'build'")

@@ -18,12 +18,21 @@ Public entry points:
 """
 
 from repro.core.base import MembershipIndex, QueryResult
-from repro.core.executor import get_num_threads, num_threads, parallel_map, set_num_threads
+from repro.core.executor import (
+    get_min_terms_per_shard,
+    get_num_threads,
+    min_terms_per_shard,
+    num_threads,
+    parallel_map,
+    set_min_terms_per_shard,
+    set_num_threads,
+)
 from repro.core.rambo import Rambo, RamboConfig
 from repro.core.folding import fold_rambo, fold_to_target
 from repro.core.distributed import DistributedRambo, stack_shards
 from repro.core.parallel import ParallelBuilder, merge_indexes
 from repro.core.serialization import (
+    describe_index,
     load_index,
     open_index,
     open_index_mmap,
@@ -36,9 +45,12 @@ from repro.core import analysis, config
 __all__ = [
     "MembershipIndex",
     "QueryResult",
+    "get_min_terms_per_shard",
     "get_num_threads",
+    "min_terms_per_shard",
     "num_threads",
     "parallel_map",
+    "set_min_terms_per_shard",
     "set_num_threads",
     "Rambo",
     "RamboConfig",
@@ -48,6 +60,7 @@ __all__ = [
     "stack_shards",
     "ParallelBuilder",
     "merge_indexes",
+    "describe_index",
     "load_index",
     "open_index",
     "open_index_mmap",

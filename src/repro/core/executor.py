@@ -48,10 +48,24 @@ _Result = TypeVar("_Result")
 #: Environment variable consulted when no explicit override is set.
 THREADS_ENV_VAR = "REPRO_THREADS"
 
+#: Environment variable overriding the default term-shard minimum.
+MIN_TERMS_ENV_VAR = "REPRO_MIN_TERMS_PER_SHARD"
+
+#: Default smallest term-shard a batched query splits off for a worker
+#: thread.  Below ~64 terms the per-task Python overhead (a future, a
+#: closure call, a result hand-off) rivals the numpy work inside the shard,
+#: so shorter batches simply run inline.  Tunable because the right floor
+#: co-varies with the serving layer's coalescer tick size: a service that
+#: coalesces many small client requests into ~tick-sized batches wants the
+#: shard minimum at or below its typical tick batch, while an offline bulk
+#: query wants it high enough that threads never fight over tiny shards.
+DEFAULT_MIN_TERMS_PER_SHARD = 64
+
 _lock = threading.Lock()
 _pool: Optional[ThreadPoolExecutor] = None
 _pool_size = 0
 _override: Optional[int] = None
+_min_terms_override: Optional[int] = None
 # Worker-thread marker: parallel_map called from inside a pool worker runs
 # inline, so nested parallelism can neither deadlock the (finite) pool nor
 # oversubscribe the machine.
@@ -110,6 +124,48 @@ def num_threads(count: int) -> Iterator[None]:
         yield
     finally:
         set_num_threads(previous)
+
+
+def get_min_terms_per_shard() -> int:
+    """Effective term-shard floor: override, else env var, else the default.
+
+    This is the ``min_per_shard`` every term-axis :func:`shard_ranges` call
+    in the batched query engines (RAMBO and COBS) uses.  Raises
+    :class:`ValueError` for a malformed or non-positive
+    ``REPRO_MIN_TERMS_PER_SHARD`` value, mirroring :func:`get_num_threads`.
+    """
+    if _min_terms_override is not None:
+        return _min_terms_override
+    env = os.environ.get(MIN_TERMS_ENV_VAR)
+    if env is not None and env.strip():
+        return _validate_threads(env, f"{MIN_TERMS_ENV_VAR} environment variable")
+    return DEFAULT_MIN_TERMS_PER_SHARD
+
+
+def set_min_terms_per_shard(count: Optional[int]) -> None:
+    """Set (or with ``None`` clear) the process-wide term-shard floor.
+
+    Takes precedence over ``REPRO_MIN_TERMS_PER_SHARD`` and the default of
+    :data:`DEFAULT_MIN_TERMS_PER_SHARD` (64).  Sharding only changes *how*
+    a batch is split across threads, never its result, so this is purely a
+    performance knob — co-tune it with the serving coalescer's tick size.
+    """
+    global _min_terms_override
+    if count is not None:
+        count = _validate_threads(count, "min terms per shard")
+    with _lock:
+        _min_terms_override = count
+
+
+@contextmanager
+def min_terms_per_shard(count: int) -> Iterator[None]:
+    """Scoped :func:`set_min_terms_per_shard`, restoring the previous value."""
+    previous = _min_terms_override
+    set_min_terms_per_shard(count)
+    try:
+        yield
+    finally:
+        set_min_terms_per_shard(previous)
 
 
 def shutdown_pool() -> None:

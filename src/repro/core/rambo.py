@@ -44,15 +44,16 @@ from repro.core.base import (
     iter_conjunction_slices,
     iter_term_chunks,
 )
-from repro.core.executor import get_num_threads, in_worker, parallel_map, shard_ranges
+from repro.core.executor import (
+    get_min_terms_per_shard,
+    get_num_threads,
+    in_worker,
+    parallel_map,
+    shard_ranges,
+)
 from repro.hashing.murmur3 import combine_seeds, double_hashes, double_hashes_batch
 from repro.hashing.universal import PartitionHashFamily
 from repro.kmers.extraction import DEFAULT_K, KmerDocument
-
-#: Smallest term-shard a batched query splits off for a worker thread.  Below
-#: this the per-task Python overhead rivals the numpy work inside the shard;
-#: batches shorter than two shards' worth simply run inline.
-MIN_TERMS_PER_SHARD = 64
 
 #: Smallest document-shard the parallel write path hands a worker thread.
 #: Each shard allocates a partial index, so tiny shards would pay the full
@@ -684,7 +685,7 @@ class Rambo(MembershipIndex):
         term in both — concatenate back in order.  Falls through to the
         plain kernel for a single effective thread or a short chunk.
         """
-        ranges = shard_ranges(len(terms), get_num_threads(), MIN_TERMS_PER_SHARD)
+        ranges = shard_ranges(len(terms), get_num_threads(), get_min_terms_per_shard())
         if len(ranges) <= 1 or in_worker():
             return self._batch_chunk_masks(terms, method)
         shards = parallel_map(

@@ -33,7 +33,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Dict, List, Tuple, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -289,6 +289,51 @@ def open_index(path: PathLike, mode: str = "r") -> Rambo:
     if detect_format(path) == "v1":
         return load_index(path)
     return open_index_mmap(path, mode=mode)
+
+
+def describe_index(
+    index: Rambo, path: Optional[PathLike] = None, fill: bool = True
+) -> Dict:
+    """JSON-ready description of an index: config, sizes, fill statistics.
+
+    The single machine-readable stats schema shared by ``repro-rambo info
+    --json``, the query service's ``/stats`` endpoint and any ops tooling —
+    one code path, so the numbers an operator sees on disk and the numbers
+    a running server reports can never drift apart.
+
+    Parameters
+    ----------
+    path:
+        When given, the on-disk location; the record then also carries the
+        detected file format.
+    fill:
+        Fill-ratio statistics touch every BFU word (a full payload scan —
+        on a mapped index that pages the whole file in), so a long-lived
+        server may switch them off for cheap liveness-grade stats.
+    """
+    config = index.config
+    record: Dict = {
+        "config": config.to_dict(),
+        "documents": index.num_documents,
+        "partitions": index.num_partitions,
+        "repetitions": index.repetitions,
+        "k": config.k,
+        "mapped": index.is_mapped,
+        "readonly": index.readonly,
+        "size_bytes": dict(index.size_components()),
+    }
+    record["size_bytes"]["total"] = index.size_in_bytes()
+    if path is not None:
+        record["path"] = str(path)
+        record["format"] = detect_format(path)
+    if fill:
+        ratios = [ratio for row in index.fill_ratios() for ratio in row]
+        record["fill_ratio"] = {
+            "min": min(ratios) if ratios else 0.0,
+            "mean": (sum(ratios) / len(ratios)) if ratios else 0.0,
+            "max": max(ratios) if ratios else 0.0,
+        }
+    return record
 
 
 def _uses_default_family(index: Rambo) -> bool:

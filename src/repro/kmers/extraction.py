@@ -282,3 +282,23 @@ def document_from_sequences(
         source_format=source_format,
         sequence_length=total_length,
     )
+
+
+def normalise_query_term(term: "Term", k: int = DEFAULT_K, canonical: bool = False) -> "Term":
+    """Encode a query term the way the build path stores it.
+
+    Sequence files are indexed as 2-bit integer k-mer codes; a string that
+    looks like a k-length DNA word is converted to that code so queries hash
+    the same inputs the index stored.  With ``canonical`` the code is
+    canonicalised, matching an index built with canonical k-mers.  Integer
+    terms are passed through, and anything else (words, non-ACGT strings) is
+    queried verbatim.  This is the one normalisation rule the CLI, the query
+    service's HTTP front end and the serving client all share, so a term
+    means the same thing no matter which door it arrives through.
+    """
+    if isinstance(term, str) and len(term) == k and all(base in "ACGTacgt" for base in term):
+        from repro.hashing.kmer_hash import canonical_int, kmer_to_int
+
+        code = kmer_to_int(term)
+        return canonical_int(code, k) if canonical else code
+    return term

@@ -1,0 +1,55 @@
+"""Zero-copy query serving: the long-lived front end over the mmap format.
+
+The paper's headline claim — interactive sequence search over a 170 TB
+archive — is a *serving* claim: an index is only useful at that scale if a
+process can hold it open and answer many concurrent clients.  This package
+is that layer, over the zero-copy ``RAMBO2`` container (or any in-memory
+index):
+
+* :mod:`repro.serve.coalescer` — folds concurrent clients' terms into one
+  deduplicated ``query_terms_batch`` call per tick (the batch engine is the
+  fast path; coalescing amortises per-request overhead across clients).
+* :mod:`repro.serve.cache` — a snapshot-keyed LRU of finished answers for
+  hot terms.
+* :mod:`repro.serve.snapshot` — the atomic active-index pointer: a rebuilt
+  index rotates in without dropping in-flight queries, which drain against
+  the old snapshot.
+* :mod:`repro.serve.service` — :class:`QueryService`, the in-process
+  composition of the three (what benchmarks and embedders use).
+* :mod:`repro.serve.http` / :mod:`repro.serve.client` — the stdlib JSON
+  front end (``repro-rambo serve``) and its thin client
+  (``repro-rambo query --server URL``).
+
+Served answers are bit-identical — documents *and* probe accounting — to a
+local ``query_terms_batch`` call against the snapshot that answered them;
+the serving benchmark asserts this unconditionally.
+"""
+
+from repro.serve.cache import DEFAULT_CACHE_SIZE, AnswerCache
+from repro.serve.client import ServeClient, ServeClientError
+from repro.serve.coalescer import (
+    DEFAULT_TICK_SECONDS,
+    RequestCoalescer,
+    ServedBatch,
+    ServiceClosed,
+)
+from repro.serve.http import ServeHTTPServer, start_http_server
+from repro.serve.service import QueryService, canonical_term
+from repro.serve.snapshot import Snapshot, SnapshotManager
+
+__all__ = [
+    "AnswerCache",
+    "DEFAULT_CACHE_SIZE",
+    "DEFAULT_TICK_SECONDS",
+    "QueryService",
+    "RequestCoalescer",
+    "ServeClient",
+    "ServeClientError",
+    "ServeHTTPServer",
+    "ServedBatch",
+    "ServiceClosed",
+    "Snapshot",
+    "SnapshotManager",
+    "canonical_term",
+    "start_http_server",
+]

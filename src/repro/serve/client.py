@@ -1,0 +1,102 @@
+"""Thin stdlib client for the serving HTTP API.
+
+``urllib.request`` only — the client must be importable anywhere the
+library is, including the CI smoke environment, with zero extra
+dependencies.  It speaks exactly the JSON surface of
+:mod:`repro.serve.http` and deliberately adds nothing on top: term
+normalisation is server-side (the server knows the index's ``k``), so a
+term means the same thing whether it arrives via this client, ``curl`` or
+the in-process API.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from typing import Dict, List, Optional, Sequence, Union
+
+Term = Union[int, str]
+
+
+class ServeClientError(RuntimeError):
+    """An HTTP-level or server-reported failure, with the server's message."""
+
+    def __init__(self, message: str, status: Optional[int] = None) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class ServeClient:
+    """Client for one serving endpoint, e.g. ``ServeClient("http://host:8080")``.
+
+    Parameters
+    ----------
+    base_url:
+        Scheme + host + port of the server (any trailing slash is
+        stripped).
+    timeout:
+        Per-request socket timeout in seconds.
+    """
+
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    def _request(self, path: str, payload: Optional[Dict] = None) -> Dict:
+        """One JSON round-trip; POSTs when *payload* is given, GETs otherwise."""
+        data = json.dumps(payload).encode("utf-8") if payload is not None else None
+        request = urllib.request.Request(
+            self.base_url + path,
+            data=data,
+            headers={"Content-Type": "application/json"} if data else {},
+            method="POST" if data is not None else "GET",
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            try:
+                message = json.loads(exc.read().decode("utf-8")).get("error", str(exc))
+            except Exception:  # noqa: BLE001 - body may not be JSON at all
+                message = str(exc)
+            raise ServeClientError(message, status=exc.code) from exc
+        except urllib.error.URLError as exc:
+            raise ServeClientError(f"cannot reach {self.base_url}: {exc.reason}") from exc
+
+    def query(
+        self,
+        terms: Sequence[Term],
+        method: str = "full",
+        canonical: bool = False,
+        coalesce: bool = True,
+    ) -> Dict:
+        """Per-term answers for *terms*; see ``POST /query`` for the schema."""
+        return self._request(
+            "/query",
+            {
+                "terms": list(terms),
+                "method": method,
+                "canonical": canonical,
+                "coalesce": coalesce,
+            },
+        )
+
+    def query_documents(
+        self, terms: Sequence[Term], method: str = "full", canonical: bool = False
+    ) -> List[List[str]]:
+        """Just the sorted document-name lists, one per term, in term order."""
+        response = self.query(terms, method=method, canonical=canonical)
+        return [entry["documents"] for entry in response["results"]]
+
+    def stats(self, fill: bool = False) -> Dict:
+        """The service's stats record (``fill`` adds payload-scanning ratios)."""
+        return self._request("/stats?fill=1" if fill else "/stats")
+
+    def healthz(self) -> Dict:
+        """Liveness record: ``{"ok": true, "snapshot_id": ..., "documents": ...}``."""
+        return self._request("/healthz")
+
+    def rotate(self, path: str, mode: str = "r") -> Dict:
+        """Ask the server to swap in the index file at *path* atomically."""
+        return self._request("/rotate", {"path": path, "mode": mode})

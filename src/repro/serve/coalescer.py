@@ -1,0 +1,219 @@
+"""Request coalescing: fold many concurrent clients into one batch query.
+
+The batch engine (``query_terms_batch``) is the fast path — one vectorised
+hash pass and a handful of gathers answer hundreds of terms for barely more
+than the cost of one — but a naive server would call it once *per request*,
+paying the per-call overhead (hashing setup, Python dispatch, cache probes)
+for every client separately and never sharing work between clients asking
+for the same hot term.
+
+The coalescer turns that inside out.  Client threads :meth:`submit` their
+term lists and block; a single ticker thread wakes when work arrives, waits
+one *tick* (a few milliseconds) so concurrent requests pile up, then drains
+the queue: requests are grouped by query method, their terms deduplicated
+in arrival order, and **one** resolver call per method answers the union.
+Each waiter is then handed its own terms' results back in its own order.
+
+The tick is the latency/throughput dial: a longer tick folds more clients
+into each batch (higher throughput per core), a shorter one answers sooner.
+``tick_seconds=0`` degenerates to opportunistic batching — whatever arrived
+while the previous batch was being answered forms the next batch — which
+is the right setting when the resolver itself is the bottleneck.
+
+The resolver callable is injected (the service's resolver adds the snapshot
+lease and the answer cache), so this module is pure coordination: queue,
+dedup, scatter, accounting.  A resolver exception fails exactly the waiters
+of that batch — the coalescer itself never dies with a request.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple
+
+from repro.core.base import QueryResult
+
+#: Default accumulation window.  Two milliseconds is long enough to fold a
+#: burst of concurrent requests into one batch and far below human-visible
+#: latency; the serving benchmark sweeps this against the shard floor.
+DEFAULT_TICK_SECONDS = 0.002
+
+#: A resolver maps ``(method, unique_terms)`` to ``(snapshot_id,
+#: {term: result})`` — answering every term against one single snapshot.
+Resolver = Callable[[str, List[Hashable]], Tuple[int, Dict[Hashable, QueryResult]]]
+
+
+class ServiceClosed(RuntimeError):
+    """Raised to submitters when the coalescer shuts down mid-request."""
+
+
+class ServedBatch:
+    """One request's answer: the per-term results plus their snapshot of origin.
+
+    ``results[i]`` answers ``terms[i]`` of the submitted request.  All
+    results in one batch were computed against (or cached from) the single
+    snapshot identified by ``snapshot_id`` — the serving layer's
+    never-a-mix guarantee, surfaced so clients and tests can check it.
+    """
+
+    __slots__ = ("snapshot_id", "results")
+
+    def __init__(self, snapshot_id: int, results: List[QueryResult]) -> None:
+        self.snapshot_id = snapshot_id
+        self.results = results
+
+    def __iter__(self):
+        return iter(self.results)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+
+class _Waiter:
+    """One blocked client request: its terms, method, and completion slot."""
+
+    __slots__ = ("terms", "method", "event", "batch", "error")
+
+    def __init__(self, terms: List[Hashable], method: str) -> None:
+        self.terms = terms
+        self.method = method
+        self.event = threading.Event()
+        self.batch: Optional[ServedBatch] = None
+        self.error: Optional[BaseException] = None
+
+    def finish(self, batch: ServedBatch) -> None:
+        self.batch = batch
+        self.event.set()
+
+    def fail(self, error: BaseException) -> None:
+        self.error = error
+        self.event.set()
+
+
+class RequestCoalescer:
+    """Single-ticker request batcher over an injected resolver.
+
+    Parameters
+    ----------
+    resolver:
+        The per-method batch answerer (see :data:`Resolver`).  Called from
+        the ticker thread only, never concurrently with itself.
+    tick_seconds:
+        Accumulation window after the first request of a batch arrives.
+    """
+
+    def __init__(self, resolver: Resolver, tick_seconds: float = DEFAULT_TICK_SECONDS) -> None:
+        if tick_seconds < 0:
+            raise ValueError(f"tick_seconds must be >= 0, got {tick_seconds}")
+        self._resolver = resolver
+        self.tick_seconds = tick_seconds
+        self._cv = threading.Condition()
+        self._pending: List[_Waiter] = []
+        self._closed = False
+        self._ticks = 0
+        self._requests = 0
+        self._terms_submitted = 0
+        self._terms_resolved = 0
+        self._thread = threading.Thread(
+            target=self._run, name="repro-serve-coalescer", daemon=True
+        )
+        self._thread.start()
+
+    # -- client side --------------------------------------------------------------------
+
+    def submit(
+        self, terms: Sequence[Hashable], method: str = "full", timeout: Optional[float] = None
+    ) -> ServedBatch:
+        """Answer *terms* (independent, per-term) through the shared batch.
+
+        Blocks until the ticker resolves the batch containing this request;
+        returns a :class:`ServedBatch` with one result per term in input
+        order.  Raises the resolver's exception if the batch failed,
+        :class:`ServiceClosed` if the coalescer shuts down first, and
+        :class:`TimeoutError` after *timeout* seconds (the request may still
+        complete internally; its slot is simply abandoned).
+        """
+        waiter = _Waiter(list(terms), method)
+        with self._cv:
+            if self._closed:
+                raise ServiceClosed("query service is shut down")
+            self._pending.append(waiter)
+            self._requests += 1
+            self._terms_submitted += len(waiter.terms)
+            self._cv.notify()
+        if not waiter.event.wait(timeout):
+            raise TimeoutError(f"coalesced query timed out after {timeout}s")
+        if waiter.error is not None:
+            raise waiter.error
+        assert waiter.batch is not None
+        return waiter.batch
+
+    def close(self) -> None:
+        """Stop the ticker; pending and future submitters get :class:`ServiceClosed`."""
+        with self._cv:
+            if self._closed:
+                return
+            self._closed = True
+            self._cv.notify_all()
+        self._thread.join()
+
+    # -- ticker side --------------------------------------------------------------------
+
+    def _run(self) -> None:
+        while True:
+            with self._cv:
+                while not self._pending and not self._closed:
+                    self._cv.wait()
+                if self._closed:
+                    failed = self._pending
+                    self._pending = []
+                    break
+            # Accumulation window: let concurrent clients join this tick.
+            if self.tick_seconds:
+                time.sleep(self.tick_seconds)
+            with self._cv:
+                batch = self._pending
+                self._pending = []
+            if batch:
+                self._ticks += 1
+                self._resolve_tick(batch)
+        for waiter in failed:
+            waiter.fail(ServiceClosed("query service is shut down"))
+
+    def _resolve_tick(self, batch: List[_Waiter]) -> None:
+        """Answer one drained queue: group by method, dedup, resolve, scatter."""
+        by_method: Dict[str, List[_Waiter]] = {}
+        for waiter in batch:
+            by_method.setdefault(waiter.method, []).append(waiter)
+        for method, waiters in by_method.items():
+            unique: Dict[Hashable, None] = {}
+            for waiter in waiters:
+                for term in waiter.terms:
+                    unique[term] = None
+            terms = list(unique)
+            try:
+                snapshot_id, answers = self._resolver(method, terms)
+            except BaseException as error:  # noqa: BLE001 - forwarded to waiters
+                for waiter in waiters:
+                    waiter.fail(error)
+                continue
+            self._terms_resolved += len(terms)
+            for waiter in waiters:
+                waiter.finish(
+                    ServedBatch(snapshot_id, [answers[term] for term in waiter.terms])
+                )
+
+    # -- observability ------------------------------------------------------------------
+
+    def stats(self) -> Dict[str, float]:
+        """Tick/request/term counters; the dedup win is the submitted/resolved gap."""
+        with self._cv:
+            return {
+                "ticks": self._ticks,
+                "requests": self._requests,
+                "terms_submitted": self._terms_submitted,
+                "terms_resolved": self._terms_resolved,
+                "pending": len(self._pending),
+                "tick_seconds": self.tick_seconds,
+            }

@@ -1,0 +1,206 @@
+"""Stdlib JSON/HTTP front end over a :class:`~repro.serve.service.QueryService`.
+
+A deliberately dependency-free server: ``http.server.ThreadingHTTPServer``
+accepts each client on its own thread, and those threads all funnel into
+the service's coalescer — so the thread-per-connection model costs one
+blocked thread per in-flight request, not one index probe per request.
+The JSON surface:
+
+``POST /query``
+    Body ``{"terms": [...], "method": "full"|"sparse", "canonical": bool,
+    "coalesce": bool}``.  Terms may be integer k-mer codes or strings;
+    k-length DNA strings are normalised to codes server-side with the same
+    rule the CLI build/query path uses.  Returns ``{"snapshot_id": id,
+    "results": [{"term": <as sent>, "documents": [...], "filters_probed":
+    n}]}`` with documents sorted.  ``"coalesce": false`` requests the
+    uncoalesced direct path (benchmark baseline).
+
+``GET /stats``
+    The service's full stats record (same index schema as ``repro-rambo
+    info --json``); ``?fill=1`` adds the payload-scanning fill statistics.
+
+``GET /healthz``
+    ``{"ok": true, "snapshot_id": id, "documents": n}`` — cheap liveness.
+
+``POST /rotate``
+    Body ``{"path": "...", "mode": "r"}``: open that index file and swap it
+    in atomically.  In-flight queries drain against the old snapshot.
+
+Errors come back as ``{"error": msg}`` with 400 (bad request), 404 (unknown
+endpoint) or 500 (evaluation failure).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, Optional, Tuple
+
+from repro.kmers.extraction import normalise_query_term
+from repro.serve.service import QueryService
+
+#: Request bodies above this size are rejected (64 MiB of JSON terms is a
+#: mistake, not a query).
+MAX_BODY_BYTES = 64 << 20
+
+
+class ServeHTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer carrying the shared :class:`QueryService`."""
+
+    daemon_threads = True
+
+    def __init__(self, address: Tuple[str, int], service: QueryService, quiet: bool = True):
+        self.service = service
+        self.quiet = quiet
+        super().__init__(address, ServeRequestHandler)
+
+
+class ServeRequestHandler(BaseHTTPRequestHandler):
+    """Routes the four JSON endpoints onto the service object."""
+
+    server: ServeHTTPServer  # narrowed for the handlers below
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing -----------------------------------------------------------------------
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002 - stdlib signature
+        """Per-request stderr logging, silenced by default (quiet server)."""
+        if not self.server.quiet:
+            super().log_message(format, *args)
+
+    def _send_json(self, payload: Dict, status: int = 200) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_json(self, message: str, status: int) -> None:
+        self._send_json({"error": message}, status=status)
+
+    def _read_json_body(self) -> Optional[Dict]:
+        length = int(self.headers.get("Content-Length", 0) or 0)
+        if length <= 0 or length > MAX_BODY_BYTES:
+            self._send_error_json(f"bad Content-Length {length}", 400)
+            return None
+        try:
+            payload = json.loads(self.rfile.read(length).decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            self._send_error_json(f"malformed JSON body: {exc}", 400)
+            return None
+        if not isinstance(payload, dict):
+            self._send_error_json("JSON body must be an object", 400)
+            return None
+        return payload
+
+    # -- endpoints ----------------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        """Dispatch ``GET /stats`` and ``GET /healthz``."""
+        path, _, query = self.path.partition("?")
+        if path == "/stats":
+            self._send_json(self.server.service.stats(fill="fill=1" in query))
+        elif path == "/healthz":
+            snapshot = self.server.service.snapshots.active
+            self._send_json(
+                {
+                    "ok": True,
+                    "snapshot_id": snapshot.snapshot_id,
+                    "documents": snapshot.index.num_documents if snapshot.index else 0,
+                }
+            )
+        else:
+            self._send_error_json(f"unknown endpoint {path!r}", 404)
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        """Dispatch ``POST /query`` and ``POST /rotate``."""
+        if self.path == "/query":
+            self._handle_query()
+        elif self.path == "/rotate":
+            self._handle_rotate()
+        else:
+            self._send_error_json(f"unknown endpoint {self.path!r}", 404)
+
+    def _handle_query(self) -> None:
+        payload = self._read_json_body()
+        if payload is None:
+            return
+        terms = payload.get("terms")
+        if not isinstance(terms, list) or not terms:
+            self._send_error_json("'terms' must be a non-empty list", 400)
+            return
+        if not all(isinstance(term, (int, str)) for term in terms):
+            self._send_error_json("terms must be integers or strings", 400)
+            return
+        method = payload.get("method", "full")
+        canonical = bool(payload.get("canonical", False))
+        coalesce = bool(payload.get("coalesce", True))
+        service = self.server.service
+        k = service.snapshots.active.index.k  # type: ignore[union-attr]
+        normalised = [normalise_query_term(term, k, canonical=canonical) for term in terms]
+        try:
+            if coalesce:
+                batch = service.query(normalised, method=method)
+            else:
+                batch = service.query_direct(normalised, method=method)
+        except ValueError as exc:
+            self._send_error_json(str(exc), 400)
+            return
+        except Exception as exc:  # noqa: BLE001 - surfaced as a 500, not a dead socket
+            self._send_error_json(f"query failed: {exc}", 500)
+            return
+        self._send_json(
+            {
+                "snapshot_id": batch.snapshot_id,
+                "results": [
+                    {
+                        "term": term,
+                        "documents": sorted(result.documents),
+                        "filters_probed": result.filters_probed,
+                    }
+                    for term, result in zip(terms, batch.results)
+                ],
+            }
+        )
+
+    def _handle_rotate(self) -> None:
+        payload = self._read_json_body()
+        if payload is None:
+            return
+        path = payload.get("path")
+        if not isinstance(path, str) or not path:
+            self._send_error_json("'path' must be a non-empty string", 400)
+            return
+        mode = payload.get("mode", "r")
+        try:
+            snapshot = self.server.service.rotate(path, mode=mode)
+        except Exception as exc:  # noqa: BLE001 - bad file => client error, state intact
+            self._send_error_json(f"rotation failed: {exc}", 400)
+            return
+        self._send_json(
+            {
+                "snapshot_id": snapshot.snapshot_id,
+                "documents": snapshot.index.num_documents if snapshot.index else 0,
+                "path": snapshot.path,
+            }
+        )
+
+
+def start_http_server(
+    service: QueryService, host: str = "127.0.0.1", port: int = 0, quiet: bool = True
+) -> Tuple[ServeHTTPServer, threading.Thread]:
+    """Start a server thread for *service*; returns ``(server, thread)``.
+
+    ``port=0`` binds an OS-assigned free port (read it back from
+    ``server.server_address``).  The thread is a daemon and serves until
+    ``server.shutdown()``; callers own both shutdown and
+    ``service.close()``.
+    """
+    server = ServeHTTPServer((host, port), service, quiet=quiet)
+    thread = threading.Thread(
+        target=server.serve_forever, name="repro-serve-http", daemon=True
+    )
+    thread.start()
+    return server, thread

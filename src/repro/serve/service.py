@@ -1,0 +1,195 @@
+"""The query service: snapshots + answer cache + coalescer behind one facade.
+
+This is the in-process engine the HTTP front end wraps — and because it *is*
+just an object, the benchmarks and tests drive the full serving stack
+(coalescing, caching, rotation) without a socket in sight.
+
+The composition contract, end to end:
+
+1. A client calls :meth:`QueryService.query` with its terms.  Terms are
+   canonicalised (numpy integers become plain ``int``) so cache keys are
+   stable across callers.
+2. The request joins the coalescer's current tick; one resolver call per
+   query method answers the tick's deduplicated term union.
+3. The resolver takes a **snapshot lease** for the whole tick, consults the
+   answer cache under the leased snapshot's id, sends only the misses to
+   ``query_terms_batch``, and stores the fresh answers back under the same
+   id.  Every answer in the tick therefore describes one single snapshot.
+4. :meth:`QueryService.rotate` / :meth:`QueryService.swap` atomically flip
+   the active-snapshot pointer; the retire hook invalidates the retired
+   snapshot's cache entries, and in-flight ticks drain against the old
+   snapshot before it is dropped.
+
+:meth:`QueryService.query_direct` bypasses the coalescer *and* the cache —
+the per-request sequential serving baseline the serving benchmark gates
+against (it still leases, so rotation safety is identical).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.base import QueryResult, check_query_method
+from repro.core.rambo import Rambo
+from repro.core.serialization import describe_index
+from repro.serve.cache import DEFAULT_CACHE_SIZE, AnswerCache
+from repro.serve.coalescer import DEFAULT_TICK_SECONDS, RequestCoalescer, ServedBatch
+from repro.serve.snapshot import Snapshot, SnapshotManager
+
+PathLike = Union[str, Path]
+
+
+def canonical_term(term: Hashable) -> Hashable:
+    """Cache-key form of a term: numpy integers collapse to plain ``int``.
+
+    ``np.uint64(7)``, ``np.int64(7)`` and ``7`` must be one cache entry and
+    one dedup slot — they hash identically but callers mix them freely
+    (k-mer extraction yields numpy scalars, JSON yields ints).
+    """
+    if isinstance(term, np.integer):
+        return int(term)
+    return term
+
+
+class QueryService:
+    """A long-lived, rotation-safe, coalescing front end over one index.
+
+    Parameters
+    ----------
+    index:
+        The initially served :class:`Rambo` (in-memory or mmap-opened).
+    path:
+        Optional provenance of *index* for stats output.
+    cache_size:
+        Answer-cache capacity in entries (``0`` disables caching).
+    tick_seconds:
+        The coalescer's accumulation window.
+    """
+
+    def __init__(
+        self,
+        index: Rambo,
+        path: Optional[PathLike] = None,
+        *,
+        cache_size: int = DEFAULT_CACHE_SIZE,
+        tick_seconds: float = DEFAULT_TICK_SECONDS,
+    ) -> None:
+        self.snapshots = SnapshotManager(index, path)
+        self.cache = AnswerCache(cache_size)
+        self.snapshots.on_retire(
+            lambda snapshot: self.cache.invalidate_snapshot(snapshot.snapshot_id)
+        )
+        self.coalescer = RequestCoalescer(self._resolve, tick_seconds=tick_seconds)
+        self._closed = False
+
+    @classmethod
+    def open(cls, path: PathLike, mode: str = "r", **kwargs) -> "QueryService":
+        """Serve the index file at *path* (v1 or mmap, auto-detected)."""
+        from repro.core.serialization import open_index
+
+        return cls(open_index(path, mode=mode), path, **kwargs)
+
+    # -- the resolver (ticker thread only) ----------------------------------------------
+
+    def _resolve(
+        self, method: str, terms: List[Hashable]
+    ) -> Tuple[int, Dict[Hashable, QueryResult]]:
+        """Answer one tick's deduplicated terms against a single snapshot.
+
+        The lease spans cache lookup *and* batch query, so the cache id and
+        the probed index cannot belong to different generations even if a
+        swap lands mid-tick.
+        """
+        with self.snapshots.lease() as snapshot:
+            assert snapshot.index is not None
+            answers, missing = self.cache.lookup(snapshot.snapshot_id, method, terms)
+            if missing:
+                fresh = snapshot.index.query_terms_batch(missing, method=method)
+                self.cache.put_many(
+                    snapshot.snapshot_id, method, list(zip(missing, fresh))
+                )
+                answers.update(zip(missing, fresh))
+            return snapshot.snapshot_id, answers
+
+    # -- client API ---------------------------------------------------------------------
+
+    def query(
+        self,
+        terms: Sequence[Hashable],
+        method: str = "full",
+        timeout: Optional[float] = None,
+    ) -> ServedBatch:
+        """Coalesced, cached, per-term answers for *terms* (the serving path).
+
+        Bit-identical — documents and probe counts — to calling
+        ``query_terms_batch(terms, method=method)`` on the snapshot named by
+        the returned batch's ``snapshot_id``.  Blocks for at most one tick
+        plus the batch evaluation; *timeout* bounds the wait.
+        """
+        check_query_method(method)
+        return self.coalescer.submit(
+            [canonical_term(term) for term in terms], method, timeout=timeout
+        )
+
+    def query_direct(self, terms: Sequence[Hashable], method: str = "full") -> ServedBatch:
+        """Uncoalesced, uncached per-request serving (the baseline path).
+
+        One ``query_terms_batch`` call per request, no sharing between
+        clients — what a naive server does.  Kept first-class because the
+        serving benchmark gates the coalesced path's throughput against it,
+        and because single-client offline tooling may prefer its zero-tick
+        latency.  Rotation safety is unchanged: the request leases one
+        snapshot for its whole evaluation.
+        """
+        check_query_method(method)
+        with self.snapshots.lease() as snapshot:
+            assert snapshot.index is not None
+            results = snapshot.index.query_terms_batch(list(terms), method=method)
+            return ServedBatch(snapshot.snapshot_id, results)
+
+    # -- rotation -----------------------------------------------------------------------
+
+    def swap(self, index: Rambo, path: Optional[PathLike] = None) -> Snapshot:
+        """Atomically serve *index* from now on (see :meth:`SnapshotManager.swap`)."""
+        return self.snapshots.swap(index, path)
+
+    def rotate(self, path: PathLike, mode: str = "r") -> Snapshot:
+        """Open the index file at *path* and swap it in atomically."""
+        return self.snapshots.rotate_from(path, mode=mode)
+
+    # -- observability / lifecycle ------------------------------------------------------
+
+    def stats(self, fill: bool = False) -> Dict:
+        """JSON-ready service state: snapshots, cache, coalescer, index.
+
+        The index description comes from the same
+        :func:`repro.core.serialization.describe_index` code path as
+        ``repro-rambo info --json``, so on-disk tooling and the live
+        ``/stats`` endpoint report identical schemas.  ``fill`` forwards to
+        ``describe_index`` (fill statistics scan the whole payload, so they
+        default off for a serving endpoint).
+        """
+        with self.snapshots.lease() as snapshot:
+            assert snapshot.index is not None
+            index_record = describe_index(snapshot.index, snapshot.path, fill=fill)
+        return {
+            "snapshots": self.snapshots.stats(),
+            "cache": self.cache.stats(),
+            "coalescer": self.coalescer.stats(),
+            "index": index_record,
+        }
+
+    def close(self) -> None:
+        """Shut the coalescer down; later queries raise ``ServiceClosed``."""
+        if not self._closed:
+            self._closed = True
+            self.coalescer.close()
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

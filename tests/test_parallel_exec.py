@@ -362,3 +362,60 @@ class TestParallelBuildIdentity:
             obs_results = fingerprint(observed.query_terms_batch(query_terms))
         ref_results = fingerprint(reference.query_terms_batch(query_terms))
         assert obs_results == ref_results
+
+
+# -- the term-shard floor tunable ----------------------------------------------------
+
+
+class TestMinTermsPerShard:
+    """The 64-terms-per-shard floor is tunable; tuning it never changes answers."""
+
+    @pytest.fixture(autouse=True)
+    def _clean_min_terms_state(self, monkeypatch):
+        monkeypatch.delenv(executor.MIN_TERMS_ENV_VAR, raising=False)
+        executor.set_min_terms_per_shard(None)
+        yield
+        executor.set_min_terms_per_shard(None)
+
+    def test_default_is_64(self):
+        assert executor.get_min_terms_per_shard() == executor.DEFAULT_MIN_TERMS_PER_SHARD == 64
+
+    def test_env_variable_respected(self, monkeypatch):
+        monkeypatch.setenv(executor.MIN_TERMS_ENV_VAR, "16")
+        assert executor.get_min_terms_per_shard() == 16
+
+    def test_override_beats_env(self, monkeypatch):
+        monkeypatch.setenv(executor.MIN_TERMS_ENV_VAR, "16")
+        executor.set_min_terms_per_shard(128)
+        assert executor.get_min_terms_per_shard() == 128
+
+    @pytest.mark.parametrize("value", ["zero", "0", "-8", "1.5"])
+    def test_malformed_env_rejected(self, monkeypatch, value):
+        monkeypatch.setenv(executor.MIN_TERMS_ENV_VAR, value)
+        with pytest.raises(ValueError):
+            executor.get_min_terms_per_shard()
+
+    @pytest.mark.parametrize("value", [0, -1, "four"])
+    def test_invalid_override_rejected(self, value):
+        with pytest.raises(ValueError):
+            executor.set_min_terms_per_shard(value)
+
+    def test_context_manager_restores_previous(self):
+        executor.set_min_terms_per_shard(32)
+        with executor.min_terms_per_shard(8):
+            assert executor.get_min_terms_per_shard() == 8
+        assert executor.get_min_terms_per_shard() == 32
+
+    def test_floor_feeds_shard_ranges(self):
+        # A floor of 100 over 150 terms permits at most one shard of >= 100.
+        with executor.min_terms_per_shard(100):
+            floor = executor.get_min_terms_per_shard()
+        assert shard_ranges(150, 8, floor) == [(0, 150)]
+
+    @pytest.mark.parametrize("floor", [1, 8, 1000])
+    def test_query_identity_across_floors(self, built_rambo, query_terms, floor):
+        """Sharding granularity changes scheduling, never answers."""
+        reference = fingerprint(built_rambo.query_terms_batch(query_terms))
+        with num_threads(4), executor.min_terms_per_shard(floor):
+            observed = fingerprint(built_rambo.query_terms_batch(query_terms))
+        assert observed == reference

@@ -1,0 +1,523 @@
+"""Tests for the serving layer: cache, snapshots, coalescer, service, HTTP.
+
+The load-bearing properties:
+
+* every served answer is bit-identical — documents *and* probe counts — to
+  a local ``query_terms_batch`` call against the snapshot that answered it;
+* the answer cache is a true LRU (capacity bound, recency-ordered
+  eviction) and rotation invalidates exactly the retired snapshot's
+  entries;
+* rotation is atomic: queries racing a ``swap`` each match one of the two
+  snapshots' reference answers in full, never a mix, and none are dropped.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.base import QueryResult
+from repro.core.rambo import Rambo, RamboConfig
+from repro.core.serialization import describe_index, save_index
+from repro.kmers.extraction import KmerDocument
+from repro.serve import (
+    AnswerCache,
+    QueryService,
+    ServeClient,
+    ServeClientError,
+    ServiceClosed,
+    SnapshotManager,
+    canonical_term,
+    start_http_server,
+)
+
+CONFIG = RamboConfig(num_partitions=6, repetitions=3, bfu_bits=1 << 13, k=7, seed=9)
+
+#: The shared query pool: in-range terms (hits), boundary terms, misses.
+TERM_POOL = [int(t) for t in range(0, 140, 3)]
+
+
+def _build_index(num_docs: int = 10, offset: int = 0) -> Rambo:
+    """A small index over overlapping integer term ranges (deterministic)."""
+    index = Rambo(CONFIG)
+    index.add_documents(
+        [
+            KmerDocument(
+                name=f"doc{i}",
+                terms=np.arange(offset + i * 10, offset + i * 10 + 25, dtype=np.uint64),
+            )
+            for i in range(num_docs)
+        ]
+    )
+    return index
+
+
+def _reference(index: Rambo, terms, method: str = "full"):
+    """Per-term reference answers straight from the batch engine."""
+    return index.query_terms_batch(list(terms), method=method)
+
+
+def _identical(served: QueryResult, expected: QueryResult) -> bool:
+    """Bit-identity check: same doc ids, same probe accounting."""
+    return (
+        np.array_equal(served.doc_ids, expected.doc_ids)
+        and served.filters_probed == expected.filters_probed
+    )
+
+
+@pytest.fixture()
+def index() -> Rambo:
+    return _build_index()
+
+
+@pytest.fixture()
+def service(index) -> QueryService:
+    svc = QueryService(index, tick_seconds=0.001)
+    yield svc
+    svc.close()
+
+
+def _result(*doc_ids: int) -> QueryResult:
+    return QueryResult.from_ids(
+        np.asarray(doc_ids, dtype=np.int64), [f"doc{i}" for i in range(10)]
+    )
+
+
+class TestAnswerCache:
+    def test_roundtrip_and_counters(self):
+        cache = AnswerCache(capacity=8)
+        assert cache.get(1, "full", 7) is None
+        cache.put(1, "full", 7, _result(0, 2))
+        hit = cache.get(1, "full", 7)
+        assert hit is not None and list(hit.doc_ids) == [0, 2]
+        stats = cache.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1 and stats["size"] == 1
+
+    def test_method_and_snapshot_partition_the_keyspace(self):
+        cache = AnswerCache(capacity=8)
+        cache.put(1, "full", 7, _result(0))
+        assert cache.get(1, "sparse", 7) is None
+        assert cache.get(2, "full", 7) is None
+        assert cache.get(1, "full", 7) is not None
+
+    def test_capacity_bound_and_lru_eviction_order(self):
+        cache = AnswerCache(capacity=3)
+        for term in ("a", "b", "c"):
+            cache.put(1, "full", term, _result(0))
+        # Touch "a": it becomes most-recent, so "b" is now the LRU victim.
+        assert cache.get(1, "full", "a") is not None
+        cache.put(1, "full", "d", _result(1))
+        assert len(cache) == 3
+        assert cache.get(1, "full", "b") is None
+        assert cache.get(1, "full", "a") is not None
+        assert cache.get(1, "full", "c") is not None
+        assert cache.get(1, "full", "d") is not None
+        assert cache.stats()["evictions"] == 1
+
+    def test_eviction_follows_use_order_not_insert_order(self):
+        cache = AnswerCache(capacity=2)
+        cache.put(1, "full", "x", _result(0))
+        cache.put(1, "full", "y", _result(1))
+        assert cache.get(1, "full", "x") is not None  # refresh x
+        cache.put(1, "full", "z", _result(2))         # evicts y, not x
+        assert cache.get(1, "full", "y") is None
+        assert cache.get(1, "full", "x") is not None
+
+    def test_invalidate_snapshot_is_selective(self):
+        cache = AnswerCache(capacity=16)
+        for term in range(4):
+            cache.put(1, "full", term, _result(0))
+            cache.put(2, "full", term, _result(1))
+        assert cache.invalidate_snapshot(1) == 4
+        assert len(cache) == 4
+        assert cache.stats()["invalidations"] == 4
+        assert cache.get(1, "full", 0) is None
+        assert cache.get(2, "full", 0) is not None
+
+    def test_zero_capacity_disables(self):
+        cache = AnswerCache(capacity=0)
+        cache.put(1, "full", 7, _result(0))
+        assert len(cache) == 0 and cache.get(1, "full", 7) is None
+
+    def test_lookup_splits_in_order(self):
+        cache = AnswerCache(capacity=8)
+        cache.put(1, "full", "b", _result(0))
+        answers, missing = cache.lookup(1, "full", ["a", "b", "c"])
+        assert list(answers) == ["b"] and missing == ["a", "c"]
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError, match="capacity"):
+            AnswerCache(capacity=-1)
+
+
+class TestSnapshotManager:
+    def test_initial_state(self, index):
+        manager = SnapshotManager(index)
+        assert manager.active.snapshot_id == 1
+        assert not manager.active.retired
+        stats = manager.stats()
+        assert stats["rotations"] == 0 and stats["draining"] == []
+
+    def test_lease_counts(self, index):
+        manager = SnapshotManager(index)
+        with manager.lease() as snapshot:
+            assert snapshot.leases == 1
+            with manager.lease() as inner:
+                assert inner is snapshot and snapshot.leases == 2
+        assert manager.active.leases == 0
+
+    def test_swap_retires_and_fires_callbacks(self, index):
+        manager = SnapshotManager(index)
+        retired, drained = [], []
+        manager.on_retire(lambda s: retired.append(s.snapshot_id))
+        manager.on_drained(lambda s: drained.append(s.snapshot_id))
+        new = manager.swap(_build_index(offset=500))
+        assert new.snapshot_id == 2 and manager.active is new
+        # No lease was held, so the old snapshot drains immediately.
+        assert retired == [1] and drained == [1]
+        assert manager.stats()["rotations"] == 1
+        assert manager.stats()["drained_total"] == 1
+
+    def test_leased_snapshot_drains_only_after_release(self, index):
+        manager = SnapshotManager(index)
+        drained = []
+        manager.on_drained(lambda s: drained.append(s.snapshot_id))
+        lease = manager.lease()
+        old = lease.__enter__()
+        manager.swap(_build_index(offset=500))
+        # Still leased: retired but alive, index intact for the in-flight query.
+        assert old.retired and not old.drained and old.index is not None
+        assert [s.snapshot_id for s in manager.retired_snapshots] == [1]
+        lease.__exit__(None, None, None)
+        assert old.drained and drained == [1] and old.index is None
+        assert manager.retired_snapshots == []
+
+    def test_rotate_from_bad_file_leaves_service_intact(self, index, tmp_path):
+        manager = SnapshotManager(index)
+        bad = tmp_path / "broken.rambo"
+        bad.write_bytes(b"not an index")
+        with pytest.raises(ValueError):
+            manager.rotate_from(bad)
+        assert manager.active.snapshot_id == 1
+
+    def test_open_from_path(self, index, tmp_path):
+        path = tmp_path / "served.rambo2"
+        save_index(index, path, format="mmap")
+        manager = SnapshotManager.open(path)
+        assert manager.active.index.is_mapped
+        assert manager.active.path == str(path)
+
+
+class TestQueryService:
+    @pytest.mark.parametrize("method", ["full", "sparse"])
+    def test_served_answers_bit_identical(self, service, index, method):
+        batch = service.query(TERM_POOL, method=method)
+        expected = _reference(index, TERM_POOL, method=method)
+        assert len(batch) == len(expected)
+        assert all(_identical(got, want) for got, want in zip(batch, expected))
+        assert batch.snapshot_id == 1
+
+    def test_cache_hits_stay_identical(self, service, index):
+        first = service.query(TERM_POOL)
+        again = service.query(TERM_POOL)
+        stats = service.cache.stats()
+        assert stats["hits"] >= len(TERM_POOL)
+        expected = _reference(index, TERM_POOL)
+        assert all(_identical(got, want) for got, want in zip(again, expected))
+        assert all(_identical(got, want) for got, want in zip(first, expected))
+
+    def test_query_direct_matches_coalesced(self, service, index):
+        direct = service.query_direct(TERM_POOL, method="sparse")
+        expected = _reference(index, TERM_POOL, method="sparse")
+        assert all(_identical(got, want) for got, want in zip(direct, expected))
+        # The baseline path must not touch the cache.
+        assert service.cache.stats()["size"] == 0
+
+    def test_canonical_term_unifies_numpy_and_python_ints(self, service):
+        assert canonical_term(np.uint64(42)) == 42
+        assert type(canonical_term(np.uint64(42))) is int
+        service.query([np.uint64(42)])
+        service.query([42])
+        assert service.cache.stats()["size"] == 1
+
+    def test_concurrent_clients_each_get_their_own_answers(self, service, index):
+        expected = {t: r for t, r in zip(TERM_POOL, _reference(index, TERM_POOL))}
+        errors = []
+
+        def client(seed: int) -> None:
+            rng = np.random.default_rng(seed)
+            for _ in range(15):
+                terms = [TERM_POOL[i] for i in rng.integers(0, len(TERM_POOL), size=6)]
+                batch = service.query(terms, timeout=30)
+                if not all(
+                    _identical(got, expected[t]) for t, got in zip(terms, batch)
+                ):
+                    errors.append(terms)
+
+        threads = [threading.Thread(target=client, args=(s,)) for s in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        stats = service.coalescer.stats()
+        assert stats["requests"] == 8 * 15
+        # Coalescing must actually deduplicate: fewer terms resolved than submitted.
+        assert stats["terms_resolved"] < stats["terms_submitted"]
+
+    def test_unknown_method_raises_in_caller(self, service):
+        with pytest.raises(ValueError, match="unknown query method"):
+            service.query([1], method="banana")
+
+    def test_closed_service_rejects_queries(self, index):
+        svc = QueryService(index, tick_seconds=0.0)
+        svc.close()
+        with pytest.raises(ServiceClosed):
+            svc.query([1])
+        svc.close()  # idempotent
+
+    def test_stats_shares_describe_index_schema(self, service, index):
+        stats = service.stats()
+        assert set(stats) == {"snapshots", "cache", "coalescer", "index"}
+        reference = describe_index(index, None, fill=False)
+        assert stats["index"] == reference
+        assert stats["snapshots"]["active"]["snapshot_id"] == 1
+
+    def test_context_manager_closes(self, index):
+        with QueryService(index, tick_seconds=0.0) as svc:
+            svc.query([1])
+        with pytest.raises(ServiceClosed):
+            svc.query([1])
+
+
+class TestRotation:
+    def test_rotation_invalidates_old_cache_entries(self, service):
+        service.query(TERM_POOL)
+        assert service.cache.stats()["size"] > 0
+        service.swap(_build_index(offset=500))
+        assert service.cache.stats()["size"] == 0
+        assert service.cache.stats()["invalidations"] > 0
+
+    def test_answers_follow_the_new_snapshot(self, service):
+        before = service.query(TERM_POOL)
+        new_index = _build_index(offset=30)
+        service.swap(new_index)
+        after = service.query(TERM_POOL)
+        assert before.snapshot_id == 1 and after.snapshot_id == 2
+        expected = _reference(new_index, TERM_POOL)
+        assert all(_identical(got, want) for got, want in zip(after, expected))
+
+    def test_rotate_from_file(self, service, tmp_path):
+        new_index = _build_index(num_docs=6, offset=200)
+        path = tmp_path / "next.rambo2"
+        save_index(new_index, path, format="mmap")
+        snapshot = service.rotate(path)
+        assert snapshot.snapshot_id == 2 and snapshot.path == str(path)
+        batch = service.query(TERM_POOL[:10])
+        expected = _reference(new_index, TERM_POOL[:10])
+        assert all(_identical(got, want) for got, want in zip(batch, expected))
+
+    def test_concurrent_rotation_never_mixes_snapshots(self):
+        """Queries racing swap() match exactly one snapshot's answers in full.
+
+        Eight clients hammer the service while the main thread rotates the
+        snapshot mid-flight.  Every response must (a) arrive — zero drops —
+        and (b) be bit-identical to the reference answers of the snapshot it
+        claims to come from, which also proves no response mixes the two
+        generations.
+        """
+        index_a = _build_index()
+        index_b = _build_index(offset=7)  # overlapping but different answers
+        ref_a = {t: r for t, r in zip(TERM_POOL, _reference(index_a, TERM_POOL))}
+        ref_b = {t: r for t, r in zip(TERM_POOL, _reference(index_b, TERM_POOL))}
+        # The two generations must disagree somewhere or the test is vacuous.
+        assert any(not _identical(ref_a[t], ref_b[t]) for t in TERM_POOL)
+
+        service = QueryService(index_a, tick_seconds=0.0005)
+        requests_per_client, num_clients = 25, 8
+        failures = []
+        completed = []
+
+        def client(seed: int) -> None:
+            rng = np.random.default_rng(seed)
+            done = 0
+            for _ in range(requests_per_client):
+                terms = [TERM_POOL[i] for i in rng.integers(0, len(TERM_POOL), size=5)]
+                batch = service.query(terms, timeout=30)
+                reference = ref_a if batch.snapshot_id == 1 else ref_b
+                if not all(
+                    _identical(got, reference[t]) for t, got in zip(terms, batch)
+                ):
+                    failures.append((batch.snapshot_id, terms))
+                done += 1
+            completed.append(done)
+
+        threads = [threading.Thread(target=client, args=(s,)) for s in range(num_clients)]
+        try:
+            for thread in threads:
+                thread.start()
+            time.sleep(0.05)
+            swapped = service.swap(index_b)
+            assert swapped.snapshot_id == 2
+            for thread in threads:
+                thread.join()
+        finally:
+            service.close()
+        assert failures == []
+        # Zero dropped queries: every client completed every request.
+        assert completed == [requests_per_client] * num_clients
+        # The retired snapshot fully drained once the in-flight work finished.
+        assert service.snapshots.retired_snapshots == []
+        assert service.snapshots.stats()["drained_total"] == 1
+
+
+def _dna_index():
+    """An index whose terms come from real sequences, for normalisation tests."""
+    from repro.kmers.vectorized import extract_kmer_codes
+
+    sequences = {
+        "alpha": "ACGTACGTTTGACCA",
+        "beta": "TTGACCATGGACGTA",
+        "gamma": "CCCCGGGGAAAATTT",
+    }
+    index = Rambo(RamboConfig(num_partitions=4, repetitions=2, bfu_bits=1 << 12, k=7, seed=3))
+    index.add_documents(
+        [
+            KmerDocument(name=name, terms=extract_kmer_codes(seq, k=7))
+            for name, seq in sequences.items()
+        ]
+    )
+    return index, sequences
+
+
+class TestHTTPServer:
+    @pytest.fixture()
+    def running_server(self):
+        index, sequences = _dna_index()
+        service = QueryService(index, tick_seconds=0.001)
+        server, thread = start_http_server(service)
+        client = ServeClient(f"http://127.0.0.1:{server.server_address[1]}")
+        yield client, index, sequences, service
+        server.shutdown()
+        service.close()
+
+    def test_query_integer_terms_match_local_engine(self, running_server):
+        client, index, _, _ = running_server
+        codes = [int(c) for c in range(50, 60)]
+        response = client.query(codes)
+        expected = _reference(index, codes)
+        assert [entry["documents"] for entry in response["results"]] == [
+            sorted(want.documents) for want in expected
+        ]
+        assert [entry["filters_probed"] for entry in response["results"]] == [
+            want.filters_probed for want in expected
+        ]
+        assert response["snapshot_id"] == 1
+
+    def test_query_normalises_dna_strings_server_side(self, running_server):
+        client, index, sequences, _ = running_server
+        kmer = sequences["alpha"][:7]  # a 7-mer present in doc "alpha"
+        documents = client.query_documents([kmer])[0]
+        assert "alpha" in documents
+        from repro.kmers.extraction import normalise_query_term
+
+        expected = index.query_terms_batch([normalise_query_term(kmer, 7)])[0]
+        assert documents == sorted(expected.documents)
+
+    def test_direct_mode_matches_coalesced(self, running_server):
+        client, index, _, _ = running_server
+        codes = list(range(10, 20))
+        coalesced = client.query(codes)
+        direct = client.query(codes, coalesce=False)
+        assert coalesced["results"] == direct["results"]
+
+    def test_healthz_and_stats(self, running_server):
+        client, index, _, service = running_server
+        health = client.healthz()
+        assert health["ok"] and health["documents"] == index.num_documents
+        stats = client.stats()
+        assert stats["index"]["documents"] == index.num_documents
+        assert "fill_ratio" not in stats["index"]
+        assert client.stats(fill=True)["index"]["fill_ratio"]["max"] <= 1.0
+        # The HTTP stats record is the same schema the service reports.
+        assert set(stats) == set(service.stats())
+
+    def test_rotate_endpoint(self, running_server, tmp_path):
+        client, _, _, _ = running_server
+        replacement = _build_index(num_docs=4, offset=900)
+        path = tmp_path / "rotated.rambo2"
+        save_index(replacement, path, format="mmap")
+        response = client.rotate(str(path))
+        assert response["snapshot_id"] == 2
+        assert response["documents"] == 4
+        assert client.healthz()["snapshot_id"] == 2
+
+    def test_error_surfaces(self, running_server, tmp_path):
+        client, _, _, _ = running_server
+        with pytest.raises(ServeClientError) as excinfo:
+            client.query([])
+        assert excinfo.value.status == 400
+        with pytest.raises(ServeClientError) as excinfo:
+            client.query([1], method="banana")
+        assert excinfo.value.status == 400
+        with pytest.raises(ServeClientError) as excinfo:
+            client.rotate(str(tmp_path / "missing.rambo2"))
+        assert excinfo.value.status == 400
+        with pytest.raises(ServeClientError) as excinfo:
+            client._request("/nope")
+        assert excinfo.value.status == 404
+
+
+class TestCLI:
+    def test_info_json_matches_describe_index(self, index, tmp_path, capsys):
+        from repro.cli import main
+        from repro.core.serialization import open_index
+
+        path = tmp_path / "cli.rambo2"
+        save_index(index, path, format="mmap")
+        assert main(["info", str(path), "--json"]) == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record == describe_index(open_index(path), path)
+        assert record["format"] == "mmap" and record["mapped"] is True
+
+    def test_query_server_flag(self, tmp_path, capsys):
+        from repro.cli import main
+
+        index, sequences = _dna_index()
+        service = QueryService(index, tick_seconds=0.001)
+        server, _thread = start_http_server(service)
+        url = f"http://127.0.0.1:{server.server_address[1]}"
+        try:
+            kmer = sequences["beta"][:7]
+            assert main(["query", "--server", url, kmer]) == 0
+            line = capsys.readouterr().out.strip()
+            term, matches, probes = line.split("\t")
+            assert term == kmer and "beta" in matches.split(",")
+            assert int(probes) > 0
+        finally:
+            server.shutdown()
+            service.close()
+
+    def test_query_server_rejects_sequences(self, capsys):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit, match="--sequence is not supported"):
+            main(["query", "--server", "http://127.0.0.1:1", "--sequence", "ACGT"])
+
+    def test_query_without_index_or_server_fails(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit, match="index file is required"):
+            main(["query"])
+
+    def test_serve_parser_validation(self, tmp_path):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit, match="--tick-ms"):
+            main(["serve", str(tmp_path / "x.rambo"), "--tick-ms", "-1"])
+        with pytest.raises(SystemExit, match="--cache-size"):
+            main(["serve", str(tmp_path / "x.rambo"), "--cache-size", "-1"])
