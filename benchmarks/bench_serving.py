@@ -23,6 +23,7 @@ that claim and the rotation-liveness property:
 from __future__ import annotations
 
 import threading
+import time
 
 import numpy as np
 import pytest
@@ -99,18 +100,27 @@ def _identical(got, want) -> bool:
 
 
 def _run_clients(service: QueryService, streams, query) -> tuple:
-    """Replay every client stream concurrently; returns (wall_s, responses).
+    """Replay every client stream concurrently; returns (wall_s, responses, latencies).
 
     ``responses`` collects ``(terms, batch)`` pairs so identity is verified
     *after* the timed region — the checks must not pollute the measurement.
+    ``latencies`` holds one per-request wall time (seconds) across all
+    clients, in no particular order — the tail-latency distribution the
+    percentile columns summarise.  The per-request clock reads are two
+    ``perf_counter`` calls against requests that take tens of microseconds
+    at minimum; the distortion is well under a percent.
     """
     responses = [[] for _ in streams]
+    latencies = [[] for _ in streams]
     errors = []
 
     def client(client_id: int) -> None:
         try:
             for terms in streams[client_id]:
-                responses[client_id].append((terms, query(terms)))
+                started = time.perf_counter()
+                batch = query(terms)
+                latencies[client_id].append(time.perf_counter() - started)
+                responses[client_id].append((terms, batch))
         except BaseException as exc:  # noqa: BLE001 - surfaced after join
             errors.append(exc)
 
@@ -125,7 +135,23 @@ def _run_clients(service: QueryService, streams, query) -> tuple:
             thread.join()
     if errors:
         raise errors[0]
-    return timer.wall_seconds, responses
+    flat = [latency for stream in latencies for latency in stream]
+    return timer.wall_seconds, responses, flat
+
+
+def latency_percentiles(latencies) -> dict:
+    """p50/p95/p99 of per-request latencies, in milliseconds.
+
+    Milliseconds because that is the natural unit of a serving SLO, and a
+    flat dict because ``scripts/bench_all.py`` flattens table columns into
+    the ``BENCH_results.json`` latency map.
+    """
+    p50, p95, p99 = np.percentile(latencies, [50, 95, 99])
+    return {
+        "p50_ms": float(p50) * 1e3,
+        "p95_ms": float(p95) * 1e3,
+        "p99_ms": float(p99) * 1e3,
+    }
 
 
 def _assert_identity(responses, reference) -> int:
@@ -150,18 +176,32 @@ def test_coalesced_vs_sequential_throughput(benchmark, serving_corpus):
 
     def measure():
         with QueryService(index, tick_seconds=TICK_SECONDS) as service:
-            sequential_s, sequential_responses = _run_clients(
+            sequential_s, sequential_responses, sequential_lat = _run_clients(
                 service, streams, lambda terms: service.query_direct(terms)
             )
-            coalesced_s, coalesced_responses = _run_clients(
+            coalesced_s, coalesced_responses, coalesced_lat = _run_clients(
                 service, streams, lambda terms: service.query(terms, timeout=120)
             )
             stats = service.stats()
-        return sequential_s, coalesced_s, sequential_responses, coalesced_responses, stats
+        return (
+            sequential_s,
+            coalesced_s,
+            sequential_responses,
+            coalesced_responses,
+            sequential_lat,
+            coalesced_lat,
+            stats,
+        )
 
-    sequential_s, coalesced_s, sequential_responses, coalesced_responses, stats = (
-        benchmark.pedantic(measure, rounds=1, iterations=1)
-    )
+    (
+        sequential_s,
+        coalesced_s,
+        sequential_responses,
+        coalesced_responses,
+        sequential_lat,
+        coalesced_lat,
+        stats,
+    ) = benchmark.pedantic(measure, rounds=1, iterations=1)
 
     # Identity is a correctness property: asserted in smoke mode too.
     assert _assert_identity(sequential_responses, reference["full"]) == total_requests
@@ -174,13 +214,18 @@ def test_coalesced_vs_sequential_throughput(benchmark, serving_corpus):
         f"query serving ({NUM_CLIENTS} clients x {REQUESTS_PER_CLIENT} requests "
         f"x {TERMS_PER_REQUEST} terms, pool {POOL_SIZE})",
         {
-            "sequential": {"qps": sequential_qps, "wall_s": sequential_s},
+            "sequential": {
+                "qps": sequential_qps,
+                "wall_s": sequential_s,
+                **latency_percentiles(sequential_lat),
+            },
             "coalesced": {
                 "qps": coalesced_qps,
                 "wall_s": coalesced_s,
                 "speedup": speedup,
                 "cache_hits": stats["cache"]["hits"],
                 "ticks": stats["coalescer"]["ticks"],
+                **latency_percentiles(coalesced_lat),
             },
         },
     )
@@ -232,13 +277,13 @@ def test_rotation_mid_benchmark_drops_zero_queries(benchmark, serving_corpus):
                         rotated.set()
                 return batch
 
-            wall_s, responses = _run_clients(service, streams, query)
+            wall_s, responses, lat = _run_clients(service, streams, query)
             rotated.set()  # smoke-mode safety: tiny runs may end before 1/3
             rotator.join()
             stats = service.stats()
-        return wall_s, responses, stats
+        return wall_s, responses, lat, stats
 
-    wall_s, responses, stats = benchmark.pedantic(measure, rounds=1, iterations=1)
+    wall_s, responses, lat, stats = benchmark.pedantic(measure, rounds=1, iterations=1)
 
     answered = _assert_identity(responses, reference["full"])
     assert answered == total_requests, (
@@ -254,6 +299,7 @@ def test_rotation_mid_benchmark_drops_zero_queries(benchmark, serving_corpus):
                 "qps": answered / max(wall_s, 1e-9),
                 "wall_s": wall_s,
                 "dropped": total_requests - answered,
+                **latency_percentiles(lat),
             }
         },
     )

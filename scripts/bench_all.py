@@ -41,6 +41,7 @@ DEFAULT_BENCHES = (
     "benchmarks/bench_mmap_serving.py",
     "benchmarks/bench_parallel_query.py",
     "benchmarks/bench_serving.py",
+    "benchmarks/bench_ingest.py",
 )
 
 
@@ -90,6 +91,17 @@ def flatten_speedups(results: List[Dict[str, object]]) -> Dict[str, float]:
 def flatten_throughput(results: List[Dict[str, object]]) -> Dict[str, float]:
     """Every ``qps`` column of every table (the serving benches), same keying."""
     return _flatten_column(results, "qps")
+
+
+def flatten_latency(results: List[Dict[str, object]]) -> Dict[str, float]:
+    """Every latency-percentile column (``p50_ms``/``p95_ms``/``p99_ms``),
+    keyed ``<table> / <method> / <percentile>`` — the serving tail-latency
+    trajectory, diffable across PRs like the speedup map."""
+    values: Dict[str, float] = {}
+    for column in ("p50_ms", "p95_ms", "p99_ms"):
+        for key, value in _flatten_column(results, column).items():
+            values[f"{key} / {column}"] = value
+    return values
 
 
 def _flatten_column(results: List[Dict[str, object]], column: str) -> Dict[str, float]:
@@ -142,12 +154,14 @@ def main(argv: List[str] | None = None) -> int:
         "benches": results,
         "speedups": flatten_speedups(results),
         "throughput": flatten_throughput(results),
+        "latency": flatten_latency(results),
     }
     out_path = Path(args.json)
     out_path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8")
     print(f"[bench_all] wrote {out_path} ({len(results)} benches, "
           f"{len(payload['speedups'])} speedup figures, "
-          f"{len(payload['throughput'])} throughput figures)")
+          f"{len(payload['throughput'])} throughput figures, "
+          f"{len(payload['latency'])} latency figures)")
     return 0 if all(result["passed"] for result in results) else 1
 
 

@@ -37,7 +37,7 @@ def popcount_words(words: np.ndarray) -> int:
     return int(_POPCOUNT_TABLE[words.view(np.uint8)].sum(dtype=np.int64))
 
 
-def probe_words_batch(words: np.ndarray, positions: np.ndarray) -> np.ndarray:
+def probe_words_batch(words, positions: np.ndarray) -> np.ndarray:
     """Batched multi-probe membership test over stacked bit-array payloads.
 
     Parameters
@@ -45,7 +45,13 @@ def probe_words_batch(words: np.ndarray, positions: np.ndarray) -> np.ndarray:
     words:
         ``(num_rows, num_words)`` ``uint64`` matrix — one bit-array payload
         per row, all sharing the same size (e.g. every BFU of one RAMBO
-        repetition, stacked).
+        repetition, stacked).  Alternatively a tuple/list of such matrices
+        with identical shapes: the planes are treated as the elementwise OR
+        of their words.  This is how the streaming-ingest overlay probes
+        ``base | delta`` without ever materialising the combined plane — the
+        OR happens on the gathered words of each probe, one extra gather+OR
+        per plane, and is exactly equivalent to probing the OR-merged index
+        (Bloom insertion is a pure OR-scatter).
     positions:
         ``(num_queries, num_probes)`` integer matrix of bit positions, one
         row of probe positions per query key.
@@ -58,18 +64,29 @@ def probe_words_batch(words: np.ndarray, positions: np.ndarray) -> np.ndarray:
     whole test is a handful of vectorised gathers, the "fast bitwise
     operations" the paper's query-time argument rests on.
     """
-    words = np.asarray(words)
+    if isinstance(words, (tuple, list)):
+        planes = [np.asarray(plane) for plane in words]
+        if not planes:
+            raise ValueError("words must contain at least one plane")
+    else:
+        planes = [np.asarray(words)]
     positions = np.asarray(positions)
     if positions.ndim != 2:
         raise ValueError(f"positions must be 2-D, got shape {positions.shape}")
-    if words.ndim != 2:
-        raise ValueError(f"words must be 2-D, got shape {words.shape}")
+    for plane in planes:
+        if plane.ndim != 2:
+            raise ValueError(f"words must be 2-D, got shape {plane.shape}")
+        if plane.shape != planes[0].shape:
+            raise ValueError(
+                f"all word planes must share one shape, got {plane.shape} "
+                f"vs {planes[0].shape}"
+            )
     if positions.shape[1] == 0:
         # A query with no probe positions is vacuously a member everywhere.
         # (A zero-width payload with real probe positions is NOT vacuous —
         # the gather below raises IndexError for it, like any out-of-range
         # position.)
-        return np.ones((positions.shape[0], words.shape[0]), dtype=bool)
+        return np.ones((positions.shape[0], planes[0].shape[0]), dtype=bool)
     if (positions < 0).any():
         # Negative fancy indices would silently wrap to the end of the
         # payload and return a bogus verdict.
@@ -78,9 +95,11 @@ def probe_words_batch(words: np.ndarray, positions: np.ndarray) -> np.ndarray:
     bit = (positions % _WORD_BITS).astype(np.uint64)           # (n, eta)
     # Reduce over the probe axis incrementally so the peak intermediate is
     # one (rows, n) gather per probe rather than a (rows, n, eta) cube.
-    hits = np.ones((words.shape[0], positions.shape[0]), dtype=bool)
+    hits = np.ones((planes[0].shape[0], positions.shape[0]), dtype=bool)
     for j in range(positions.shape[1]):
-        gathered = words[:, word_index[:, j]]                  # (rows, n)
+        gathered = planes[0][:, word_index[:, j]]              # (rows, n)
+        for extra in planes[1:]:
+            gathered = gathered | extra[:, word_index[:, j]]
         hits &= ((gathered >> bit[None, :, j]) & np.uint64(1)).astype(bool)
     return hits.T                                              # (n, rows)
 

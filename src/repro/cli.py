@@ -34,6 +34,13 @@ sequence files; this CLI mirrors that workflow on top of the library:
     Send the terms to a running ``serve`` process instead of opening an
     index file locally; output format is identical to the local path.
 
+``repro-rambo ingest``
+    Stream a directory of sequence files into a running ``serve --wal``
+    process: each batch is appended durably (WAL-fsynced before the
+    acknowledgement) and becomes queryable immediately via the delta
+    overlay; ``--compact`` folds the delta into a new snapshot generation
+    afterwards.
+
 The CLI is intentionally a thin shell over the public API so that every code
 path it exercises is also reachable (and tested) as a library call.
 """
@@ -295,11 +302,24 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         raise SystemExit(f"--tick-ms must be >= 0, got {args.tick_ms}")
     if args.cache_size < 0:
         raise SystemExit(f"--cache-size must be >= 0, got {args.cache_size}")
+    if args.compact_after < 0:
+        raise SystemExit(f"--compact-after must be >= 0, got {args.compact_after}")
     service = QueryService.open(
         args.index,
         cache_size=args.cache_size,
         tick_seconds=args.tick_ms / 1000.0,
     )
+    if args.wal:
+        # Streaming ingest: recover the WAL directory's state (replaying any
+        # appends a previous process acknowledged but never compacted) and
+        # expose POST /append and /compact.  Appends published after this
+        # line are durable before they are acknowledged.
+        from repro.ingest import IngestEngine
+
+        engine = IngestEngine(
+            service, args.wal, auto_compact_docs=args.compact_after
+        )
+        service.attach_ingest(engine)
     server, _thread = start_http_server(
         service, host=args.host, port=args.port, quiet=not args.verbose
     )
@@ -318,6 +338,64 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     finally:
         server.shutdown()
         service.close()
+    return 0
+
+
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    """Stream a directory of sequence files into a running ``serve --wal``."""
+    from repro.serve.client import ServeClient, ServeClientError
+
+    input_dir = Path(args.input_dir)
+    if not input_dir.is_dir():
+        raise SystemExit(f"input directory {input_dir} does not exist")
+    if args.batch_size < 1:
+        raise SystemExit(f"--batch-size must be >= 1, got {args.batch_size}")
+    paths = _document_paths(input_dir)
+    client = ServeClient(args.server)
+
+    def to_record(path: Path) -> dict:
+        # McCortex files already hold extracted k-mer codes, so they go up
+        # as ready term lists; FASTA/FASTQ go up as raw sequences and run
+        # through the *server's* extractor against the served index's k —
+        # the client never needs to know (or guess) k.
+        if path.suffix.lower() == ".mcc":
+            codes = read_mccortex(path).to_document().term_codes()
+            return {"name": path.stem, "terms": [int(code) for code in codes]}
+        reader = read_fastq if path.suffix.lower() in (".fastq", ".fq") else read_fasta
+        return {
+            "name": path.stem,
+            "sequences": [record.sequence for record in reader(path)],
+        }
+
+    sent = 0
+    with Timer() as timer:
+        for start in range(0, len(paths), args.batch_size):
+            batch = [to_record(path) for path in paths[start : start + args.batch_size]]
+            try:
+                ack = client.append(
+                    batch, canonical=args.canonical, min_count=args.min_kmer_count
+                )
+            except ServeClientError as exc:
+                raise SystemExit(f"append failed after {sent} documents: {exc}") from exc
+            sent += ack["appended"]
+            print(
+                f"appended {ack['appended']} documents "
+                f"(delta now {ack['delta_documents']}, WAL {human_bytes(ack['wal_bytes'])}, "
+                f"snapshot {ack['snapshot_id']})"
+            )
+    if args.compact:
+        try:
+            record = client.compact()
+        except ServeClientError as exc:
+            raise SystemExit(f"compaction failed: {exc}") from exc
+        if record.get("compacted"):
+            print(
+                f"compacted {record['documents_folded']} documents into generation "
+                f"{record['generation']} in {record['wall_seconds']:.2f}s"
+            )
+        else:
+            print("nothing to compact")
+    print(f"ingested {sent} documents from {input_dir} in {timer.wall_seconds:.2f}s")
     return 0
 
 
@@ -443,6 +521,18 @@ def build_parser() -> argparse.ArgumentParser:
              "opportunistic batching); co-tune with REPRO_MIN_TERMS_PER_SHARD",
     )
     serve.add_argument(
+        "--wal", metavar="DIR", default=None,
+        help="enable streaming ingest: write-ahead-log directory for POST "
+             "/append durability; replayed on startup (crash recovery) and "
+             "compacted into new snapshot generations",
+    )
+    serve.add_argument(
+        "--compact-after", type=int, default=1024, metavar="N",
+        help="with --wal: background-compact the delta into a new snapshot "
+             "once it holds N documents (default 1024; 0 = manual "
+             "compaction via POST /compact only)",
+    )
+    serve.add_argument(
         "--ready-file", metavar="PATH", default=None,
         help="write 'host port' to PATH once the socket is bound (supervisor/CI handshake)",
     )
@@ -455,6 +545,35 @@ def build_parser() -> argparse.ArgumentParser:
              "(default: REPRO_THREADS, else all cores)",
     )
     serve.set_defaults(func=_cmd_serve)
+
+    ingest = sub.add_parser(
+        "ingest", help="stream a directory of sequence files into a running serve --wal"
+    )
+    ingest.add_argument("input_dir", help="directory of .fasta/.fastq/.mcc files to append")
+    ingest.add_argument(
+        "--server", metavar="URL", required=True,
+        help="base URL of a 'repro-rambo serve --wal' process",
+    )
+    ingest.add_argument(
+        "--batch-size", type=int, default=64, metavar="N",
+        help="documents per append request — one WAL fsync (and one durable "
+             "acknowledgement) per batch (default 64)",
+    )
+    ingest.add_argument(
+        "--min-count", "--min-kmer-count", dest="min_kmer_count", type=int, default=1,
+        help="error-filter threshold applied server-side to FASTQ input "
+             "(default 1 = keep all)",
+    )
+    ingest.add_argument(
+        "--canonical", action="store_true",
+        help="extract canonical k-mers server-side (match an index built with --canonical)",
+    )
+    ingest.add_argument(
+        "--compact", action="store_true",
+        help="request a compaction (delta folded into a new snapshot "
+             "generation) after the last batch",
+    )
+    ingest.set_defaults(func=_cmd_ingest)
 
     fold = sub.add_parser("fold", help="fold an index over to shrink it")
     fold.add_argument("index", help="index file written by 'build'")

@@ -1,0 +1,38 @@
+"""Streaming ingest: durable writes into a serving index, always queryable.
+
+PRs 1–7 made the index fast to build, fast to query and rotatable while
+serving — but still build-then-frozen.  This package closes ROADMAP item 2:
+documents appended *while queries are in flight*, with the crash-safety of
+a write-ahead log and answers that stay bit-identical to a from-scratch
+build at every instant.  Three pieces, smallest first:
+
+* :mod:`repro.io.walformat` (lives beside the container format) — the
+  length+CRC framed, fsync-on-commit WAL segment; replay tolerates the
+  torn tail a crash mid-append leaves.
+* :class:`~repro.ingest.overlay.DeltaOverlayIndex` — an immutable query
+  view over (mmap base snapshot, in-memory delta RAMBO).  Probes gather
+  ``base_words | delta_words`` inside the batch kernel — one extra array OR
+  per term — which is *exactly* the combined index's bit plane, so every
+  query path (full, sparse, batch, conjunctive) returns documents **and
+  probe counts** bit-identical to a from-scratch build of the same
+  documents.  Asserted by the property harness, not assumed.
+* :class:`~repro.ingest.engine.IngestEngine` — the append/recover/compact
+  protocol: WAL fsync before acknowledgement, delta absorption via the
+  existing bulk ``add_documents`` path, overlay publication through the
+  serving :class:`~repro.serve.snapshot.SnapshotManager` (queries never
+  block, in-flight batches drain on their own generation), and a
+  :class:`~repro.ingest.engine.BackgroundCompactor` that folds the delta
+  into a fresh ``RAMBO2`` snapshot via ``merge_indexes``/``save_mmap``,
+  rotates it in, and truncates the WAL — crash-consistent at every step
+  via an atomically replaced manifest.
+"""
+
+from repro.ingest.engine import AppendResult, BackgroundCompactor, IngestEngine
+from repro.ingest.overlay import DeltaOverlayIndex
+
+__all__ = [
+    "AppendResult",
+    "BackgroundCompactor",
+    "DeltaOverlayIndex",
+    "IngestEngine",
+]

@@ -1,0 +1,463 @@
+"""The ingest engine: WAL-durable appends, recovery, background compaction.
+
+The append/compact/recover protocol, end to end (every step crash-safe):
+
+**Append** (:meth:`IngestEngine.append`) — under the ingest lock:
+
+1. validate the batch (duplicate names, bad term keys) *before* touching
+   any state;
+2. frame + fsync the batch into the current WAL segment — this is the
+   durability point; only now may the caller be acknowledged;
+3. absorb the batch into the in-memory delta via the stock
+   ``Rambo.add_documents`` bulk path;
+4. publish a fresh :class:`~repro.ingest.overlay.DeltaOverlayIndex` through
+   the service's :class:`~repro.serve.snapshot.SnapshotManager` — queries
+   never block on ingest (the lock covers writers only), and in-flight
+   query batches drain against the overlay generation they leased.
+
+**Compact** (:meth:`IngestEngine.compact`) — fold the delta into a new
+``RAMBO2`` snapshot without ever serving an inconsistent state:
+
+1. ``merge_indexes((base, delta))`` — a raw bit-plane OR plus re-based
+   bookkeeping, bit-identical to a from-scratch build;
+2. write the merged snapshot to ``snapshot-<gen>.rambo2`` via a temp file +
+   ``os.replace`` + directory fsync (the file is complete or absent);
+3. create the empty ``wal-<gen>.log`` segment (header fsynced);
+4. atomically replace ``MANIFEST.json`` naming the new generation — **the
+   commit point**: a crash before this recovers the old generation plus its
+   intact WAL; a crash after recovers the new one;
+5. rotate the new mmap-opened snapshot in as the serving base (in-flight
+   overlay queries drain on their old snapshot) and delete the previous
+   generation's WAL and snapshot files.
+
+**Recover** (construction) — read the manifest (or adopt generation 0 over
+the service's opened index), rotate to the manifest's snapshot if needed,
+replay the WAL segment tolerating a torn tail (truncated durably), rebuild
+the delta from the replayed documents, and republish the overlay.  Replay
+skips documents already present in the base, so the protocol is idempotent
+across the one crash window where a batch is durable but unacknowledged.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Union
+
+from repro.core.parallel import merge_indexes
+from repro.core.rambo import Rambo
+from repro.core.serialization import open_index, save_index
+from repro.ingest.overlay import DeltaOverlayIndex
+from repro.io.walformat import (
+    WalWriter,
+    _fsync_directory,
+    replay_wal,
+    truncate_torn_tail,
+)
+from repro.kmers.extraction import KmerDocument
+
+PathLike = Union[str, Path]
+
+MANIFEST_NAME = "MANIFEST.json"
+
+#: Default delta size (documents) at which the background compactor fires.
+DEFAULT_AUTO_COMPACT_DOCS = 1024
+
+
+@dataclass(frozen=True)
+class AppendResult:
+    """Acknowledgement of one durable append batch."""
+
+    appended: int
+    snapshot_id: int
+    delta_documents: int
+    wal_bytes: int
+
+
+class IngestEngine:
+    """Durable streaming writes into a :class:`~repro.serve.service.QueryService`.
+
+    Parameters
+    ----------
+    service:
+        The serving facade whose snapshot pointer this engine drives.  The
+        engine recovers against the service's currently served index (or
+        the newer snapshot its manifest names).
+    wal_dir:
+        Directory holding the WAL segments, compacted snapshots and the
+        manifest.  Created if absent.
+    auto_compact_docs:
+        Delta size (documents) at which the background compactor folds the
+        delta into a new snapshot; ``0`` disables the background thread
+        (compaction stays available via :meth:`compact`).
+    fsync:
+        Disable only in tests that measure the non-durability ceiling;
+        production appends must fsync before acknowledging.
+    """
+
+    def __init__(
+        self,
+        service,
+        wal_dir: PathLike,
+        *,
+        auto_compact_docs: int = 0,
+        fsync: bool = True,
+    ) -> None:
+        self.service = service
+        self.wal_dir = Path(wal_dir)
+        self.wal_dir.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.RLock()
+        self._fsync = fsync
+        self._closed = False
+        self.append_batches = 0
+        self.appended_documents = 0
+        self.compactions = 0
+        self.documents_compacted = 0
+        self.last_compaction_seconds = 0.0
+        self.replayed_documents = 0
+        self.replay_skipped = 0
+        self.torn_bytes_truncated = 0
+        self._recover()
+        self.compactor: Optional[BackgroundCompactor] = (
+            BackgroundCompactor(self, auto_compact_docs) if auto_compact_docs > 0 else None
+        )
+
+    # -- naming ------------------------------------------------------------------------
+
+    def _wal_name(self, generation: int) -> str:
+        return f"wal-{generation:06d}.log"
+
+    def _snapshot_name(self, generation: int) -> str:
+        return f"snapshot-{generation:06d}.rambo2"
+
+    @property
+    def manifest_path(self) -> Path:
+        return self.wal_dir / MANIFEST_NAME
+
+    # -- manifest (the compaction commit point) ----------------------------------------
+
+    def _read_manifest(self) -> Optional[Dict]:
+        if not self.manifest_path.exists():
+            return None
+        manifest = json.loads(self.manifest_path.read_text(encoding="utf-8"))
+        if manifest.get("version") != 1:
+            raise ValueError(
+                f"{self.manifest_path} has unsupported manifest version "
+                f"{manifest.get('version')!r}"
+            )
+        return manifest
+
+    def _write_manifest(
+        self, generation: int, snapshot: Optional[str], wal: str
+    ) -> None:
+        """Atomically replace the manifest (temp file + rename + dir fsync)."""
+        payload = {
+            "version": 1,
+            "generation": generation,
+            "snapshot": snapshot,
+            "wal": wal,
+            "config": self._base.config.to_dict(),
+        }
+        tmp = self.manifest_path.with_suffix(".tmp")
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.flush()
+            if self._fsync:
+                os.fsync(handle.fileno())
+        os.replace(tmp, self.manifest_path)
+        if self._fsync:
+            _fsync_directory(self.wal_dir)
+
+    # -- recovery ----------------------------------------------------------------------
+
+    def _recover(self) -> None:
+        active = self.service.snapshots.active
+        base = active.index
+        base_path = active.path
+        manifest = self._read_manifest()
+        if manifest is not None:
+            self.generation = int(manifest["generation"])
+            snapshot_name = manifest.get("snapshot")
+            if snapshot_name:
+                snapshot_path = self.wal_dir / snapshot_name
+                if base_path != str(snapshot_path):
+                    # The manifest names a newer compacted generation than
+                    # the index the server was started with: serve that one.
+                    rotated = self.service.rotate(str(snapshot_path))
+                    base, base_path = rotated.index, rotated.path
+            wal_name = manifest["wal"]
+        else:
+            self.generation = 0
+            wal_name = self._wal_name(0)
+        self._base = base
+        self._base_path = base_path
+        self._delta = Rambo(base.config)
+        wal_path = self.wal_dir / wal_name
+        if wal_path.exists():
+            replay = replay_wal(wal_path, expected_config=base.config)
+            self.torn_bytes_truncated = truncate_torn_tail(wal_path, replay)
+            # Idempotence across the durable-but-unacknowledged crash
+            # window: a record whose documents already made it into the
+            # base (compaction raced the crash) replays as a no-op.
+            fresh = [
+                doc for doc in replay.documents
+                if doc.name not in base._doc_ids  # noqa: SLF001
+            ]
+            self.replay_skipped = len(replay.documents) - len(fresh)
+            self.replayed_documents = len(fresh)
+            if fresh:
+                self._delta.add_documents(fresh)
+        self._wal = WalWriter(
+            wal_path, base.config, self.generation, fsync=self._fsync
+        )
+        if manifest is None:
+            self._write_manifest(self.generation, None, wal_name)
+        self._prune_stale_files()
+        if self._delta.num_documents:
+            self._publish_overlay()
+
+    def _prune_stale_files(self) -> None:
+        """Drop segment/snapshot files of other generations (crash debris).
+
+        Only files this engine's naming scheme produced are candidates; the
+        operator-supplied initial index lives outside ``wal_dir`` and is
+        never touched.
+        """
+        keep = {
+            self._wal_name(self.generation),
+            self._snapshot_name(self.generation),
+            MANIFEST_NAME,
+        }
+        for path in self.wal_dir.iterdir():
+            if path.name in keep:
+                continue
+            if (
+                (path.name.startswith("wal-") and path.suffix == ".log")
+                or (path.name.startswith("snapshot-") and path.suffix == ".rambo2")
+                or path.suffix == ".tmp"
+            ):
+                path.unlink(missing_ok=True)
+
+    # -- the write path ----------------------------------------------------------------
+
+    def _publish_overlay(self):
+        """Swap a fresh overlay (or the bare base) into the serving pointer."""
+        if self._delta.num_documents:
+            index: Rambo = DeltaOverlayIndex(self._base, self._delta)
+        else:
+            index = self._base
+        return self.service.swap(index, self._base_path)
+
+    def append(self, documents: Iterable[KmerDocument]) -> AppendResult:
+        """Durably append *documents*; acknowledged only after the WAL fsync.
+
+        Raises :class:`ValueError` (duplicate name, invalid term key) before
+        any byte is written — a rejected batch leaves WAL, delta and the
+        served snapshot untouched.  Concurrent appends serialise on the
+        ingest lock; queries are unaffected (they lease snapshots).
+        """
+        docs = list(documents)
+        if not docs:
+            with self._lock:
+                return AppendResult(
+                    0,
+                    self.service.snapshots.active.snapshot_id,
+                    self._delta.num_documents,
+                    self._wal.size_bytes,
+                )
+        with self._lock:
+            if self._closed:
+                raise ValueError("ingest engine is closed")
+            batch_names = set()
+            for doc in docs:
+                if (
+                    doc.name in self._base._doc_ids  # noqa: SLF001
+                    or doc.name in self._delta._doc_ids  # noqa: SLF001
+                    or doc.name in batch_names
+                ):
+                    raise ValueError(f"document {doc.name!r} already indexed")
+                batch_names.add(doc.name)
+                if len(doc):
+                    doc.validated_hash_keys()
+            wal_bytes = self._wal.append(docs)  # durability point: fsynced
+            self._delta.add_documents(docs)
+            self.append_batches += 1
+            self.appended_documents += len(docs)
+            snapshot = self._publish_overlay()
+            result = AppendResult(
+                len(docs), snapshot.snapshot_id, self._delta.num_documents, wal_bytes
+            )
+        if self.compactor is not None:
+            self.compactor.maybe_trigger()
+        return result
+
+    @property
+    def delta_documents(self) -> int:
+        """Documents currently held by the delta (0 right after compaction)."""
+        return self._delta.num_documents
+
+    # -- compaction --------------------------------------------------------------------
+
+    def compact(self) -> Optional[Dict]:
+        """Fold the delta into a new snapshot generation; returns its stats.
+
+        No-op (returns ``None``) when the delta is empty.  Queries stay
+        answerable throughout: the serving pointer flips once, atomically,
+        from the old overlay to the new mmap-backed snapshot, and batches
+        in flight drain on whichever generation they leased.  Appends block
+        for the duration (they share the ingest lock) — durability first.
+        """
+        with self._lock:
+            if self._closed or not self._delta.num_documents:
+                return None
+            started = time.perf_counter()
+            generation = self.generation + 1
+            merged = merge_indexes((self._base, self._delta))
+            snapshot_name = self._snapshot_name(generation)
+            snapshot_path = self.wal_dir / snapshot_name
+            tmp = snapshot_path.with_suffix(".tmp")
+            save_index(merged, tmp, format="mmap")
+            if self._fsync:
+                with open(tmp, "rb") as handle:
+                    os.fsync(handle.fileno())
+            os.replace(tmp, snapshot_path)
+            if self._fsync:
+                _fsync_directory(self.wal_dir)
+            wal_name = self._wal_name(generation)
+            new_wal = WalWriter(
+                self.wal_dir / wal_name,
+                self._base.config,
+                generation,
+                fsync=self._fsync,
+            )
+            # The commit point: after this rename the new generation is the
+            # recovered state; before it, the old WAL still replays cleanly.
+            self._write_manifest(generation, snapshot_name, wal_name)
+            new_base = open_index(snapshot_path)
+            snapshot = self.service.swap(new_base, str(snapshot_path))
+            documents_folded = self._delta.num_documents
+            old_wal = self._wal
+            self.generation = generation
+            self._base = new_base
+            self._base_path = str(snapshot_path)
+            self._delta = Rambo(new_base.config)
+            self._wal = new_wal
+            old_wal.close()
+            self._prune_stale_files()
+            self.compactions += 1
+            self.documents_compacted += documents_folded
+            self.last_compaction_seconds = time.perf_counter() - started
+            return {
+                "generation": generation,
+                "snapshot_id": snapshot.snapshot_id,
+                "documents_folded": documents_folded,
+                "base_documents": new_base.num_documents,
+                "wall_seconds": self.last_compaction_seconds,
+                "snapshot_path": str(snapshot_path),
+            }
+
+    # -- observability / lifecycle -----------------------------------------------------
+
+    def stats(self) -> Dict:
+        """JSON-ready WAL/delta/compaction counters (the ``/stats`` block)."""
+        with self._lock:
+            return {
+                "generation": self.generation,
+                "wal": {
+                    "path": str(self._wal.path),
+                    "bytes": self._wal.size_bytes,
+                    "records_appended": self._wal.records_appended,
+                    "replayed_documents": self.replayed_documents,
+                    "replay_skipped": self.replay_skipped,
+                    "torn_bytes_truncated": self.torn_bytes_truncated,
+                },
+                "delta": {
+                    "documents": self._delta.num_documents,
+                    "size_bytes": self._delta.size_in_bytes(),
+                },
+                "appends": {
+                    "batches": self.append_batches,
+                    "documents": self.appended_documents,
+                },
+                "compaction": {
+                    "count": self.compactions,
+                    "documents_compacted": self.documents_compacted,
+                    "last_wall_seconds": self.last_compaction_seconds,
+                    "auto_after_docs": (
+                        self.compactor.threshold_docs if self.compactor else 0
+                    ),
+                    "background_errors": (
+                        self.compactor.last_error if self.compactor else None
+                    ),
+                },
+            }
+
+    def close(self) -> None:
+        """Stop the background compactor and close the WAL segment."""
+        if self._closed:
+            return
+        if self.compactor is not None:
+            self.compactor.stop()
+        with self._lock:
+            self._closed = True
+            self._wal.close()
+
+    def __enter__(self) -> "IngestEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class BackgroundCompactor:
+    """A daemon thread folding the delta once it crosses a document threshold.
+
+    Deliberately event-driven rather than polling: :meth:`maybe_trigger`
+    (called by the engine after every acknowledged append) sets the event
+    when the delta has outgrown ``threshold_docs``, and the thread runs one
+    :meth:`IngestEngine.compact` per wake-up.  A compaction failure is
+    recorded in ``last_error`` and surfaced through ``/stats`` instead of
+    killing the thread — the WAL keeps every acknowledged write safe either
+    way.
+    """
+
+    def __init__(self, engine: IngestEngine, threshold_docs: int) -> None:
+        if threshold_docs <= 0:
+            raise ValueError(f"threshold_docs must be positive, got {threshold_docs}")
+        self.engine = engine
+        self.threshold_docs = threshold_docs
+        self.last_error: Optional[str] = None
+        self._wakeup = threading.Event()
+        self._stopping = False
+        self._thread = threading.Thread(
+            target=self._run, name="repro-ingest-compactor", daemon=True
+        )
+        self._thread.start()
+
+    def maybe_trigger(self) -> None:
+        if self.engine.delta_documents >= self.threshold_docs:
+            self._wakeup.set()
+
+    def trigger(self) -> None:
+        """Request a compaction regardless of the threshold."""
+        self._wakeup.set()
+
+    def _run(self) -> None:
+        while True:
+            self._wakeup.wait()
+            if self._stopping:
+                return
+            self._wakeup.clear()
+            try:
+                self.engine.compact()
+            except Exception as exc:  # noqa: BLE001 - surfaced via stats
+                self.last_error = repr(exc)
+
+    def stop(self) -> None:
+        self._stopping = True
+        self._wakeup.set()
+        self._thread.join(timeout=30.0)

@@ -1,0 +1,364 @@
+"""The write-ahead-log segment format (streaming-ingest durability).
+
+The serving story of :mod:`repro.serve` is read-only: an index is built,
+saved as a ``RAMBO2`` container, rotated in.  Streaming ingest
+(:mod:`repro.ingest`) accepts documents *while serving*, and its durability
+contract — an acknowledged append survives any crash — rests entirely on
+this module: every appended document batch is framed, checksummed and
+fsynced into a WAL segment **before** the in-memory delta index absorbs it.
+
+Byte-level layout (all integers little-endian), deliberately in the same
+family as :mod:`repro.io.diskformat`'s container::
+
+    offset      size        field
+    ------      ----        -----
+    0           7           magic  b"RWALOG\\n"
+    7           1           reserved (zero)
+    8           8           header length H (uint64)
+    16          H           JSON header (UTF-8)
+    16 + H      ...         records, back to back
+
+    record:
+    0           4           payload length N (uint32)
+    4           4           CRC32 of the payload (uint32)
+    8           N           payload
+
+    document payload:
+    0           2           name length L (uint16)
+    2           L           document name (UTF-8)
+    2 + L       1           term kind: 0 = uint64 k-mer codes, 1 = JSON terms
+    3 + L       4           term count (kind 0) / JSON byte length (kind 1)
+    7 + L       ...         kind 0: count little-endian uint64 words
+                            kind 1: JSON array of string terms (UTF-8)
+
+The header pins the :class:`~repro.core.rambo.RamboConfig` and the snapshot
+generation the segment extends, so replaying a segment against the wrong
+base index fails loudly instead of silently building a divergent delta.
+
+Crash semantics on replay (:func:`replay_wal`):
+
+* a record whose length prefix, checksum or payload framing is damaged —
+  the torn tail a crash mid-append leaves behind — ends the replay cleanly
+  at the last intact record; the valid prefix length comes back so the
+  engine can truncate the tail before appending again;
+* everything *before* the torn tail was fsynced and is replayed exactly;
+* a corrupt header (not a torn tail — the header is written and fsynced
+  before any append is acknowledged) raises :class:`WalFormatError`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.rambo import RamboConfig
+from repro.kmers.extraction import KmerDocument
+
+PathLike = Union[str, Path]
+
+#: Magic prefix of a WAL segment file.
+WAL_MAGIC = b"RWALOG\n"
+
+#: Segment format version written and accepted by this module.
+WAL_VERSION = 1
+
+#: Term payload kinds: integer k-mer codes vs JSON-encoded string terms.
+TERM_KIND_CODES = 0
+TERM_KIND_JSON = 1
+
+_PRELUDE = len(WAL_MAGIC) + 1 + 8  # magic + reserved byte + header length
+_RECORD_PREFIX = struct.Struct("<II")  # payload length, crc32
+
+
+class WalFormatError(ValueError):
+    """A WAL segment is malformed beyond torn-tail damage (bad magic,
+    version mismatch, or a header that disagrees with the engine's config).
+
+    Torn tails are *not* errors — :func:`replay_wal` reports them as data.
+    """
+
+
+def encode_document(document: KmerDocument) -> bytes:
+    """Frame one document as a WAL record payload (inverse of :func:`decode_document`).
+
+    Genomic documents travel as their raw ``uint64`` code array; string-term
+    documents (text corpora) fall back to a JSON term list.  Mixed term sets
+    use the JSON form too.
+    """
+    name_bytes = document.name.encode("utf-8")
+    if len(name_bytes) > 0xFFFF:
+        raise WalFormatError(f"document name too long for the WAL ({len(name_bytes)} bytes)")
+    codes = document.term_codes()
+    if codes is not None:
+        body = codes.astype("<u8", copy=False).tobytes()
+        kind, count = TERM_KIND_CODES, int(codes.size)
+    else:
+        body = json.dumps(sorted(document.terms), separators=(",", ":")).encode("utf-8")
+        kind, count = TERM_KIND_JSON, len(body)
+    return b"".join(
+        (
+            struct.pack("<H", len(name_bytes)),
+            name_bytes,
+            struct.pack("<BI", kind, count),
+            body,
+        )
+    )
+
+
+def decode_document(payload: bytes) -> KmerDocument:
+    """Rebuild a :class:`KmerDocument` from a record payload.
+
+    Raises :class:`WalFormatError` on any framing inconsistency — the replay
+    loop treats that exactly like a checksum failure (torn tail).
+    """
+    try:
+        (name_len,) = struct.unpack_from("<H", payload, 0)
+        name = payload[2 : 2 + name_len].decode("utf-8")
+        kind, count = struct.unpack_from("<BI", payload, 2 + name_len)
+        body = payload[7 + name_len :]
+        if kind == TERM_KIND_CODES:
+            if len(body) != count * 8:
+                raise WalFormatError(
+                    f"code body holds {len(body)} bytes, expected {count * 8}"
+                )
+            terms = np.frombuffer(body, dtype="<u8").astype(np.uint64)
+        elif kind == TERM_KIND_JSON:
+            if len(body) != count:
+                raise WalFormatError(
+                    f"JSON body holds {len(body)} bytes, expected {count}"
+                )
+            terms = frozenset(json.loads(body.decode("utf-8")))
+        else:
+            raise WalFormatError(f"unknown term kind {kind}")
+        return KmerDocument(name=name, terms=terms, source_format="wal")
+    except WalFormatError:
+        raise
+    except Exception as exc:  # noqa: BLE001 - any framing damage is one error class
+        raise WalFormatError(f"malformed WAL document payload: {exc}") from exc
+
+
+def _fsync_directory(path: Path) -> None:
+    """Durably record a directory entry (file creation / rename)."""
+    fd = os.open(str(path), os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def read_wal_header(path: PathLike) -> Tuple[Dict, int]:
+    """Read and validate a segment header; returns ``(header, records_offset)``.
+
+    Raises :class:`WalFormatError` on bad magic, version mismatch, or a
+    header that is itself truncated or unparsable (the header is fsynced at
+    segment creation, before any append — damage there is corruption, not a
+    crash artefact).
+    """
+    path = Path(path)
+    with open(path, "rb") as handle:
+        magic = handle.read(len(WAL_MAGIC))
+        if magic != WAL_MAGIC:
+            raise WalFormatError(f"{path} is not a WAL segment (bad magic {magic!r})")
+        handle.read(1)  # reserved
+        raw_len = handle.read(8)
+        if len(raw_len) != 8:
+            raise WalFormatError(f"{path} is truncated inside the segment prelude")
+        header_len = int.from_bytes(raw_len, "little")
+        raw_header = handle.read(header_len)
+        if len(raw_header) != header_len:
+            raise WalFormatError(f"{path} is truncated inside the segment header")
+        try:
+            header = json.loads(raw_header.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise WalFormatError(f"{path} has a corrupt WAL header") from exc
+    version = header.get("format_version")
+    if version != WAL_VERSION:
+        raise WalFormatError(
+            f"{path} has unsupported WAL version {version!r} "
+            f"(this reader understands version {WAL_VERSION})"
+        )
+    if "config" not in header or "generation" not in header:
+        raise WalFormatError(f"{path} WAL header is missing config/generation")
+    return header, _PRELUDE + header_len
+
+
+@dataclass
+class WalReplay:
+    """The outcome of replaying one segment (see :func:`replay_wal`).
+
+    ``valid_bytes`` is the length of the intact prefix — header plus every
+    record that decoded and checksummed cleanly; ``torn_bytes`` is whatever
+    trailing garbage a crash left after it (0 for a clean segment).
+    """
+
+    header: Dict
+    documents: List[KmerDocument] = field(default_factory=list)
+    records: int = 0
+    valid_bytes: int = 0
+    torn_bytes: int = 0
+    torn_reason: Optional[str] = None
+
+    @property
+    def generation(self) -> int:
+        return int(self.header["generation"])
+
+
+def replay_wal(path: PathLike, expected_config: Optional[RamboConfig] = None) -> WalReplay:
+    """Decode every intact record of a segment, tolerating a torn tail.
+
+    The replay walks records in order and stops at the first frame that is
+    short, fails its CRC32, or does not decode — everything from there on is
+    the un-acknowledged debris of a crash mid-append and is reported via
+    ``torn_bytes`` / ``torn_reason`` rather than raised.  With
+    *expected_config* the segment header's pinned config must match exactly
+    (:class:`WalFormatError` otherwise): replaying against a differently
+    seeded or shaped base would build a silently divergent delta.
+    """
+    path = Path(path)
+    header, offset = read_wal_header(path)
+    if expected_config is not None:
+        pinned = RamboConfig.from_dict(header["config"])
+        if pinned != expected_config:
+            raise WalFormatError(
+                f"{path} was written for config {pinned}, "
+                f"cannot replay against {expected_config}"
+            )
+    replay = WalReplay(header=header, valid_bytes=offset)
+    data = path.read_bytes()
+    cursor = offset
+    while cursor < len(data):
+        if cursor + _RECORD_PREFIX.size > len(data):
+            replay.torn_reason = "short record prefix"
+            break
+        length, crc = _RECORD_PREFIX.unpack_from(data, cursor)
+        body_start = cursor + _RECORD_PREFIX.size
+        if body_start + length > len(data):
+            replay.torn_reason = "record payload extends past EOF"
+            break
+        payload = data[body_start : body_start + length]
+        if zlib.crc32(payload) != crc:
+            replay.torn_reason = "payload checksum mismatch"
+            break
+        try:
+            document = decode_document(payload)
+        except WalFormatError as exc:
+            replay.torn_reason = f"undecodable payload: {exc}"
+            break
+        replay.documents.append(document)
+        replay.records += 1
+        cursor = body_start + length
+        replay.valid_bytes = cursor
+    replay.torn_bytes = len(data) - replay.valid_bytes
+    return replay
+
+
+def truncate_torn_tail(path: PathLike, replay: WalReplay) -> int:
+    """Cut a replayed segment back to its intact prefix; returns bytes dropped.
+
+    Idempotent and durable (ftruncate + fsync): after this the segment ends
+    exactly at the last acknowledged record, so the writer can append again
+    without interleaving new records with crash debris.
+    """
+    if replay.torn_bytes <= 0:
+        return 0
+    with open(path, "r+b") as handle:
+        handle.truncate(replay.valid_bytes)
+        handle.flush()
+        os.fsync(handle.fileno())
+    return replay.torn_bytes
+
+
+class WalWriter:
+    """Append-only writer over one WAL segment, fsyncing each committed batch.
+
+    Creating a writer for a fresh path writes and fsyncs the segment header
+    (and the directory entry) immediately — the segment is durable before
+    the first append.  Re-opening an existing segment validates its header
+    against *config*/*generation* and appends after the intact prefix; call
+    :func:`replay_wal` + :func:`truncate_torn_tail` first after a crash.
+
+    The durability contract of :meth:`append`: when it returns, every record
+    of the batch is on stable storage (``flush`` + ``os.fsync``).  Only then
+    may the engine acknowledge the write or mutate the in-memory delta.
+    """
+
+    def __init__(
+        self,
+        path: PathLike,
+        config: RamboConfig,
+        generation: int,
+        *,
+        fsync: bool = True,
+    ) -> None:
+        self.path = Path(path)
+        self.config = config
+        self.generation = int(generation)
+        self.fsync = fsync
+        self.records_appended = 0
+        if self.path.exists():
+            header, _ = read_wal_header(self.path)
+            pinned = RamboConfig.from_dict(header["config"])
+            if pinned != config or int(header["generation"]) != self.generation:
+                raise WalFormatError(
+                    f"{self.path} belongs to another index generation "
+                    f"(gen {header['generation']}, config {pinned})"
+                )
+            self._handle = open(self.path, "ab")
+        else:
+            header_bytes = json.dumps(
+                {
+                    "format_version": WAL_VERSION,
+                    "kind": "rambo-wal",
+                    "config": config.to_dict(),
+                    "generation": self.generation,
+                },
+                separators=(",", ":"),
+            ).encode("utf-8")
+            self._handle = open(self.path, "wb")
+            self._handle.write(WAL_MAGIC)
+            self._handle.write(b"\x00")
+            self._handle.write(len(header_bytes).to_bytes(8, "little"))
+            self._handle.write(header_bytes)
+            self._commit()
+            _fsync_directory(self.path.parent)
+
+    def _commit(self) -> None:
+        self._handle.flush()
+        if self.fsync:
+            os.fsync(self._handle.fileno())
+
+    @property
+    def size_bytes(self) -> int:
+        """Current segment length (committed bytes)."""
+        return self._handle.tell()
+
+    def append(self, documents: Sequence[KmerDocument]) -> int:
+        """Durably append a document batch; returns the new segment length.
+
+        One flush+fsync per batch, after the last record — the batch is the
+        commit unit, matching the engine's ack granularity.
+        """
+        for document in documents:
+            payload = encode_document(document)
+            self._handle.write(_RECORD_PREFIX.pack(len(payload), zlib.crc32(payload)))
+            self._handle.write(payload)
+        self._commit()
+        self.records_appended += len(documents)
+        return self._handle.tell()
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.close()
+
+    def __enter__(self) -> "WalWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

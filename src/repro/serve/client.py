@@ -63,6 +63,13 @@ class ServeClient:
             raise ServeClientError(message, status=exc.code) from exc
         except urllib.error.URLError as exc:
             raise ServeClientError(f"cannot reach {self.base_url}: {exc.reason}") from exc
+        except OSError as exc:
+            # A connection torn mid-exchange (e.g. the server was killed
+            # between accepting the request and writing the response) raises
+            # the raw socket error rather than URLError; callers get the one
+            # error type either way.  Crucially, the request's fate is then
+            # *unknown* — it may or may not have been applied server-side.
+            raise ServeClientError(f"connection to {self.base_url} failed: {exc}") from exc
 
     def query(
         self,
@@ -100,3 +107,29 @@ class ServeClient:
     def rotate(self, path: str, mode: str = "r") -> Dict:
         """Ask the server to swap in the index file at *path* atomically."""
         return self._request("/rotate", {"path": path, "mode": mode})
+
+    def append(
+        self,
+        documents: Sequence[Dict],
+        canonical: bool = False,
+        min_count: int = 1,
+    ) -> Dict:
+        """Durably append *documents* (see ``POST /append`` for the record schema).
+
+        Each record is ``{"name": ..., "terms": [...]}`` (ready codes or
+        k-length DNA strings) or ``{"name": ..., "sequences": [...]}`` (raw
+        reads, extracted server-side).  The returned acknowledgement means
+        the batch is fsynced into the server's WAL and already queryable.
+        """
+        return self._request(
+            "/append",
+            {
+                "documents": list(documents),
+                "canonical": canonical,
+                "min_count": min_count,
+            },
+        )
+
+    def compact(self) -> Dict:
+        """Fold the server's delta into a new snapshot generation."""
+        return self._request("/compact", {})

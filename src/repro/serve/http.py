@@ -26,6 +26,21 @@ The JSON surface:
     Body ``{"path": "...", "mode": "r"}``: open that index file and swap it
     in atomically.  In-flight queries drain against the old snapshot.
 
+``POST /append``
+    Body ``{"documents": [{"name": ..., "terms": [...]} |
+    {"name": ..., "sequences": [...]}], "canonical": bool, "min_count": n}``.
+    Streaming ingest (requires ``serve --wal``): each document is either a
+    ready term list (codes or k-length DNA strings, normalised like query
+    terms) or raw sequences run through the server-side k-mer extractor.
+    The batch is WAL-fsynced before the 200 — the response *is* the
+    durability acknowledgement.  Returns ``{"appended": n, "snapshot_id":
+    id, "delta_documents": n, "wal_bytes": n}``.
+
+``POST /compact``
+    No body required.  Folds the delta into a new snapshot generation and
+    truncates the WAL; returns the compaction record, or ``{"compacted":
+    false}`` when the delta is empty.
+
 Errors come back as ``{"error": msg}`` with 400 (bad request), 404 (unknown
 endpoint) or 500 (evaluation failure).
 """
@@ -37,7 +52,13 @@ import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, Optional, Tuple
 
-from repro.kmers.extraction import normalise_query_term
+import numpy as np
+
+from repro.kmers.extraction import (
+    KmerDocument,
+    document_from_sequences,
+    normalise_query_term,
+)
 from repro.serve.service import QueryService
 
 #: Request bodies above this size are rejected (64 MiB of JSON terms is a
@@ -115,11 +136,15 @@ class ServeRequestHandler(BaseHTTPRequestHandler):
             self._send_error_json(f"unknown endpoint {path!r}", 404)
 
     def do_POST(self) -> None:  # noqa: N802 - stdlib naming
-        """Dispatch ``POST /query`` and ``POST /rotate``."""
+        """Dispatch ``POST /query``, ``/rotate``, ``/append`` and ``/compact``."""
         if self.path == "/query":
             self._handle_query()
         elif self.path == "/rotate":
             self._handle_rotate()
+        elif self.path == "/append":
+            self._handle_append()
+        elif self.path == "/compact":
+            self._handle_compact()
         else:
             self._send_error_json(f"unknown endpoint {self.path!r}", 404)
 
@@ -164,6 +189,96 @@ class ServeRequestHandler(BaseHTTPRequestHandler):
                 ],
             }
         )
+
+    def _parse_append_document(self, record, k: int, canonical: bool, min_count: int):
+        """One JSON document record -> :class:`KmerDocument` (raises ValueError)."""
+        if not isinstance(record, dict):
+            raise ValueError("each document must be a JSON object")
+        name = record.get("name")
+        if not isinstance(name, str) or not name:
+            raise ValueError("document 'name' must be a non-empty string")
+        terms = record.get("terms")
+        sequences = record.get("sequences")
+        if (terms is None) == (sequences is None):
+            raise ValueError(
+                f"document {name!r} must carry exactly one of 'terms' or 'sequences'"
+            )
+        if sequences is not None:
+            if not isinstance(sequences, list) or not all(
+                isinstance(seq, str) for seq in sequences
+            ):
+                raise ValueError(f"document {name!r}: 'sequences' must be a list of strings")
+            return document_from_sequences(
+                name, sequences, k=k, canonical=canonical, min_count=min_count
+            )
+        if not isinstance(terms, list) or not terms:
+            raise ValueError(f"document {name!r}: 'terms' must be a non-empty list")
+        if not all(isinstance(term, (int, str)) for term in terms):
+            raise ValueError(f"document {name!r}: terms must be integers or strings")
+        normalised = [normalise_query_term(term, k, canonical=canonical) for term in terms]
+        if all(isinstance(term, (int, np.integer)) for term in normalised):
+            return KmerDocument(name, np.asarray(normalised, dtype=np.uint64))
+        return KmerDocument(name, frozenset(normalised), source_format="text")
+
+    def _handle_append(self) -> None:
+        service = self.server.service
+        if service.ingest is None:
+            self._send_error_json(
+                "streaming ingest is not enabled; restart the server with --wal", 400
+            )
+            return
+        payload = self._read_json_body()
+        if payload is None:
+            return
+        records = payload.get("documents")
+        if not isinstance(records, list) or not records:
+            self._send_error_json("'documents' must be a non-empty list", 400)
+            return
+        canonical = bool(payload.get("canonical", False))
+        min_count = int(payload.get("min_count", 1))
+        k = service.snapshots.active.index.k  # type: ignore[union-attr]
+        try:
+            documents = [
+                self._parse_append_document(record, k, canonical, min_count)
+                for record in records
+            ]
+            result = service.ingest.append(documents)
+        except ValueError as exc:
+            self._send_error_json(str(exc), 400)
+            return
+        except Exception as exc:  # noqa: BLE001 - surfaced as a 500, not a dead socket
+            self._send_error_json(f"append failed: {exc}", 500)
+            return
+        self._send_json(
+            {
+                "appended": result.appended,
+                "snapshot_id": result.snapshot_id,
+                "delta_documents": result.delta_documents,
+                "wal_bytes": result.wal_bytes,
+            }
+        )
+
+    def _handle_compact(self) -> None:
+        service = self.server.service
+        if service.ingest is None:
+            self._send_error_json(
+                "streaming ingest is not enabled; restart the server with --wal", 400
+            )
+            return
+        # /compact takes no parameters, so an empty body is legal; drain any
+        # body the client did send to keep the keep-alive connection clean.
+        length = int(self.headers.get("Content-Length", 0) or 0)
+        if length > 0:
+            self.rfile.read(min(length, MAX_BODY_BYTES))
+        try:
+            record = service.ingest.compact()
+        except Exception as exc:  # noqa: BLE001 - surfaced as a 500, not a dead socket
+            self._send_error_json(f"compaction failed: {exc}", 500)
+            return
+        if record is None:
+            self._send_json({"compacted": False})
+        else:
+            self._send_json({"compacted": True, **record})
 
     def _handle_rotate(self) -> None:
         payload = self._read_json_body()

@@ -83,6 +83,7 @@ class QueryService:
             lambda snapshot: self.cache.invalidate_snapshot(snapshot.snapshot_id)
         )
         self.coalescer = RequestCoalescer(self._resolve, tick_seconds=tick_seconds)
+        self.ingest = None
         self._closed = False
 
     @classmethod
@@ -160,6 +161,19 @@ class QueryService:
         """Open the index file at *path* and swap it in atomically."""
         return self.snapshots.rotate_from(path, mode=mode)
 
+    # -- streaming ingest ---------------------------------------------------------------
+
+    def attach_ingest(self, engine) -> None:
+        """Adopt an :class:`~repro.ingest.engine.IngestEngine` for this service.
+
+        Duck-typed (anything with ``stats()``/``close()``) to keep the serve
+        package import-independent of the ingest package.  The engine drives
+        this service's snapshot pointer; attaching it here makes its
+        counters part of :meth:`stats` and ties its shutdown to
+        :meth:`close`.
+        """
+        self.ingest = engine
+
     # -- observability / lifecycle ------------------------------------------------------
 
     def stats(self, fill: bool = False) -> Dict:
@@ -175,17 +189,22 @@ class QueryService:
         with self.snapshots.lease() as snapshot:
             assert snapshot.index is not None
             index_record = describe_index(snapshot.index, snapshot.path, fill=fill)
-        return {
+        record = {
             "snapshots": self.snapshots.stats(),
             "cache": self.cache.stats(),
             "coalescer": self.coalescer.stats(),
             "index": index_record,
         }
+        if self.ingest is not None:
+            record["ingest"] = self.ingest.stats()
+        return record
 
     def close(self) -> None:
-        """Shut the coalescer down; later queries raise ``ServiceClosed``."""
+        """Shut the ingest engine and coalescer down; later queries raise ``ServiceClosed``."""
         if not self._closed:
             self._closed = True
+            if self.ingest is not None:
+                self.ingest.close()
             self.coalescer.close()
 
     def __enter__(self) -> "QueryService":

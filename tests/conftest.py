@@ -14,6 +14,13 @@ from repro.core.rambo import Rambo, RamboConfig
 from repro.kmers.extraction import KmerDocument
 from repro.simulate.datasets import ENADatasetBuilder, SyntheticDataset, build_query_workload
 
+# Registering + loading the tiered Hypothesis profiles must happen at
+# collection time, before any @given test is defined, so the import lives
+# here rather than in a fixture.
+from hypothesis_profiles import load_active_profile
+
+load_active_profile()
+
 
 @pytest.fixture(scope="session")
 def small_dataset() -> SyntheticDataset:

@@ -1,0 +1,82 @@
+"""Tiered Hypothesis settings profiles, selected via ``REPRO_HYPOTHESIS_PROFILE``.
+
+One registry instead of per-test ``@settings(max_examples=...)`` literals
+scattered through the suite: every property test declares *which tier of
+scrutiny it needs* and the environment decides how hard that tier runs.
+
+The tiers:
+
+``determinism``
+    Cheap, pure-function bit-identity properties (vectorised kernel vs
+    scalar reference, shard-range tiling).  Each example costs microseconds,
+    so the budget is large — these are the tests where a rare input shape
+    (an aligned length, an all-ambiguous read) is the whole point.
+
+``standard``
+    The default for ordinary property tests: moderate example budget.
+
+``stateful``
+    :class:`hypothesis.stateful.RuleBasedStateMachine` runs, where one
+    "example" is a whole multi-rule interleaving that builds real indexes
+    and writes real WAL files.  Few examples, deeper steps, and the health
+    checks that misfire on expensive setup are suppressed.
+
+All tiers disable deadlines: the suite runs under thread-count and CI-load
+variation that makes per-example wall-clock limits pure flake.
+
+Select a profile per run with ``REPRO_HYPOTHESIS_PROFILE=<tier>`` — e.g. CI
+smoke can run everything at the ``stateful`` budget, a nightly fuzz at an
+inflated ``determinism`` budget — defaulting to each test's declared tier
+otherwise (the ``standard`` profile is loaded globally; individual tests
+opt into other tiers with the :func:`tier` decorator).
+"""
+
+from __future__ import annotations
+
+import os
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "determinism",
+    max_examples=300,
+    deadline=None,
+)
+
+settings.register_profile(
+    "standard",
+    max_examples=100,
+    deadline=None,
+)
+
+settings.register_profile(
+    "stateful",
+    max_examples=25,
+    stateful_step_count=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+def tier(name: str) -> settings:
+    """The settings instance registered for tier *name* (usable as a decorator).
+
+    ``@tier("determinism")`` on a ``@given`` test replaces an inline
+    ``@settings(max_examples=..., deadline=None)`` literal, and
+    ``tier("stateful")`` decorates a state-machine class.  Raises
+    ``KeyError`` for unregistered names — a typo'd tier should fail
+    loudly, not silently run at defaults.
+    """
+    return settings.get_profile(name)
+
+
+def load_active_profile() -> str:
+    """Load the globally active profile; returns its name.
+
+    The environment variable overrides everything — when set, *every*
+    test's tier decorator still applies, but the global default (tests
+    with bare ``@given``) follows the variable.
+    """
+    name = os.environ.get("REPRO_HYPOTHESIS_PROFILE", "standard")
+    settings.load_profile(name)
+    return name

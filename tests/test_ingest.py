@@ -1,0 +1,566 @@
+"""Streaming ingest: WAL format, delta overlay identity, engine crash-consistency.
+
+The heart of this file is one claim, asserted three ways with increasing
+generality:
+
+    At every instant — after any interleaving of appends, crashes
+    (torn WAL tails), restarts and compactions — the served answers are
+    bit-identical (documents AND probe counts) to a from-scratch build
+    of exactly the acknowledged documents.
+
+1. ``TestDeltaOverlayIdentity`` proves the query-view half on random
+   base/delta splits, including deliberately saturated filters where the
+   naive OR-of-results construction would diverge.
+2. ``TestIngestEngine`` proves the durability half on targeted crash
+   scenarios (torn tails, duplicate replay, restart onto a compacted
+   generation).
+3. ``IngestConsistencyMachine`` lets Hypothesis drive arbitrary
+   interleavings of all of the above and re-checks the identity after
+   every single rule.
+"""
+
+from __future__ import annotations
+
+import shutil
+import struct
+import tempfile
+import time
+import zlib
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from hypothesis_profiles import tier
+from repro.core.rambo import Rambo, RamboConfig
+from repro.core.serialization import save_index
+from repro.ingest import DeltaOverlayIndex, IngestEngine
+from repro.io.walformat import (
+    WalFormatError,
+    WalWriter,
+    decode_document,
+    encode_document,
+    read_wal_header,
+    replay_wal,
+    truncate_torn_tail,
+)
+from repro.kmers.extraction import KmerDocument
+from repro.serve.service import QueryService
+
+CONFIG = RamboConfig(num_partitions=4, repetitions=3, bfu_bits=1 << 10, k=9, seed=11)
+
+#: Small enough that BFUs saturate and false positives are common — the
+#: regime where a results-level OR of base and delta answers would diverge
+#: from the true combined index (mixed-bit false positives).
+TINY_CONFIG = RamboConfig(num_partitions=3, repetitions=2, bfu_bits=256, k=9, seed=11)
+
+TERM_UNIVERSE = 64
+
+
+def make_doc(name: str, terms) -> KmerDocument:
+    return KmerDocument(name, np.asarray(sorted(set(terms)), dtype=np.uint64))
+
+
+def build_reference(config: RamboConfig, documents) -> Rambo:
+    index = Rambo(config)
+    if documents:
+        index.add_documents(list(documents))
+    return index
+
+
+def fingerprint(index: Rambo, terms, method: str):
+    """(documents, filters_probed) per term — the full observable answer."""
+    return [
+        (sorted(result.documents), result.filters_probed)
+        for result in index.query_terms_batch(list(terms), method=method)
+    ]
+
+
+def assert_identical(served: Rambo, reference: Rambo, terms) -> None:
+    """Served answers must be *bit-identical* to the reference on every path."""
+    for method in ("full", "sparse"):
+        assert fingerprint(served, terms, method) == fingerprint(reference, terms, method)
+    probe = [term for term in terms if reference.query_term(term).documents][:3]
+    if probe:
+        got = served.query_terms(probe)
+        want = reference.query_terms(probe)
+        assert sorted(got.documents) == sorted(want.documents)
+        assert got.filters_probed == want.filters_probed
+
+
+# -- strategies ------------------------------------------------------------------------
+
+term_sets = st.lists(
+    st.integers(min_value=0, max_value=TERM_UNIVERSE - 1), min_size=1, max_size=10
+)
+doc_collections = st.lists(term_sets, min_size=1, max_size=12)
+
+
+class TestWalFormat:
+    def test_document_roundtrip_codes(self):
+        doc = make_doc("sample", [3, 9, 4, 9, 2**40])
+        back = decode_document(encode_document(doc))
+        assert back.name == doc.name
+        assert np.array_equal(back.term_codes(), doc.term_codes())
+
+    def test_document_roundtrip_string_terms(self):
+        doc = KmerDocument("textdoc", frozenset({"alpha", "beta"}))
+        back = decode_document(encode_document(doc))
+        assert back.name == "textdoc"
+        assert back.terms == doc.terms
+
+    def test_writer_then_replay(self, tmp_path):
+        path = tmp_path / "seg.log"
+        docs = [make_doc(f"d{i}", [i, i + 1, i + 7]) for i in range(5)]
+        with WalWriter(path, CONFIG, generation=0) as writer:
+            writer.append(docs[:2])
+            writer.append(docs[2:])
+            assert writer.records_appended == 5
+        replay = replay_wal(path, expected_config=CONFIG)
+        assert replay.records == 5
+        assert replay.torn_bytes == 0 and replay.torn_reason is None
+        assert replay.generation == 0
+        assert [d.name for d in replay.documents] == [d.name for d in docs]
+        header, offset = read_wal_header(path)
+        assert header["kind"] == "rambo-wal"
+        assert replay.valid_bytes == path.stat().st_size
+
+    def test_header_pins_config(self, tmp_path):
+        path = tmp_path / "seg.log"
+        WalWriter(path, CONFIG, generation=0).close()
+        other = RamboConfig(num_partitions=8, repetitions=2, bfu_bits=1 << 10, k=9, seed=99)
+        with pytest.raises(WalFormatError, match="cannot replay against"):
+            replay_wal(path, expected_config=other)
+
+    def test_reopen_validates_generation_and_config(self, tmp_path):
+        path = tmp_path / "seg.log"
+        WalWriter(path, CONFIG, generation=2).close()
+        # Matching reopen appends after the existing content.
+        with WalWriter(path, CONFIG, generation=2) as writer:
+            writer.append([make_doc("x", [1])])
+        assert replay_wal(path).records == 1
+        with pytest.raises(WalFormatError, match="another index generation"):
+            WalWriter(path, CONFIG, generation=3)
+
+    def test_bad_magic_raises(self, tmp_path):
+        path = tmp_path / "seg.log"
+        path.write_bytes(b"NOTAWAL\n" + b"\x00" * 32)
+        with pytest.raises(WalFormatError, match="bad magic"):
+            replay_wal(path)
+
+    @given(cut=st.integers(min_value=1, max_value=10_000))
+    @tier("standard")
+    def test_torn_tail_at_any_byte_keeps_the_acked_prefix(self, cut):
+        """Cutting anywhere inside the last record loses exactly that record."""
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / "seg.log"
+            acked = [make_doc(f"d{i}", [i, i + 3]) for i in range(3)]
+            unacked = make_doc("torn", [40, 41, 42])
+            with WalWriter(path, CONFIG, generation=0) as writer:
+                writer.append(acked)
+                intact = writer.size_bytes
+                writer.append([unacked])
+                full = writer.size_bytes
+            # Truncate to a strict prefix of the final (un-acked) record.
+            keep = intact + cut % (full - intact)
+            with open(path, "r+b") as handle:
+                handle.truncate(keep)
+            replay = replay_wal(path, expected_config=CONFIG)
+            assert [d.name for d in replay.documents] == ["d0", "d1", "d2"]
+            assert replay.valid_bytes == intact
+            assert replay.torn_bytes == keep - intact
+            if replay.torn_bytes:
+                assert replay.torn_reason is not None
+            dropped = truncate_torn_tail(path, replay)
+            assert dropped == keep - intact
+            assert path.stat().st_size == intact
+            # Idempotent: a second replay is clean and truncation is a no-op.
+            again = replay_wal(path)
+            assert again.torn_bytes == 0 and again.records == 3
+            assert truncate_torn_tail(path, again) == 0
+
+    def test_checksum_damage_ends_replay_at_the_damage(self, tmp_path):
+        path = tmp_path / "seg.log"
+        with WalWriter(path, CONFIG, generation=0) as writer:
+            writer.append([make_doc("ok", [1, 2])])
+            intact = writer.size_bytes
+            writer.append([make_doc("bad", [3, 4])])
+        data = bytearray(path.read_bytes())
+        data[-1] ^= 0xFF  # flip a payload byte of the second record
+        path.write_bytes(bytes(data))
+        replay = replay_wal(path)
+        assert [d.name for d in replay.documents] == ["ok"]
+        assert replay.torn_reason == "payload checksum mismatch"
+        assert replay.valid_bytes == intact
+
+
+class TestDeltaOverlayIdentity:
+    """Overlay answers == from-scratch build of base-then-delta, always."""
+
+    @given(docs=doc_collections, split=st.integers(min_value=0, max_value=100))
+    @tier("standard")
+    def test_bit_identical_to_rebuild(self, docs, split):
+        documents = [make_doc(f"d{i}", terms) for i, terms in enumerate(docs)]
+        cut = split % len(documents)  # delta gets at least one document
+        base = build_reference(TINY_CONFIG, documents[:cut])
+        delta = build_reference(TINY_CONFIG, documents[cut:])
+        overlay = DeltaOverlayIndex(base, delta)
+        reference = build_reference(TINY_CONFIG, documents)
+        assert overlay.num_documents == reference.num_documents
+        assert overlay.num_delta_documents == len(documents) - cut
+        assert_identical(overlay, reference, range(TERM_UNIVERSE))
+
+    def test_mixed_bit_false_positives_are_reproduced(self):
+        """The saturated regime: the overlay must reproduce even the combined
+        index's *false* positives — answers diverging from a results-level
+        OR of the two halves are precisely what bit-identity means."""
+        rng = np.random.default_rng(0)
+        documents = [
+            make_doc(f"d{i}", rng.integers(0, 4096, size=30)) for i in range(24)
+        ]
+        base = build_reference(TINY_CONFIG, documents[:12])
+        delta = build_reference(TINY_CONFIG, documents[12:])
+        overlay = DeltaOverlayIndex(base, delta)
+        reference = build_reference(TINY_CONFIG, documents)
+        terms = list(range(0, 4096, 7))
+        assert_identical(overlay, reference, terms)
+        # Sanity: this regime actually exercises combined-filter hits that
+        # neither half reports alone (otherwise the test proves nothing).
+        combined = {
+            term
+            for term, result in zip(
+                terms, reference.query_terms_batch(terms, method="full")
+            )
+            for _ in result.documents
+        }
+        assert combined, "term universe never hit the index; broken test setup"
+
+    def test_overlay_is_a_frozen_snapshot_of_the_delta(self):
+        base = build_reference(CONFIG, [make_doc("b0", [1, 2, 3])])
+        delta = build_reference(CONFIG, [make_doc("n0", [10, 11])])
+        overlay = DeltaOverlayIndex(base, delta)
+        before = fingerprint(overlay, range(TERM_UNIVERSE), "full")
+        delta.add_documents([make_doc("n1", [12, 13])])  # mutate AFTER capture
+        assert fingerprint(overlay, range(TERM_UNIVERSE), "full") == before
+        assert overlay.num_documents == 2
+
+    def test_overlay_rejects_mutation(self):
+        base = build_reference(CONFIG, [make_doc("b0", [1])])
+        delta = build_reference(CONFIG, [make_doc("n0", [2])])
+        overlay = DeltaOverlayIndex(base, delta)
+        assert overlay.readonly
+        with pytest.raises(ValueError, match="IngestEngine"):
+            overlay.add_documents([make_doc("z", [3])])
+        with pytest.raises(ValueError, match="compact"):
+            overlay.fold()
+        with pytest.raises(ValueError):
+            overlay.save_mmap("/dev/null")
+        with pytest.raises(ValueError):
+            overlay.bfu(0, 0)
+
+    def test_overlay_rejects_mismatched_parts(self):
+        base = build_reference(CONFIG, [make_doc("b0", [1])])
+        other = RamboConfig(num_partitions=8, repetitions=3, bfu_bits=1 << 10, k=9, seed=11)
+        with pytest.raises(ValueError, match="config"):
+            DeltaOverlayIndex(base, build_reference(other, [make_doc("n0", [2])]))
+        with pytest.raises(ValueError, match="re-indexes"):
+            DeltaOverlayIndex(base, build_reference(CONFIG, [make_doc("b0", [2])]))
+
+    def test_overlay_accounting(self):
+        base = build_reference(CONFIG, [make_doc("b0", [1, 2])])
+        delta = build_reference(CONFIG, [make_doc("n0", [3, 4])])
+        overlay = DeltaOverlayIndex(base, delta)
+        components = overlay.size_components()
+        assert components["bfus"] == (
+            base.size_components()["bfus"] + delta.size_components()["bfus"]
+        )
+        assert overlay.size_in_bytes() == sum(components.values())
+        ratios = overlay.fill_ratios()
+        assert len(ratios) == CONFIG.repetitions
+        assert all(0.0 <= ratio <= 1.0 for row in ratios for ratio in row)
+        assert "delta_documents=1" in repr(overlay)
+
+
+@pytest.fixture()
+def ingest_stack(tmp_path):
+    """A served mmap base plus an engine over a WAL dir; yields a handle."""
+
+    class Stack:
+        def __init__(self):
+            self.base_docs = [make_doc(f"base{i}", [i, i + 1, i + 2]) for i in range(6)]
+            base = build_reference(CONFIG, self.base_docs)
+            self.base_path = tmp_path / "base.rambo2"
+            save_index(base, self.base_path, format="mmap")
+            self.wal_dir = tmp_path / "wal"
+            self.service = None
+            self.engine = None
+            self.start()
+
+        def start(self, **engine_kwargs):
+            self.service = QueryService.open(self.base_path, tick_seconds=0.0)
+            self.engine = IngestEngine(self.service, self.wal_dir, **engine_kwargs)
+            self.service.attach_ingest(self.engine)
+            return self.engine
+
+        def stop(self):
+            if self.service is not None:
+                self.service.close()  # closes the attached engine too
+            self.service = self.engine = None
+
+        def restart(self, **engine_kwargs):
+            self.stop()
+            return self.start(**engine_kwargs)
+
+        def served_index(self) -> Rambo:
+            return self.service.snapshots.active.index
+
+    stack = Stack()
+    yield stack
+    stack.stop()
+
+
+class TestIngestEngine:
+    def test_append_is_queryable_and_identical(self, ingest_stack):
+        docs = [make_doc(f"n{i}", [20 + i, 30 + i]) for i in range(4)]
+        result = ingest_stack.engine.append(docs)
+        assert result.appended == 4 and result.delta_documents == 4
+        assert result.wal_bytes > 0
+        reference = build_reference(CONFIG, ingest_stack.base_docs + docs)
+        assert_identical(ingest_stack.served_index(), reference, range(TERM_UNIVERSE))
+
+    def test_append_validates_before_writing(self, ingest_stack):
+        engine = ingest_stack.engine
+        wal_before = engine.stats()["wal"]["bytes"]
+        with pytest.raises(ValueError, match="already indexed"):
+            engine.append([make_doc("base0", [1])])
+        with pytest.raises(ValueError, match="already indexed"):
+            engine.append([make_doc("dup", [1]), make_doc("dup", [2])])
+        # A rejected batch must leave no trace: no WAL bytes, no delta docs.
+        assert engine.stats()["wal"]["bytes"] == wal_before
+        assert engine.delta_documents == 0
+        assert engine.append([]).appended == 0
+
+    def test_recovery_replays_acknowledged_appends(self, ingest_stack):
+        docs = [make_doc(f"n{i}", [40 + i]) for i in range(3)]
+        ingest_stack.engine.append(docs)
+        engine = ingest_stack.restart()
+        assert engine.stats()["wal"]["replayed_documents"] == 3
+        reference = build_reference(CONFIG, ingest_stack.base_docs + docs)
+        assert_identical(ingest_stack.served_index(), reference, range(TERM_UNIVERSE))
+
+    def test_recovery_truncates_a_torn_tail(self, ingest_stack):
+        docs = [make_doc("n0", [50, 51])]
+        ingest_stack.engine.append(docs)
+        wal_path = Path(ingest_stack.engine.stats()["wal"]["path"])
+        ingest_stack.stop()
+        # A crash mid-append: a strict prefix of an un-acked record.
+        payload = encode_document(make_doc("torn", [60, 61]))
+        framed = struct.pack("<II", len(payload), zlib.crc32(payload)) + payload
+        with open(wal_path, "ab") as handle:
+            handle.write(framed[: len(framed) - 4])
+        engine = ingest_stack.start()
+        stats = engine.stats()["wal"]
+        assert stats["replayed_documents"] == 1
+        assert stats["torn_bytes_truncated"] == len(framed) - 4
+        reference = build_reference(CONFIG, ingest_stack.base_docs + docs)
+        assert_identical(ingest_stack.served_index(), reference, range(TERM_UNIVERSE))
+        # The WAL is clean again: appending after recovery works.
+        engine.append([make_doc("after", [70])])
+
+    def test_recovery_skips_documents_already_in_the_base(self, ingest_stack):
+        """At-least-once replay: a WAL record that also made it into the base
+        (the crash-during-compaction window) must not double-index."""
+        ingest_stack.stop()
+        with WalWriter(ingest_stack.wal_dir / "wal-000000.log", CONFIG, 0) as writer:
+            writer.append([make_doc("base0", [0, 1, 2]), make_doc("fresh", [55])])
+        engine = ingest_stack.start()
+        stats = engine.stats()["wal"]
+        assert stats["replayed_documents"] == 1
+        assert stats["replay_skipped"] == 1
+        reference = build_reference(
+            CONFIG, ingest_stack.base_docs + [make_doc("fresh", [55])]
+        )
+        assert_identical(ingest_stack.served_index(), reference, range(TERM_UNIVERSE))
+
+    def test_replay_against_wrong_config_fails_loudly(self, ingest_stack):
+        ingest_stack.stop()
+        other = RamboConfig(num_partitions=8, repetitions=2, bfu_bits=1 << 10, k=9, seed=3)
+        (ingest_stack.wal_dir / "wal-000000.log").unlink()
+        with WalWriter(ingest_stack.wal_dir / "wal-000000.log", other, 0) as writer:
+            writer.append([make_doc("x", [1])])
+        with pytest.raises(WalFormatError):
+            ingest_stack.start()
+        ingest_stack.service.close()
+        (ingest_stack.wal_dir / "wal-000000.log").unlink()
+
+    def test_compaction_folds_rotates_and_truncates(self, ingest_stack):
+        engine = ingest_stack.engine
+        docs = [make_doc(f"n{i}", [15 + i]) for i in range(5)]
+        engine.append(docs)
+        record = engine.compact()
+        assert record["documents_folded"] == 5
+        assert engine.compact() is None  # empty delta: nothing to do
+        assert engine.delta_documents == 0
+        assert engine.generation == 1
+        served = ingest_stack.served_index()
+        assert served.is_mapped and served.num_documents == 11
+        # The old generation's WAL is gone; the new segment starts empty.
+        assert not (ingest_stack.wal_dir / "wal-000000.log").exists()
+        assert replay_wal(ingest_stack.wal_dir / "wal-000001.log").records == 0
+        reference = build_reference(CONFIG, ingest_stack.base_docs + docs)
+        assert_identical(served, reference, range(TERM_UNIVERSE))
+
+    def test_restart_recovers_the_compacted_generation(self, ingest_stack):
+        first = [make_doc(f"n{i}", [15 + i]) for i in range(3)]
+        second = [make_doc(f"m{i}", [25 + i]) for i in range(2)]
+        ingest_stack.engine.append(first)
+        ingest_stack.engine.compact()
+        ingest_stack.engine.append(second)
+        engine = ingest_stack.restart()
+        assert engine.generation == 1
+        assert engine.stats()["wal"]["replayed_documents"] == 2
+        reference = build_reference(CONFIG, ingest_stack.base_docs + first + second)
+        assert_identical(ingest_stack.served_index(), reference, range(TERM_UNIVERSE))
+
+    def test_orphan_generation_files_are_pruned_on_recovery(self, ingest_stack):
+        """Crash debris from an unfinished compaction (files of a generation
+        the manifest never committed) disappears on restart."""
+        ingest_stack.engine.append([make_doc("n0", [33])])
+        ingest_stack.stop()
+        orphan_snap = ingest_stack.wal_dir / "snapshot-000001.rambo2"
+        orphan_wal = ingest_stack.wal_dir / "wal-000001.log"
+        orphan_tmp = ingest_stack.wal_dir / "snapshot-000001.tmp"
+        orphan_snap.write_bytes(b"half-written snapshot")
+        orphan_tmp.write_bytes(b"partial")
+        WalWriter(orphan_wal, CONFIG, 1).close()
+        ingest_stack.start()
+        assert not orphan_snap.exists()
+        assert not orphan_wal.exists()
+        assert not orphan_tmp.exists()
+        reference = build_reference(
+            CONFIG, ingest_stack.base_docs + [make_doc("n0", [33])]
+        )
+        assert_identical(ingest_stack.served_index(), reference, range(TERM_UNIVERSE))
+
+    def test_background_compactor_fires_at_threshold(self, ingest_stack):
+        engine = ingest_stack.restart(auto_compact_docs=3)
+        engine.append([make_doc(f"a{i}", [i]) for i in range(2)])
+        assert engine.compactions == 0  # below threshold
+        engine.append([make_doc(f"b{i}", [i + 8]) for i in range(2)])
+        deadline = time.monotonic() + 10.0
+        while engine.compactions == 0 and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert engine.compactions == 1
+        assert engine.delta_documents == 0
+        assert engine.stats()["compaction"]["auto_after_docs"] == 3
+        assert engine.stats()["compaction"]["background_errors"] is None
+
+    def test_queries_remain_consistent_across_a_swap(self, ingest_stack):
+        """A lease taken before an append answers against its own snapshot."""
+        service = ingest_stack.service
+        with service.snapshots.lease() as leased:
+            before = fingerprint(leased.index, range(TERM_UNIVERSE), "full")
+            ingest_stack.engine.append([make_doc("mid", [1, 2, 3])])
+            # The leased snapshot still answers exactly as before the append.
+            assert fingerprint(leased.index, range(TERM_UNIVERSE), "full") == before
+        assert service.query_direct([1], method="full").snapshot_id > leased.snapshot_id
+
+    def test_service_stats_embed_ingest_counters(self, ingest_stack):
+        ingest_stack.engine.append([make_doc("n0", [5])])
+        record = ingest_stack.service.stats()
+        assert record["ingest"]["delta"]["documents"] == 1
+        assert record["ingest"]["appends"] == {"batches": 1, "documents": 1}
+        assert record["ingest"]["generation"] == 0
+
+
+class IngestConsistencyMachine(RuleBasedStateMachine):
+    """Hypothesis drives append / crash-mid-append / recover / compact / restart.
+
+    The model is the list of *acknowledged* documents (base + every batch
+    whose ``append`` returned).  After every rule the served index must be
+    bit-identical — documents and probe counts, full and sparse — to a
+    from-scratch build of exactly that list.  Crashes are injected as a
+    strict prefix of an un-acknowledged record at the WAL tail: fsynced
+    acknowledged records can never be lost (that is the durability
+    contract), while an unacknowledged write may tear anywhere.
+    """
+
+    def __init__(self):
+        super().__init__()
+        self.tmp = Path(tempfile.mkdtemp(prefix="ingest-machine-"))
+        self.base_docs = [make_doc(f"base{i}", [i, i + 5]) for i in range(4)]
+        base = build_reference(CONFIG, self.base_docs)
+        self.base_path = self.tmp / "base.rambo2"
+        save_index(base, self.base_path, format="mmap")
+        self.wal_dir = self.tmp / "wal"
+        self.acked = list(self.base_docs)
+        self.counter = 0
+        self._open()
+
+    def _open(self):
+        self.service = QueryService.open(self.base_path, tick_seconds=0.0)
+        self.engine = IngestEngine(self.service, self.wal_dir)
+        self.service.attach_ingest(self.engine)
+
+    def _close(self):
+        self.service.close()
+
+    def _fresh_docs(self, term_lists):
+        docs = []
+        for terms in term_lists:
+            docs.append(make_doc(f"doc{self.counter:04d}", terms))
+            self.counter += 1
+        return docs
+
+    @rule(term_lists=st.lists(term_sets, min_size=1, max_size=3))
+    def append(self, term_lists):
+        docs = self._fresh_docs(term_lists)
+        result = self.engine.append(docs)
+        assert result.appended == len(docs)
+        self.acked.extend(docs)
+
+    @rule()
+    def compact(self):
+        record = self.engine.compact()
+        if record is not None:
+            assert record["base_documents"] == len(self.acked)
+        assert self.engine.delta_documents == 0
+
+    @rule()
+    def clean_restart(self):
+        self._close()
+        self._open()
+
+    @rule(terms=term_sets, cut=st.integers(min_value=1, max_value=10_000))
+    def crash_mid_append(self, terms, cut):
+        """Tear the WAL inside an un-acknowledged record, then recover."""
+        docs = self._fresh_docs([terms])  # never acknowledged, never modelled
+        payload = encode_document(docs[0])
+        framed = struct.pack("<II", len(payload), zlib.crc32(payload)) + payload
+        keep = 1 + cut % (len(framed) - 1)  # strict prefix: the record is lost
+        wal_path = Path(self.engine.stats()["wal"]["path"])
+        self._close()
+        with open(wal_path, "ab") as handle:
+            handle.write(framed[:keep])
+        self._open()
+        assert self.engine.stats()["wal"]["torn_bytes_truncated"] == keep
+
+    @invariant()
+    def served_equals_rebuild(self):
+        reference = build_reference(CONFIG, self.acked)
+        served = self.service.snapshots.active.index
+        assert served.num_documents == len(self.acked)
+        assert_identical(served, reference, range(TERM_UNIVERSE))
+
+    def teardown(self):
+        self._close()
+        shutil.rmtree(self.tmp, ignore_errors=True)
+
+
+IngestConsistencyMachine.TestCase.settings = tier("stateful")
+
+
+class TestIngestConsistencyStateful(IngestConsistencyMachine.TestCase):
+    """Run the crash/consistency machine under the ``stateful`` tier."""

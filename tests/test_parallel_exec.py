@@ -15,7 +15,9 @@ from __future__ import annotations
 import threading
 
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
+
+from hypothesis_profiles import tier
 
 from repro.baselines.cobs import CobsIndex
 from repro.core import executor
@@ -190,7 +192,7 @@ class TestShardRanges:
         num_shards=st.integers(min_value=1, max_value=64),
         min_per_shard=st.integers(min_value=1, max_value=256),
     )
-    @settings(max_examples=200, deadline=None)
+    @tier("determinism")
     def test_tiles_range_exactly(self, total, num_shards, min_per_shard):
         ranges = shard_ranges(total, num_shards, min_per_shard)
         if total == 0:

@@ -10,7 +10,9 @@ from __future__ import annotations
 
 import numpy as np
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
+
+from hypothesis_profiles import tier
 
 from repro.hashing.kmer_hash import (
     RollingKmerHasher,
@@ -59,7 +61,7 @@ class TestBitIdentity:
     """The kernel's defining contract: elementwise equal to the scalar path."""
 
     @given(messy_dna, any_k, st.booleans())
-    @settings(max_examples=200, deadline=None)
+    @tier("determinism")
     def test_matches_rolling_hasher(self, sequence, k, canonical):
         reference = RollingKmerHasher(k=k, canonical=canonical).kmers(sequence)
         codes = extract_kmer_codes(sequence, k, canonical=canonical)
@@ -67,7 +69,7 @@ class TestBitIdentity:
         assert codes.tolist() == reference
 
     @given(messy_dna, st.integers(min_value=1, max_value=8), st.booleans())
-    @settings(max_examples=60, deadline=None)
+    @tier("standard")
     def test_matches_extract_kmers_scalar(self, sequence, k, canonical):
         assert (
             extract_kmer_codes(sequence, k, canonical=canonical).tolist()
@@ -98,21 +100,21 @@ class TestBitIdentity:
 
 class TestVectorisedComplement:
     @given(st.lists(st.integers(min_value=0, max_value=2**62 - 1), max_size=40), any_k)
-    @settings(max_examples=100, deadline=None)
+    @tier("standard")
     def test_reverse_complement_elementwise(self, values, k):
         codes = np.asarray(values, dtype=np.uint64) & np.uint64((1 << (2 * k)) - 1)
         expected = [reverse_complement_int(int(code), k) for code in codes]
         assert reverse_complement_codes(codes, k).tolist() == expected
 
     @given(st.lists(st.integers(min_value=0, max_value=2**62 - 1), max_size=40), any_k)
-    @settings(max_examples=100, deadline=None)
+    @tier("standard")
     def test_canonical_elementwise(self, values, k):
         codes = np.asarray(values, dtype=np.uint64) & np.uint64((1 << (2 * k)) - 1)
         expected = [canonical_int(int(code), k) for code in codes]
         assert canonical_codes(codes, k).tolist() == expected
 
     @given(clean_dna.filter(bool), any_k)
-    @settings(max_examples=60, deadline=None)
+    @tier("standard")
     def test_revcomp_involution_on_arrays(self, sequence, k):
         codes = extract_kmer_codes(sequence, k)
         twice = reverse_complement_codes(reverse_complement_codes(codes, k), k)
@@ -123,7 +125,7 @@ class TestSortedUnique:
     """The explicit sort-based dedup must agree with np.unique exactly."""
 
     @given(st.lists(st.integers(min_value=0, max_value=2**64 - 1), max_size=200))
-    @settings(max_examples=100, deadline=None)
+    @tier("standard")
     def test_matches_np_unique(self, values):
         codes = np.asarray(values, dtype=np.uint64)
         result = sorted_unique(codes)
@@ -131,7 +133,7 @@ class TestSortedUnique:
         assert result.tolist() == np.unique(codes).tolist()
 
     @given(st.lists(st.integers(min_value=0, max_value=50), max_size=200))
-    @settings(max_examples=100, deadline=None)
+    @tier("standard")
     def test_counts_match_np_unique(self, values):
         codes = np.asarray(values, dtype=np.uint64)
         result, counts = sorted_unique_counts(codes)
@@ -159,7 +161,7 @@ class TestExtractCodesFromReads:
         st.integers(min_value=1, max_value=3),
         st.booleans(),
     )
-    @settings(max_examples=80, deadline=None)
+    @tier("standard")
     def test_matches_dict_counter_reference(self, reads, k, min_count, canonical):
         counts: dict = {}
         for read in reads:
