@@ -57,6 +57,7 @@ from repro.io.walformat import (
     _fsync_directory,
     replay_wal,
     truncate_torn_tail,
+    validate_document,
 )
 from repro.kmers.extraction import KmerDocument
 
@@ -202,11 +203,21 @@ class IngestEngine:
             self.torn_bytes_truncated = truncate_torn_tail(wal_path, replay)
             # Idempotence across the durable-but-unacknowledged crash
             # window: a record whose documents already made it into the
-            # base (compaction raced the crash) replays as a no-op.
-            fresh = [
-                doc for doc in replay.documents
-                if doc.name not in base._doc_ids  # noqa: SLF001
-            ]
+            # base (compaction raced the crash) replays as a no-op, and a
+            # name duplicated inside the segment itself (a client retrying
+            # an unacknowledged batch) keeps its first record only —
+            # recovery must never turn duplicate data into a startup
+            # failure.
+            fresh: List[KmerDocument] = []
+            replayed_names = set()
+            for doc in replay.documents:
+                if (
+                    doc.name in base._doc_ids  # noqa: SLF001
+                    or doc.name in replayed_names
+                ):
+                    continue
+                replayed_names.add(doc.name)
+                fresh.append(doc)
             self.replay_skipped = len(replay.documents) - len(fresh)
             self.replayed_documents = len(fresh)
             if fresh:
@@ -255,9 +266,10 @@ class IngestEngine:
     def append(self, documents: Iterable[KmerDocument]) -> AppendResult:
         """Durably append *documents*; acknowledged only after the WAL fsync.
 
-        Raises :class:`ValueError` (duplicate name, invalid term key) before
-        any byte is written — a rejected batch leaves WAL, delta and the
-        served snapshot untouched.  Concurrent appends serialise on the
+        Raises :class:`ValueError` (duplicate name, invalid term key, or a
+        document the WAL cannot frame — oversized name, unsupported term
+        type) before any byte is written — a rejected batch leaves WAL,
+        delta and the served snapshot untouched.  Concurrent appends serialise on the
         ingest lock; queries are unaffected (they lease snapshots).
         """
         docs = list(documents)
@@ -281,6 +293,7 @@ class IngestEngine:
                 ):
                     raise ValueError(f"document {doc.name!r} already indexed")
                 batch_names.add(doc.name)
+                validate_document(doc)  # WAL-encodable (name length, term types)
                 if len(doc):
                     doc.validated_hash_keys()
             wal_bytes = self._wal.append(docs)  # durability point: fsynced

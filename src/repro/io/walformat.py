@@ -85,6 +85,46 @@ class WalFormatError(ValueError):
     """
 
 
+def _json_terms(document: KmerDocument) -> List[Union[int, str]]:
+    """The document's terms as a deterministic JSON-encodable list.
+
+    Numpy integers are unwrapped to plain ints; the sort key is type-stable
+    (ints before strings, each compared within its own type) so a mixed
+    int/str term set — legal everywhere else in the stack — frames cleanly
+    instead of dying on an int-vs-str comparison.
+    """
+    plain: List[Union[int, str]] = []
+    for term in document.terms:
+        if isinstance(term, str):
+            plain.append(term)
+        elif isinstance(term, (int, np.integer)) and not isinstance(term, bool):
+            plain.append(int(term))
+        else:
+            raise WalFormatError(
+                f"document {document.name!r}: term {term!r} of type "
+                f"{type(term).__name__} is not WAL-encodable (int or str only)"
+            )
+    plain.sort(key=lambda t: (isinstance(t, str), t))
+    return plain
+
+
+def validate_document(document: KmerDocument) -> None:
+    """Raise :class:`WalFormatError` if *document* cannot be framed.
+
+    The engine runs this in its pre-write validation phase so a bad
+    document rejects the batch *before* any WAL bytes are buffered —
+    :meth:`WalWriter.append` must never discover an unencodable document
+    halfway through a batch.
+    """
+    name_bytes = document.name.encode("utf-8")
+    if len(name_bytes) > 0xFFFF:
+        raise WalFormatError(
+            f"document name too long for the WAL ({len(name_bytes)} bytes)"
+        )
+    if document.term_codes() is None:
+        _json_terms(document)
+
+
 def encode_document(document: KmerDocument) -> bytes:
     """Frame one document as a WAL record payload (inverse of :func:`decode_document`).
 
@@ -100,7 +140,7 @@ def encode_document(document: KmerDocument) -> bytes:
         body = codes.astype("<u8", copy=False).tobytes()
         kind, count = TERM_KIND_CODES, int(codes.size)
     else:
-        body = json.dumps(sorted(document.terms), separators=(",", ":")).encode("utf-8")
+        body = json.dumps(_json_terms(document), separators=(",", ":")).encode("utf-8")
         kind, count = TERM_KIND_JSON, len(body)
     return b"".join(
         (
@@ -343,13 +383,34 @@ class WalWriter:
         """Durably append a document batch; returns the new segment length.
 
         One flush+fsync per batch, after the last record — the batch is the
-        commit unit, matching the engine's ack granularity.
+        commit unit, matching the engine's ack granularity.  The whole batch
+        is encoded before any byte is buffered, and a write-path failure
+        truncates the segment back to its pre-batch length: a failed append
+        can never leave record bytes behind for a later commit to fsync as
+        if they had been acknowledged.
         """
-        for document in documents:
-            payload = encode_document(document)
-            self._handle.write(_RECORD_PREFIX.pack(len(payload), zlib.crc32(payload)))
-            self._handle.write(payload)
-        self._commit()
+        payloads = [encode_document(document) for document in documents]
+        start = self._handle.tell()
+        try:
+            for payload in payloads:
+                self._handle.write(
+                    _RECORD_PREFIX.pack(len(payload), zlib.crc32(payload))
+                )
+                self._handle.write(payload)
+            self._commit()
+        except Exception:
+            try:
+                # truncate() flushes any buffered partial batch first, then
+                # cuts the file back to the last committed record; the seek
+                # keeps size_bytes honest for the next append.
+                self._handle.truncate(start)
+                self._handle.seek(start)
+                self._commit()
+            except Exception:
+                # Rollback itself failed (dying disk): poison the handle so
+                # no later append can commit the orphaned bytes.
+                self._handle.close()
+            raise
         self.records_appended += len(documents)
         return self._handle.tell()
 

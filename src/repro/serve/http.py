@@ -95,6 +95,8 @@ class ServeRequestHandler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        if self.close_connection:
+            self.send_header("Connection", "close")
         self.end_headers()
         self.wfile.write(body)
 
@@ -104,6 +106,10 @@ class ServeRequestHandler(BaseHTTPRequestHandler):
     def _read_json_body(self) -> Optional[Dict]:
         length = int(self.headers.get("Content-Length", 0) or 0)
         if length <= 0 or length > MAX_BODY_BYTES:
+            # The body is rejected unread, so whatever the client sent is
+            # still on the socket: close the connection rather than let the
+            # next pipelined request parse from mid-body.
+            self.close_connection = True
             self._send_error_json(f"bad Content-Length {length}", 400)
             return None
         try:
@@ -235,7 +241,13 @@ class ServeRequestHandler(BaseHTTPRequestHandler):
             self._send_error_json("'documents' must be a non-empty list", 400)
             return
         canonical = bool(payload.get("canonical", False))
-        min_count = int(payload.get("min_count", 1))
+        try:
+            min_count = int(payload.get("min_count", 1))
+        except (TypeError, ValueError):
+            self._send_error_json(
+                f"'min_count' must be an integer, got {payload.get('min_count')!r}", 400
+            )
+            return
         k = service.snapshots.active.index.k  # type: ignore[union-attr]
         try:
             documents = [
@@ -265,11 +277,16 @@ class ServeRequestHandler(BaseHTTPRequestHandler):
                 "streaming ingest is not enabled; restart the server with --wal", 400
             )
             return
-        # /compact takes no parameters, so an empty body is legal; drain any
-        # body the client did send to keep the keep-alive connection clean.
-        length = int(self.headers.get("Content-Length", 0) or 0)
-        if length > 0:
-            self.rfile.read(min(length, MAX_BODY_BYTES))
+        # /compact takes no parameters, so an empty body is legal; drain
+        # whatever body the client did send — fully, however large — so no
+        # unread bytes corrupt the next pipelined request on this
+        # keep-alive connection.
+        remaining = int(self.headers.get("Content-Length", 0) or 0)
+        while remaining > 0:
+            chunk = self.rfile.read(min(remaining, 1 << 20))
+            if not chunk:
+                break
+            remaining -= len(chunk)
         try:
             record = service.ingest.compact()
         except Exception as exc:  # noqa: BLE001 - surfaced as a 500, not a dead socket

@@ -21,6 +21,8 @@ generality:
 
 from __future__ import annotations
 
+import http.client
+import json
 import shutil
 import struct
 import tempfile
@@ -45,8 +47,11 @@ from repro.io.walformat import (
     read_wal_header,
     replay_wal,
     truncate_torn_tail,
+    validate_document,
 )
 from repro.kmers.extraction import KmerDocument
+from repro.serve.client import ServeClient, ServeClientError
+from repro.serve.http import start_http_server
 from repro.serve.service import QueryService
 
 CONFIG = RamboConfig(num_partitions=4, repetitions=3, bfu_bits=1 << 10, k=9, seed=11)
@@ -110,6 +115,74 @@ class TestWalFormat:
         back = decode_document(encode_document(doc))
         assert back.name == "textdoc"
         assert back.terms == doc.terms
+
+    def test_document_roundtrip_mixed_term_types(self):
+        """Mixed int/str term sets (the HTTP /append normaliser produces
+        them) must frame via the JSON form, not die sorting int vs str."""
+        doc = KmerDocument(
+            "mixed", frozenset({123, "word", np.uint64(7), "aaa"}), source_format="text"
+        )
+        back = decode_document(encode_document(doc))
+        assert back.terms == frozenset({123, "word", 7, "aaa"})
+
+    def test_unencodable_term_type_rejected(self):
+        doc = KmerDocument("bad", frozenset({1.5}), source_format="text")
+        with pytest.raises(WalFormatError, match="not WAL-encodable"):
+            encode_document(doc)
+        with pytest.raises(WalFormatError, match="not WAL-encodable"):
+            validate_document(doc)
+        validate_document(KmerDocument("ok", frozenset({1, "x"})))
+
+    def test_failed_append_leaves_no_bytes_behind(self, tmp_path):
+        """An unencodable document anywhere in a batch must abort the append
+        before ANY record bytes are buffered — otherwise the next successful
+        append's fsync would commit records for unacknowledged documents."""
+        path = tmp_path / "seg.log"
+        bad = KmerDocument("n" * 0x10000, np.asarray([1], dtype=np.uint64))
+        with WalWriter(path, CONFIG, generation=0) as writer:
+            writer.append([make_doc("acked", [1, 2])])
+            size_before = writer.size_bytes
+            with pytest.raises(WalFormatError, match="name too long"):
+                writer.append([make_doc("good", [3]), bad])
+            assert writer.size_bytes == size_before
+            assert writer.records_appended == 1
+            writer.append([make_doc("after", [4])])
+        replay = replay_wal(path, expected_config=CONFIG)
+        assert [d.name for d in replay.documents] == ["acked", "after"]
+        assert replay.torn_bytes == 0
+
+    def test_write_failure_mid_batch_rolls_the_segment_back(self, tmp_path):
+        """An OS-level write failure mid-batch truncates back to the last
+        committed record instead of leaving orphaned bytes in the buffer."""
+
+        class FailingHandle:
+            def __init__(self, real, fail_after):
+                self._real = real
+                self._writes_left = fail_after
+
+            def write(self, data):
+                if self._writes_left <= 0:
+                    raise OSError("disk error injected by test")
+                self._writes_left -= 1
+                return self._real.write(data)
+
+            def __getattr__(self, name):
+                return getattr(self._real, name)
+
+        path = tmp_path / "seg.log"
+        with WalWriter(path, CONFIG, generation=0) as writer:
+            writer.append([make_doc("acked", [1, 2])])
+            size_before = writer.size_bytes
+            real_handle = writer._handle  # noqa: SLF001
+            writer._handle = FailingHandle(real_handle, fail_after=3)  # noqa: SLF001
+            with pytest.raises(OSError, match="disk error"):
+                writer.append([make_doc("b0", [3]), make_doc("b1", [4])])
+            writer._handle = real_handle  # noqa: SLF001
+            assert writer.size_bytes == size_before
+            writer.append([make_doc("after", [5])])
+        replay = replay_wal(path, expected_config=CONFIG)
+        assert [d.name for d in replay.documents] == ["acked", "after"]
+        assert replay.torn_bytes == 0
 
     def test_writer_then_replay(self, tmp_path):
         path = tmp_path / "seg.log"
@@ -342,6 +415,42 @@ class TestIngestEngine:
         assert engine.delta_documents == 0
         assert engine.append([]).appended == 0
 
+    def test_append_rejects_unencodable_documents_before_writing(self, ingest_stack):
+        """A document the WAL cannot frame — mid-batch — rejects the whole
+        batch with ValueError and leaves zero bytes and zero delta docs."""
+        engine = ingest_stack.engine
+        wal_before = engine.stats()["wal"]["bytes"]
+        long_name = KmerDocument("n" * 0x10000, np.asarray([1], dtype=np.uint64))
+        with pytest.raises(ValueError, match="name too long"):
+            engine.append([make_doc("good", [33]), long_name])
+        with pytest.raises(ValueError, match="not WAL-encodable"):
+            engine.append([KmerDocument("badterm", frozenset({1.5}))])
+        assert engine.stats()["wal"]["bytes"] == wal_before
+        assert engine.delta_documents == 0
+        # An append can be retried cleanly after a rejection, and recovery
+        # replays only acknowledged batches.
+        engine.append([make_doc("good", [33])])
+        engine = ingest_stack.restart()
+        assert engine.stats()["wal"]["replayed_documents"] == 1
+        reference = build_reference(
+            CONFIG, ingest_stack.base_docs + [make_doc("good", [33])]
+        )
+        assert_identical(ingest_stack.served_index(), reference, range(TERM_UNIVERSE))
+
+    def test_mixed_term_documents_survive_append_and_recovery(self, ingest_stack):
+        """Int/str-mixed term sets are legal across the stack; the WAL must
+        store and replay them, not 500 on an int-vs-str sort."""
+        mixed = KmerDocument("mixed", frozenset({45, "word"}), source_format="text")
+        ingest_stack.engine.append([mixed])
+        reference = build_reference(CONFIG, ingest_stack.base_docs + [mixed])
+        assert_identical(ingest_stack.served_index(), reference, range(TERM_UNIVERSE))
+        engine = ingest_stack.restart()
+        assert engine.stats()["wal"]["replayed_documents"] == 1
+        assert_identical(ingest_stack.served_index(), reference, range(TERM_UNIVERSE))
+        assert sorted(ingest_stack.served_index().query_term("word").documents) == sorted(
+            reference.query_term("word").documents
+        )
+
     def test_recovery_replays_acknowledged_appends(self, ingest_stack):
         docs = [make_doc(f"n{i}", [40 + i]) for i in range(3)]
         ingest_stack.engine.append(docs)
@@ -381,6 +490,25 @@ class TestIngestEngine:
         assert stats["replay_skipped"] == 1
         reference = build_reference(
             CONFIG, ingest_stack.base_docs + [make_doc("fresh", [55])]
+        )
+        assert_identical(ingest_stack.served_index(), reference, range(TERM_UNIVERSE))
+
+    def test_recovery_dedupes_duplicate_names_inside_the_wal(self, ingest_stack):
+        """A name recorded twice in one segment (a client retrying a batch
+        whose ack was lost) must recover — first record wins — instead of
+        add_documents raising and wedging startup forever."""
+        ingest_stack.stop()
+        with WalWriter(ingest_stack.wal_dir / "wal-000000.log", CONFIG, 0) as writer:
+            writer.append([make_doc("fresh", [55, 56]), make_doc("other", [57])])
+            writer.append([make_doc("fresh", [55, 56])])  # the retried batch
+        engine = ingest_stack.start()
+        stats = engine.stats()["wal"]
+        assert stats["replayed_documents"] == 2
+        assert stats["replay_skipped"] == 1
+        reference = build_reference(
+            CONFIG,
+            ingest_stack.base_docs
+            + [make_doc("fresh", [55, 56]), make_doc("other", [57])],
         )
         assert_identical(ingest_stack.served_index(), reference, range(TERM_UNIVERSE))
 
@@ -473,6 +601,78 @@ class TestIngestEngine:
         assert record["ingest"]["delta"]["documents"] == 1
         assert record["ingest"]["appends"] == {"batches": 1, "documents": 1}
         assert record["ingest"]["generation"] == 0
+
+
+class TestIngestHTTP:
+    @pytest.fixture()
+    def ingest_server(self, ingest_stack):
+        server, _thread = start_http_server(ingest_stack.service)
+        port = server.server_address[1]
+        client = ServeClient(f"http://127.0.0.1:{port}")
+        yield client, port, ingest_stack
+        server.shutdown()
+
+    def test_append_bad_min_count_is_a_400(self, ingest_server):
+        client, _, stack = ingest_server
+        with pytest.raises(ServeClientError) as excinfo:
+            client.append([{"name": "x", "sequences": ["ACGTACGTA"]}], min_count="abc")
+        assert excinfo.value.status == 400
+        assert "min_count" in str(excinfo.value)
+        assert stack.engine.delta_documents == 0
+
+    def test_append_mixed_terms_end_to_end(self, ingest_server):
+        """Int-code + plain-word term lists (a mixed frozenset after the
+        server-side normaliser) must append, serve and not 500."""
+        client, _, stack = ingest_server
+        response = client.append([{"name": "mixedhttp", "terms": [45, "word"]}])
+        assert response["appended"] == 1
+        assert "mixedhttp" in client.query_documents([45])[0]
+        reference = build_reference(
+            CONFIG,
+            stack.base_docs
+            + [KmerDocument("mixedhttp", frozenset({45, "word"}), source_format="text")],
+        )
+        assert_identical(stack.served_index(), reference, range(TERM_UNIVERSE))
+
+    def test_compact_drains_any_body_size_on_keepalive(self, ingest_server, monkeypatch):
+        """A /compact body larger than MAX_BODY_BYTES must be drained fully:
+        leftover bytes would corrupt the next pipelined request."""
+        monkeypatch.setattr("repro.serve.http.MAX_BODY_BYTES", 64)
+        _, port, _ = ingest_server
+        conn = http.client.HTTPConnection("127.0.0.1", port, timeout=10)
+        try:
+            conn.request(
+                "POST", "/compact", body=b"x" * 200,
+                headers={"Content-Type": "application/json"},
+            )
+            response = conn.getresponse()
+            assert response.status == 200
+            assert json.loads(response.read()) == {"compacted": False}
+            # The very same connection must parse the next request cleanly.
+            conn.request("GET", "/healthz")
+            follow_up = conn.getresponse()
+            assert follow_up.status == 200
+            assert json.loads(follow_up.read())["ok"] is True
+        finally:
+            conn.close()
+
+    def test_oversized_body_rejected_with_connection_close(self, ingest_server, monkeypatch):
+        """Endpoints that reject a body unread must close the connection so
+        the unread bytes can never parse as a follow-up request."""
+        monkeypatch.setattr("repro.serve.http.MAX_BODY_BYTES", 64)
+        _, port, _ = ingest_server
+        conn = http.client.HTTPConnection("127.0.0.1", port, timeout=10)
+        try:
+            conn.request(
+                "POST", "/query", body=b"{" + b"x" * 199,
+                headers={"Content-Type": "application/json"},
+            )
+            response = conn.getresponse()
+            assert response.status == 400
+            assert response.getheader("Connection") == "close"
+            assert "Content-Length" in json.loads(response.read())["error"]
+        finally:
+            conn.close()
 
 
 class IngestConsistencyMachine(RuleBasedStateMachine):
