@@ -16,10 +16,17 @@ Choices") so the trade-offs are measurable in this implementation:
 * **Query-cache effect** — the vectorised all-B membership check vs probing
   BFU objects one by one (the implementation trick that keeps pure-Python
   query times sub-linear in practice).
+* **Backend timing grid** — wall-clock per evaluation backend over a
+  batch-size × selectivity grid, emitted machine-readably (the
+  ``REPRO_BENCH_JSON`` side channel) in exactly the row shape
+  ``repro-rambo calibrate --from-json`` fits the planner's cost model from.
 """
 
 from __future__ import annotations
 
+import time
+
+import numpy as np
 import pytest
 
 from repro.bloom.bloom_filter import BloomFilter
@@ -27,17 +34,29 @@ from repro.bloom.scalable import ScalableBloomFilter
 from repro.core.rambo import Rambo, RamboConfig
 from repro.simulate.datasets import ENADatasetBuilder, build_query_workload
 
-from _bench_utils import print_table
+from _bench_utils import BENCH_SMOKE, print_table
 
 K = 15
+
+#: Corpus/workload sizes; smoke mode shrinks them so the module doubles as a
+#: CI execution check (assertions below stay valid at both sizes).
+NUM_DOCUMENTS = 24 if BENCH_SMOKE else 80
+NUM_QUERY_TERMS = 16 if BENCH_SMOKE else 40
+
+#: Batch sizes of the backend timing grid (the cost model's n_terms axis).
+GRID_BATCH_SIZES = (8, 32) if BENCH_SMOKE else (16, 128, 512)
 
 
 @pytest.fixture(scope="module")
 def ablation_data():
     builder = ENADatasetBuilder(k=K, genome_length=1_200, num_ancestors=4, seed=37)
-    dataset = builder.build(80, file_format="mccortex")
+    dataset = builder.build(NUM_DOCUMENTS, file_format="mccortex")
     return build_query_workload(
-        dataset, num_positive=40, num_negative=40, mean_multiplicity=4.0, seed=37
+        dataset,
+        num_positive=NUM_QUERY_TERMS,
+        num_negative=NUM_QUERY_TERMS,
+        mean_multiplicity=4.0,
+        seed=37,
     )
 
 
@@ -235,3 +254,79 @@ def test_ablation_vectorised_vs_per_filter_probing(benchmark, ablation_data):
     rows = benchmark.pedantic(timed_comparison, rounds=1, iterations=1)
     print_table("Ablation: vectorised vs per-filter probing", rows)
     assert rows["vectorised"]["seconds"] < rows["per-filter"]["seconds"]
+
+
+@pytest.mark.benchmark(group="ablation-backend-grid")
+def test_ablation_backend_timing_grid(benchmark, ablation_data):
+    """Per-backend wall-clock over the batch-size × selectivity grid.
+
+    This is the measurement the cost-based planner's constants come from:
+    each row is one ``(backend, n_terms, selectivity)`` cell carrying the
+    three columns (``terms``, ``selectivity``, ``seconds``) that
+    ``CostModel.fit_from_grid`` — and therefore ``repro-rambo calibrate
+    --from-json`` — consumes straight from the ``REPRO_BENCH_JSON`` stream.
+    The backends are the planner's executable strategies over one artifact,
+    so the grid also demonstrates the spread the planner exploits: the
+    scalar reference is the worst cell everywhere, full vs sparse flips
+    with selectivity.
+    """
+    from repro.plan import Planner
+
+    dataset, workload = ablation_data
+    config = RamboConfig(
+        num_partitions=16, repetitions=3, bfu_bits=1 << 15, bfu_hashes=2, k=K, seed=37
+    )
+    index = Rambo(config)
+    index.add_documents(dataset.documents)
+    planner = Planner.for_index(index)
+
+    rng = np.random.default_rng(37)
+    pools = {
+        "lo": rng.integers(0, 2**63, size=max(GRID_BATCH_SIZES), dtype=np.uint64),
+        "hi": list(workload.positive_terms),
+    }
+
+    def sweep():
+        rows = {}
+        for label, pool in pools.items():
+            pool = list(pool)
+            selectivity = float(
+                np.mean(index.estimate_selectivities(pool))
+            )
+            for size in GRID_BATCH_SIZES:
+                batch = [pool[i % len(pool)] for i in range(size)]
+                for name in planner.backend_names:
+                    run = planner.backend(name).run_batch
+                    run(batch)  # warm-up: page-in and lazy caches
+                    best = min(
+                        _timed_run(run, batch) for _ in range(2 if BENCH_SMOKE else 3)
+                    )
+                    rows[f"{name}@n={size},sel={label}"] = {
+                        "terms": float(size),
+                        "selectivity": selectivity,
+                        "seconds": best,
+                    }
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_table("Ablation: backend timing grid", rows)
+
+    # The grid must be fittable — the calibrate --from-json contract.
+    from repro.plan import CostModel
+
+    model = CostModel()
+    fitted = model.fit_from_grid([{"title": "grid", "rows": rows}])
+    assert set(fitted) == set(planner.backend_names)
+    if not BENCH_SMOKE:
+        # The spread the planner exploits: at the largest batch the scalar
+        # reference must be the worst backend by a wide margin.
+        size = max(GRID_BATCH_SIZES)
+        scalar = rows[f"scalar-full@n={size},sel=lo"]["seconds"]
+        batched = rows[f"batch-full@n={size},sel=lo"]["seconds"]
+        assert scalar > batched * 2
+
+
+def _timed_run(run, batch) -> float:
+    start = time.perf_counter()
+    run(batch)
+    return time.perf_counter() - start

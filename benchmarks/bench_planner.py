@@ -1,0 +1,178 @@
+"""The planner gate: planned execution vs every static backend choice.
+
+The cost-based planner's promise is twofold and this bench gates both:
+
+1. **It is an optimizer** — across a batch-size × selectivity grid, total
+   planned wall-clock must beat the *worst* static backend choice by at
+   least 1.5x.  The choice set contains the scalar reference path on
+   purpose: a caller hard-wired to the wrong backend (the pre-batching
+   code path, or sparse/full on the wrong side of the selectivity flip)
+   pays exactly these cells, and the planner must never be that caller.
+2. **It is not an oracle** — every planned execution (auto and every
+   explicit backend, every grid cell) must return document sets identical
+   to the naive RAMBO full path on the same terms.  This identity is
+   asserted *unconditionally*, smoke mode included: a fast wrong answer is
+   a failure, not a trade-off.
+
+Smoke mode keeps the identity assertions and the machine-readable grid but
+drops the 1.5x timing gate (CI machines are too noisy to gate micro-times).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.rambo import Rambo, RamboConfig
+from repro.simulate.datasets import ENADatasetBuilder, build_query_workload
+
+from _bench_utils import BENCH_SMOKE, print_table
+
+K = 15
+NUM_DOCUMENTS = 24 if BENCH_SMOKE else 80
+NUM_QUERY_TERMS = 16 if BENCH_SMOKE else 60
+BATCH_SIZES = (8, 32) if BENCH_SMOKE else (16, 128, 512)
+REPEATS = 2 if BENCH_SMOKE else 3
+
+#: The optimizer gate: planned total must beat the worst static total by this.
+PLANNED_SPEEDUP_GATE = 1.5
+
+
+@pytest.fixture(scope="module")
+def planner_setup():
+    builder = ENADatasetBuilder(k=K, genome_length=1_200, num_ancestors=4, seed=41)
+    base = builder.build(NUM_DOCUMENTS, file_format="mccortex")
+    dataset, workload = build_query_workload(
+        base,
+        num_positive=NUM_QUERY_TERMS,
+        num_negative=NUM_QUERY_TERMS,
+        mean_multiplicity=4.0,
+        seed=41,
+    )
+    config = RamboConfig(
+        num_partitions=16, repetitions=3, bfu_bits=1 << 15, bfu_hashes=2, k=K, seed=41
+    )
+    index = Rambo(config)
+    index.add_documents(dataset.documents)
+
+    from repro.plan import Planner
+
+    planner = Planner.for_index(index)
+    # Calibrate on the machine running the bench — the planner's decisions
+    # below use measured constants, exactly like a deployment that ran
+    # `repro-rambo calibrate` after building.
+    planner.calibrate(sizes=BATCH_SIZES, repeats=REPEATS, seed=41)
+
+    rng = np.random.default_rng(41)
+    pools = {
+        "lo": [int(x) for x in rng.integers(0, 2**63, size=max(BATCH_SIZES), dtype=np.uint64)],
+        "hi": list(workload.positive_terms),
+    }
+    return index, planner, pools
+
+
+def _grid_batches(pools):
+    for label, pool in pools.items():
+        for size in BATCH_SIZES:
+            yield label, size, [pool[i % len(pool)] for i in range(size)]
+
+
+def _best_time(fn, repeats=REPEATS) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+@pytest.mark.benchmark(group="planner-identity")
+def test_planned_execution_identical_to_naive_full_path(planner_setup):
+    """Unconditional: planned == naive doc sets, every backend, every cell."""
+    index, planner, pools = planner_setup
+    for label, size, batch in _grid_batches(pools):
+        naive = [r.documents for r in index.query_terms_batch(batch, method="full")]
+        for backend in ["auto", *planner.backend_names]:
+            execution = planner.execute(batch, mode="batch", backend=backend)
+            assert [r.documents for r in execution.results] == naive, (
+                f"backend {backend!r} diverged from the naive full path "
+                f"at n={size}, sel={label}"
+            )
+        # Conjunctions too: ordering must not change the intersection.
+        conj = batch[: min(len(batch), 12)]
+        naive_conj = index.query_terms(conj, method="full").documents
+        for backend in ["auto", *planner.backend_names]:
+            execution = planner.execute(conj, mode="conjunction", backend=backend)
+            assert execution.result.documents == naive_conj, (
+                f"conjunction backend {backend!r} diverged at n={size}, sel={label}"
+            )
+
+
+@pytest.mark.benchmark(group="planner-speedup")
+def test_planner_beats_worst_static_backend(benchmark, planner_setup):
+    """The 1.5x optimizer gate over the batch-size × selectivity grid."""
+    index, planner, pools = planner_setup
+
+    def grid():
+        rows = {}
+        planned_total = 0.0
+        static_totals = {name: 0.0 for name in planner.backend_names}
+        for label, size, batch in _grid_batches(pools):
+            planned = _best_time(
+                lambda: planner.execute(batch, mode="batch", backend="auto")
+            )
+            planned_total += planned
+            row = {"terms": float(size), "planned_s": planned}
+            for name in planner.backend_names:
+                run = planner.backend(name).run_batch
+                run(batch)  # warm-up
+                static = _best_time(lambda: run(batch))
+                static_totals[name] += static
+                row[f"{name}_s"] = static
+            row["speedup"] = max(row[f"{n}_s"] for n in planner.backend_names) / planned
+            rows[f"n={size},sel={label}"] = row
+        worst_total = max(static_totals.values())
+        rows["TOTAL"] = {
+            "planned_s": planned_total,
+            "speedup": worst_total / planned_total,
+            **{f"{name}_s": total for name, total in static_totals.items()},
+        }
+        return rows
+
+    rows = benchmark.pedantic(grid, rounds=1, iterations=1)
+    print_table("Planner: planned vs static backends", rows)
+
+    if not BENCH_SMOKE:
+        total = rows["TOTAL"]
+        assert total["speedup"] >= PLANNED_SPEEDUP_GATE, (
+            f"planned execution is only {total['speedup']:.2f}x the worst static "
+            f"backend (gate: {PLANNED_SPEEDUP_GATE}x)"
+        )
+
+
+@pytest.mark.benchmark(group="planner-filters")
+def test_filtered_execution_identical_to_local_filtering(planner_setup):
+    """Metadata filtering == post-hoc local filtering of the naive results."""
+    from repro.meta import MetadataStore
+    from repro.plan import Planner
+
+    index, _, pools = planner_setup
+    meta = MetadataStore(
+        {
+            name: {"collection": "ena" if i % 2 else "refseq", "rank": str(i % 3)}
+            for i, name in enumerate(index.document_names)
+        }
+    )
+    planner = Planner.for_index(index, metadata=meta)
+    filters = {"collection": "ena"}
+    for label, size, batch in _grid_batches(pools):
+        execution = planner.execute(batch, mode="batch", backend="auto", filters=filters)
+        naive = index.query_terms_batch(batch, method="full")
+        expected = [
+            frozenset(d for d in r.documents if meta.matches(d, filters)) for r in naive
+        ]
+        assert [r.documents for r in execution.results] == expected, (
+            f"filtered results diverged at n={size}, sel={label}"
+        )

@@ -42,6 +42,8 @@ DEFAULT_BENCHES = (
     "benchmarks/bench_parallel_query.py",
     "benchmarks/bench_serving.py",
     "benchmarks/bench_ingest.py",
+    "benchmarks/bench_ablation.py",
+    "benchmarks/bench_planner.py",
 )
 
 

@@ -347,6 +347,24 @@ class CobsIndex(MembershipIndex):
         )
         return index
 
+    # -- planner hooks -------------------------------------------------------------------
+
+    @property
+    def is_mapped(self) -> bool:
+        """Whether this index serves from the on-disk packed matrix."""
+        return self._packed_rows is not None
+
+    def cost_hints(self) -> dict:
+        """COBS priors: O(K) per term with a very small constant, no sparse path."""
+        hints = super().cost_hints()
+        per_doc_words = max((len(self._doc_names) + 63) // 64, 1)
+        hints["batch-full"] = {
+            "setup": 3e-5,
+            "per_term": 2e-8 * self.num_hashes * per_doc_words,
+            "per_term_selectivity": 5e-7,
+        }
+        return hints
+
     # -- accounting ----------------------------------------------------------------------
 
     def size_in_bytes(self) -> int:

@@ -72,6 +72,31 @@ class InvertedIndex(MembershipIndex):
         """Number of distinct terms across the collection."""
         return len(self._postings)
 
+    def estimate_selectivities(self, terms) -> "np.ndarray":
+        """Exact selectivities from the posting lists (no estimation error).
+
+        The reference structure can answer the planner's estimation question
+        precisely: multiplicity over document count, per term.
+        """
+        import numpy as np
+
+        if not self._doc_names:
+            return np.zeros(len(terms), dtype=np.float64)
+        return np.array(
+            [self.multiplicity(term) / len(self._doc_names) for term in terms],
+            dtype=np.float64,
+        )
+
+    def cost_hints(self) -> dict:
+        """Posting lookups are O(1) per term plus result-size materialisation."""
+        hints = super().cost_hints()
+        hints["batch-full"] = {
+            "setup": 1e-6,
+            "per_term": 3e-7,
+            "per_term_selectivity": 1e-8 * max(len(self._doc_names), 1),
+        }
+        return hints
+
     def size_in_bytes(self) -> int:
         """Approximate serialized size: every posting is a (term, doc-id) pair.
 

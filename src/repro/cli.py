@@ -41,6 +41,14 @@ sequence files; this CLI mirrors that workflow on top of the library:
     overlay; ``--compact`` folds the delta into a new snapshot generation
     afterwards.
 
+``repro-rambo calibrate``
+    Micro-measure the index's evaluation strategies on this machine and
+    write the fitted cost model next to the artifact (``<index>.cost.json``)
+    — the constants ``query --backend auto`` and the serve planner use to
+    pick full vs sparse per batch.  ``--from-json`` fits from a
+    ``REPRO_BENCH_JSON`` stream (the bench_ablation timing grid) instead of
+    measuring.
+
 The CLI is intentionally a thin shell over the public API so that every code
 path it exercises is also reachable (and tested) as a library call.
 """
@@ -183,12 +191,60 @@ def _cmd_build(args: argparse.Namespace) -> int:
         f"config: B={config.num_partitions} R={config.repetitions} "
         f"bfu_bits={config.bfu_bits} eta={config.bfu_hashes} k={config.k}"
     )
-    written = save_index(index, args.output, format=args.format)
+    metadata = _load_metadata_file(args.metadata) if args.metadata else None
+    written = save_index(index, args.output, format=args.format, metadata=metadata)
     print(
         f"built in {build_seconds:.2f}s, wrote {human_bytes(written)} to {args.output} "
         f"({args.format} format)"
     )
+    if metadata is not None:
+        covered = sum(1 for name in index.document_names if name in metadata)
+        print(
+            f"wrote metadata sidecar for {len(metadata)} documents "
+            f"({covered}/{index.num_documents} indexed documents covered)"
+        )
     return 0
+
+
+def _load_metadata_file(path: str):
+    """Parse a ``--metadata`` JSON file into a :class:`MetadataStore`.
+
+    Accepts either the sidecar format (``{"format_version": 1, "documents":
+    {...}}``) or a bare ``{name: {field: value}}`` mapping.
+    """
+    from repro.meta import MetadataStore
+
+    try:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        raise SystemExit(f"metadata file {path} does not exist") from None
+    except json.JSONDecodeError as exc:
+        raise SystemExit(f"metadata file {path} is not valid JSON: {exc}") from None
+    try:
+        if isinstance(payload, dict) and "documents" in payload:
+            return MetadataStore.from_dict(payload)
+        if isinstance(payload, dict):
+            return MetadataStore(payload)
+    except ValueError as exc:
+        raise SystemExit(f"bad metadata file {path}: {exc}") from None
+    raise SystemExit(f"metadata file {path} must be a JSON object")
+
+
+def _parse_filters(pairs: Sequence[str]):
+    """``--filter k=v`` pairs -> a filter mapping (repeated keys OR together)."""
+    filters: dict = {}
+    for pair in pairs:
+        key, sep, value = pair.partition("=")
+        if not sep or not key.strip():
+            raise SystemExit(f"bad --filter {pair!r}: expected FIELD=VALUE")
+        existing = filters.get(key.strip())
+        if existing is None:
+            filters[key.strip()] = value
+        elif isinstance(existing, list):
+            existing.append(value)
+        else:
+            filters[key.strip()] = [existing, value]
+    return filters
 
 
 def _normalise_term(term: str, k: int, canonical: bool = False):
@@ -216,13 +272,24 @@ def _cmd_query_server(args: argparse.Namespace) -> int:
     if not terms:
         raise SystemExit("nothing to query: pass terms")
     method = "sparse" if args.sparse else "full"
+    filters = _parse_filters(args.filter) if args.filter else None
     client = ServeClient(args.server)
     try:
         # Terms go up verbatim; the server normalises DNA words against its
-        # own k, exactly like the local path does.
-        response = client.query(terms, method=method, canonical=args.canonical)
+        # own k, exactly like the local path does.  --backend/--filter route
+        # through the server-side planner.
+        response = client.query(
+            terms,
+            method=method,
+            canonical=args.canonical,
+            backend=args.backend,
+            filters=filters,
+        )
     except ServeClientError as exc:
         raise SystemExit(f"server query failed: {exc}") from exc
+    plan = response.get("plan")
+    if plan and args.backend == "auto":
+        print(f"# plan: method={plan['method']}", file=sys.stderr)
     for entry in response["results"]:
         matches = ",".join(entry["documents"]) or "-"
         print(f"{entry['term']}\t{matches}\t{entry['filters_probed']}")
@@ -243,6 +310,9 @@ def _cmd_query(args: argparse.Namespace) -> int:
     sequences: List[str] = [s for s in (args.sequence or []) if s]
     if not queries and not sequences:
         raise SystemExit("nothing to query: pass terms and/or --sequence")
+    filters = _parse_filters(args.filter) if args.filter else None
+    if args.backend or filters:
+        return _cmd_query_planned(args, index, queries, sequences, filters)
     # Each sequence is a conjunctive batch over its k-mers, answered by the
     # vectorised query_terms engine; one output line per sequence, in order.
     for sequence in sequences:
@@ -261,6 +331,108 @@ def _cmd_query(args: argparse.Namespace) -> int:
         for term, result in zip(queries, results):
             matches = ",".join(sorted(result.documents)) or "-"
             print(f"{term}\t{matches}\t{result.filters_probed}")
+    return 0
+
+
+#: CLI backend spellings -> planner backend names.
+_BACKEND_NAMES = {"auto": "auto", "full": "batch-full", "sparse": "batch-sparse"}
+
+
+def _cmd_query_planned(args, index, queries, sequences, filters) -> int:
+    """The planned local query path (``--backend`` and/or ``--filter``).
+
+    Builds a :class:`repro.plan.Planner` over the opened index, picking up
+    the calibrated cost model and the metadata sidecar next to the artifact;
+    plan decisions go to stderr so stdout stays the same term/matches/probes
+    table the unplanned path prints.
+    """
+    from repro.kmers.vectorized import extract_kmer_codes
+    from repro.plan import CostModel, Planner
+
+    backend = _BACKEND_NAMES[args.backend or ("sparse" if args.sparse else "full")]
+    try:
+        from repro.meta import load_sidecar_for
+
+        planner = Planner.for_index(
+            index,
+            cost_model=CostModel.load_for(args.index),
+            metadata=load_sidecar_for(args.index),
+            include_scalar=False,
+        )
+    except ValueError as exc:
+        raise SystemExit(f"cannot plan over {args.index}: {exc}") from exc
+
+    def run(terms, mode):
+        try:
+            return planner.execute(terms, mode=mode, backend=backend, filters=filters)
+        except ValueError as exc:
+            raise SystemExit(f"query failed: {exc}") from exc
+
+    for sequence in sequences:
+        kmers = extract_kmer_codes(sequence, k=index.k, canonical=args.canonical)
+        if kmers.size == 0:
+            raise SystemExit(
+                f"bad --sequence value: sequence of length {len(sequence)} "
+                f"yields no {index.k}-mers"
+            )
+        execution = run(list(kmers), "conjunction")
+        result = execution.result
+        print(f"# plan: {json.dumps(execution.plan.as_dict())}", file=sys.stderr)
+        matches = ",".join(sorted(result.documents)) or "-"
+        print(f"sequence\t{matches}\t{result.filters_probed}")
+    if queries:
+        terms = [_normalise_term(t, index.k, canonical=args.canonical) for t in queries]
+        execution = run(terms, "batch")
+        print(f"# plan: {json.dumps(execution.plan.as_dict())}", file=sys.stderr)
+        for term, result in zip(queries, execution.results):
+            matches = ",".join(sorted(result.documents)) or "-"
+            print(f"{term}\t{matches}\t{result.filters_probed}")
+    return 0
+
+
+def _cmd_calibrate(args) -> int:
+    """Fit and persist the per-backend cost model for one index artifact."""
+    from repro.plan import CostModel, Planner, cost_model_path
+
+    output = Path(args.output) if args.output else cost_model_path(args.index)
+    if args.from_json:
+        model = CostModel()
+        try:
+            lines = Path(args.from_json).read_text(encoding="utf-8").splitlines()
+            payload = [json.loads(line) for line in lines if line.strip()]
+        except FileNotFoundError:
+            raise SystemExit(f"bench JSON file {args.from_json} does not exist") from None
+        except json.JSONDecodeError as exc:
+            raise SystemExit(f"{args.from_json} is not a JSONL stream: {exc}") from None
+        try:
+            fitted = model.fit_from_grid(payload)
+        except ValueError as exc:
+            raise SystemExit(str(exc)) from None
+    else:
+        index = open_index(args.index)
+        try:
+            sizes = tuple(int(s) for s in args.sizes.split(",") if s.strip())
+        except ValueError:
+            raise SystemExit(f"bad --sizes {args.sizes!r}: expected N,N,...") from None
+        if not sizes or min(sizes) < 1:
+            raise SystemExit(f"bad --sizes {args.sizes!r}: need positive batch sizes")
+        planner = Planner.for_index(index, include_scalar=not args.no_scalar)
+        with Timer() as timer:
+            model = planner.calibrate(sizes=sizes, repeats=args.repeats, seed=args.seed)
+        # The merged model also carries hint-derived defaults; report only
+        # the backends this run actually measured.
+        fitted = planner.backend_names
+        print(f"measured {len(fitted)} backends over sizes {sizes} in {timer.wall_seconds:.2f}s")
+    model.save(output)
+    print(f"fitted backends: {', '.join(fitted)}")
+    for name in fitted:
+        coefficients = model.coefficients(name)
+        print(
+            f"  {name}: setup={coefficients['setup']:.3e}s "
+            f"per_term={coefficients['per_term']:.3e}s "
+            f"per_term_selectivity={coefficients['per_term_selectivity']:.3e}s"
+        )
+    print(f"wrote cost model to {output}")
     return 0
 
 
@@ -449,6 +621,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     build.add_argument("--seed", type=int, default=0, help="hash seed")
     build.add_argument(
+        "--metadata", metavar="FILE", default=None,
+        help="JSON file of per-document metadata ({name: {field: value}}); "
+             "written as a sidecar next to the index and used by "
+             "'query --filter' and the serve planner's filters",
+    )
+    build.add_argument(
         "--threads", type=int, default=None, metavar="N",
         help="worker threads for construction (default: REPRO_THREADS, else "
              "all cores); the built index is bit-identical for every N",
@@ -482,6 +660,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="query a whole sequence (conjunction of its k-mers); repeatable",
     )
     query.add_argument("--sparse", action="store_true", help="use the RAMBO+ sparse evaluation")
+    query.add_argument(
+        "--backend", choices=("auto", "full", "sparse"), default=None,
+        help="evaluation backend: 'auto' lets the cost-based planner pick "
+             "full vs sparse per batch (using <index>.cost.json when "
+             "present); 'full'/'sparse' force one; default: legacy --sparse "
+             "behaviour",
+    )
+    query.add_argument(
+        "--filter", action="append", default=[], metavar="FIELD=VALUE",
+        help="restrict results to documents whose metadata matches (requires "
+             "an index built with --metadata); repeatable — same field ORs, "
+             "different fields AND",
+    )
     query.add_argument(
         "--canonical", action="store_true",
         help="canonicalise query k-mers (use against an index built with --canonical)",
@@ -574,6 +765,40 @@ def build_parser() -> argparse.ArgumentParser:
              "generation) after the last batch",
     )
     ingest.set_defaults(func=_cmd_ingest)
+
+    calibrate = sub.add_parser(
+        "calibrate",
+        help="fit the per-backend cost model for 'query --backend auto' and serve",
+    )
+    calibrate.add_argument("index", help="index file written by 'build'")
+    calibrate.add_argument(
+        "--output", metavar="PATH", default=None,
+        help="where to write the model (default: <index>.cost.json, which "
+             "'query --backend auto' and 'serve' pick up automatically)",
+    )
+    calibrate.add_argument(
+        "--sizes", default="16,128,512", metavar="N,N,...",
+        help="batch sizes measured per backend (default 16,128,512)",
+    )
+    calibrate.add_argument(
+        "--repeats", type=int, default=3, metavar="N",
+        help="timing repeats per grid cell; the minimum is kept (default 3)",
+    )
+    calibrate.add_argument("--seed", type=int, default=0, help="probe-term RNG seed")
+    calibrate.add_argument(
+        "--no-scalar", action="store_true",
+        help="skip measuring the scalar reference backend (faster calibration)",
+    )
+    calibrate.add_argument(
+        "--from-json", metavar="FILE", default=None,
+        help="fit from a REPRO_BENCH_JSON stream containing the "
+             "bench_ablation backend timing grid instead of measuring",
+    )
+    calibrate.add_argument(
+        "--threads", type=int, default=None, metavar="N",
+        help="worker threads during measurement (match your serving config)",
+    )
+    calibrate.set_defaults(func=_cmd_calibrate)
 
     fold = sub.add_parser("fold", help="fold an index over to shrink it")
     fold.add_argument("index", help="index file written by 'build'")

@@ -61,9 +61,16 @@ QUERY_METHODS = ("full", "sparse")
 
 
 def check_query_method(method: str) -> None:
-    """Reject unknown ``method`` values with the error every index raises."""
+    """Reject unknown ``method`` values with the error every index raises.
+
+    The message always lists the valid strategies — the one validation
+    string shared across the hierarchy, so a typo'd ``method=`` tells the
+    caller what would have worked no matter which structure they queried.
+    """
     if method not in QUERY_METHODS:
-        raise ValueError(f"unknown query method {method!r}")
+        raise ValueError(
+            f"unknown query method {method!r} (expected one of {', '.join(QUERY_METHODS)})"
+        )
 
 
 class QueryResult:
@@ -284,3 +291,54 @@ class MembershipIndex(abc.ABC):
     def contains(self, name: str, term: Term) -> bool:
         """Whether document *name* (appears to) contain *term*."""
         return name in self.query_term(term).documents
+
+    # -- planner hooks -------------------------------------------------------------
+
+    def capabilities(self) -> dict:
+        """What this structure can do — read by the planner and ``/stats``.
+
+        The base record is honest for any scalar structure: every index
+        answers both ``method`` spellings (validated-then-ignored when there
+        is only one strategy), but only structures that really implement a
+        second strategy set ``sparse`` (RAMBO's RAMBO+ pruning), and only
+        disk-backed containers set ``mapped``.  Subclasses override to
+        declare more.
+        """
+        return {
+            "methods": list(QUERY_METHODS),
+            "sparse": False,
+            "mapped": bool(getattr(self, "is_mapped", False)),
+            "batch_native": type(self).query_terms_batch
+            is not MembershipIndex.query_terms_batch,
+        }
+
+    def estimate_selectivities(self, terms: Sequence[Term]) -> np.ndarray:
+        """Cheap per-term selectivity estimates (fraction of docs matching).
+
+        The planner uses these to rank backends and to order conjunctive
+        AND chains rarest-term-first.  The base implementation knows
+        nothing, so it returns the conservative 1.0 for every term —
+        estimates may be wrong in either direction without affecting
+        results, only plan quality.  Structures with cheap summaries
+        (RAMBO's repetition-0 gather, the inverted index's exact postings)
+        override this.
+        """
+        return np.ones(len(terms), dtype=np.float64)
+
+    def cost_hints(self) -> dict:
+        """Default cost-model constants per evaluation strategy.
+
+        Order-of-magnitude priors used when no calibrated model sits next
+        to the artifact (see :mod:`repro.plan.cost`): enough to rank the
+        scalar fallback below any batch kernel, refined by
+        ``repro-rambo calibrate`` on the actual machine.  Keys are backend
+        names as the planner registers them; values are
+        ``{setup, per_term, per_term_selectivity}`` in seconds.
+        """
+        return {
+            "scalar-full": {
+                "setup": 1e-5,
+                "per_term": 1e-4,
+                "per_term_selectivity": 2e-5,
+            },
+        }

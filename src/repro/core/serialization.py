@@ -102,7 +102,7 @@ def _restore_bookkeeping(
     return config, list(names), [list(row) for row in assignments], members
 
 
-def save_index(index: Rambo, path: PathLike, format: str = "v1") -> int:
+def save_index(index: Rambo, path: PathLike, format: str = "v1", metadata=None) -> int:
     """Serialise *index* to *path*; returns the number of bytes written.
 
     Parameters
@@ -111,6 +111,12 @@ def save_index(index: Rambo, path: PathLike, format: str = "v1") -> int:
         ``"v1"`` writes the self-contained load-into-memory format;
         ``"mmap"`` delegates to :func:`save_index_mmap` for the zero-copy
         serving container.
+    metadata:
+        Optional :class:`repro.meta.MetadataStore`; written as a JSON
+        sidecar next to the artifact (``<path>.meta.json``) and referenced
+        from the header's ``metadata_sidecar`` field.  Readers predating
+        the field ignore it (both container formats tolerate unknown
+        header keys), so the extension is backward-compatible.
 
     The partition hash family is reconstructed from the stored seed on load,
     so only indexes built with the default (seed-derived) family round-trip
@@ -123,10 +129,15 @@ def save_index(index: Rambo, path: PathLike, format: str = "v1") -> int:
     """
     if format not in SAVE_FORMATS:
         raise ValueError(f"unknown index format {format!r} (expected one of {SAVE_FORMATS})")
+    sidecar_name = None
+    if metadata is not None:
+        sidecar_name = metadata.save_for(path).name
     if format == "mmap":
-        return save_index_mmap(index, path)
+        return save_index_mmap(index, path, sidecar_name=sidecar_name)
     header = dict(_index_header(index))
     header["format_version"] = 1
+    if sidecar_name is not None:
+        header["metadata_sidecar"] = sidecar_name
     header_bytes = json.dumps(header, separators=(",", ":")).encode("utf-8")
 
     path = Path(path)
@@ -194,7 +205,7 @@ def load_index(path: PathLike) -> Rambo:
     return Rambo._from_parts(config, bfus, names, assignments, members)  # noqa: SLF001
 
 
-def save_index_mmap(index: Rambo, path: PathLike) -> int:
+def save_index_mmap(index: Rambo, path: PathLike, sidecar_name: Optional[str] = None) -> int:
     """Write *index* in the v2 container for zero-copy serving.
 
     The BFU words are stacked into one contiguous
@@ -205,6 +216,8 @@ def save_index_mmap(index: Rambo, path: PathLike) -> int:
     """
     header = dict(_index_header(index))
     header["kind"] = "rambo"
+    if sidecar_name is not None:
+        header["metadata_sidecar"] = sidecar_name
     words_per_bfu = (index.config.bfu_bits + 63) // 64
     payload = np.empty(
         (index.repetitions, index.num_partitions, words_per_bfu), dtype=np.uint64
@@ -320,12 +333,22 @@ def describe_index(
         "k": config.k,
         "mapped": index.is_mapped,
         "readonly": index.readonly,
+        "capabilities": index.capabilities(),
         "size_bytes": dict(index.size_components()),
     }
     record["size_bytes"]["total"] = index.size_in_bytes()
     if path is not None:
         record["path"] = str(path)
         record["format"] = detect_format(path)
+        from repro.meta.store import sidecar_path
+        from repro.plan.cost import cost_model_path
+
+        record["metadata_sidecar"] = (
+            sidecar_path(path).name if sidecar_path(path).exists() else None
+        )
+        record["cost_model"] = (
+            cost_model_path(path).name if cost_model_path(path).exists() else None
+        )
     if fill:
         ratios = [ratio for row in index.fill_ratios() for ratio in row]
         record["fill_ratio"] = {

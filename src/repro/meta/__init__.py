@@ -1,0 +1,30 @@
+"""Per-document metadata sidecar: build-time records, query-time filters.
+
+The index structures answer *which documents contain this term*; production
+callers almost always want *which documents of collection X, sampled after
+date D, contain this term*.  This package keeps that second question out of
+the bitmap engines: metadata lives in a sidecar store written next to the
+index artifact at build time, and filtering is a post-query intersection of
+the engine's doc-id bitmap with a metadata mask — the engines never learn
+about accessions or dates.
+
+See :mod:`repro.meta.store` for the normalise-and-match filter contract.
+"""
+
+from repro.meta.store import (
+    METADATA_FORMAT_VERSION,
+    MetadataStore,
+    load_sidecar_for,
+    normalise_field,
+    normalise_value,
+    sidecar_path,
+)
+
+__all__ = [
+    "METADATA_FORMAT_VERSION",
+    "MetadataStore",
+    "load_sidecar_for",
+    "normalise_field",
+    "normalise_value",
+    "sidecar_path",
+]

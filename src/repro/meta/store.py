@@ -1,0 +1,323 @@
+"""The metadata sidecar store and its normalise-and-match filter contract.
+
+Design constraints, in order:
+
+1. **The engines stay metadata-free.**  Every index structure keeps
+   answering pure term-membership queries over doc-id bitmaps; metadata
+   filtering is a post-query intersection with a boolean mask over the same
+   shared name table.  A filtered result is therefore bit-identical to
+   filtering the unfiltered result locally — the property the planner tests
+   and the HTTP round-trip smoke both gate on.
+
+2. **Normalise-and-match.**  Field names and values are normalised
+   identically on the write path and the query path (case-fold + whitespace
+   strip, everything stringified), so ``Collection=" ENA "`` at build time
+   matches ``collection=ena`` at query time.  A filter is a mapping
+   ``field -> wanted`` where *wanted* is one value or a list (OR within the
+   field); fields AND together.  A document with no record, or no value for
+   a filtered field, never matches — filters are restrictive by
+   construction, so adding one can only shrink a result set.
+
+3. **Sidecar, not header.**  Metadata is stored in a JSON file next to the
+   index artifact (``<index>.meta.json``) and *referenced* from the
+   container header when written through ``save_index(...,
+   metadata=store)``.  Old files without the header field (and old readers
+   that ignore it) keep working unchanged — the extension is
+   backward-compatible in both directions.  Sidecar byte layout::
+
+       {"format_version": 1,
+        "documents": {"<name>": {"<field>": "<raw value>", ...}, ...}}
+
+   UTF-8 JSON, one object per document, raw (un-normalised) values so the
+   file remains human-readable; normalisation happens on load and on match.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core.base import QueryResult
+
+PathLike = Union[str, Path]
+
+#: Version stamp written into (and required from) every sidecar file.
+METADATA_FORMAT_VERSION = 1
+
+#: Suffix appended to the index artifact's path to name its sidecar.
+SIDECAR_SUFFIX = ".meta.json"
+
+FilterValue = Union[str, int, float, Sequence[Union[str, int, float]]]
+Filters = Mapping[str, FilterValue]
+
+
+def normalise_field(field: object) -> str:
+    """Canonical form of a metadata field name: stripped, case-folded."""
+    name = str(field).strip().casefold()
+    if not name:
+        raise ValueError("metadata field names must be non-empty")
+    return name
+
+
+def normalise_value(value: object) -> str:
+    """Canonical form of a metadata value: stringified, stripped, case-folded.
+
+    One rule for both sides of every comparison — the store applies it to
+    recorded values on load and to wanted values at query time, which is
+    what makes ``date="2021-03-01 "`` and ``DATE=2021-03-01`` the same
+    question.
+    """
+    return str(value).strip().casefold()
+
+
+def sidecar_path(index_path: PathLike) -> Path:
+    """The sidecar file that belongs to the index artifact at *index_path*."""
+    return Path(str(index_path) + SIDECAR_SUFFIX)
+
+
+class MetadataStore:
+    """Per-document metadata records with bitmap-level filtering.
+
+    The store keeps the raw values (for display and round-tripping) and a
+    normalised copy (for matching).  All mutation is name-keyed; the
+    doc-id-level mask is computed against whatever name table the caller's
+    results carry, so one store serves an index through folds, merges and
+    delta overlays — any structure that preserves document names.
+    """
+
+    def __init__(self, records: Optional[Mapping[str, Mapping[str, object]]] = None) -> None:
+        # name -> {raw field -> raw value}, insertion-ordered for stable JSON.
+        self._records: Dict[str, Dict[str, str]] = {}
+        # name -> {normalised field -> normalised value}
+        self._normalised: Dict[str, Dict[str, str]] = {}
+        if records:
+            for name, fields in records.items():
+                self.set(name, fields)
+
+    def set(self, name: str, fields: Mapping[str, object]) -> None:
+        """Record (or replace) the metadata of document *name*.
+
+        Raises :class:`ValueError` for an empty name or empty field names;
+        values are accepted as any stringifiable scalar.
+        """
+        if not name:
+            raise ValueError("document name must be non-empty")
+        raw: Dict[str, str] = {}
+        normalised: Dict[str, str] = {}
+        for field, value in fields.items():
+            key = normalise_field(field)
+            if key in normalised:
+                raise ValueError(
+                    f"document {name!r}: field {field!r} collides with another "
+                    f"field after normalisation ({key!r})"
+                )
+            raw[str(field)] = str(value)
+            normalised[key] = normalise_value(value)
+        self._records[name] = raw
+        self._normalised[name] = normalised
+
+    def update(self, records: Mapping[str, Mapping[str, object]]) -> None:
+        """Bulk :meth:`set` over a ``{name: {field: value}}`` mapping."""
+        for name, fields in records.items():
+            self.set(name, fields)
+
+    def get(self, name: str) -> Optional[Dict[str, str]]:
+        """The raw metadata record of *name*, or ``None`` when absent."""
+        record = self._records.get(name)
+        return dict(record) if record is not None else None
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._records
+
+    @property
+    def document_names(self) -> List[str]:
+        """Names with a metadata record, in insertion order."""
+        return list(self._records)
+
+    def fields(self) -> List[str]:
+        """Every normalised field name appearing in any record, sorted."""
+        seen = set()
+        for record in self._normalised.values():
+            seen.update(record)
+        return sorted(seen)
+
+    # -- filtering ----------------------------------------------------------------------
+
+    @staticmethod
+    def normalise_filters(filters: Filters) -> Dict[str, List[str]]:
+        """Canonicalise a filter mapping: fields normalised, values listed.
+
+        A scalar wanted value becomes a one-element list; a list stays a
+        list (OR semantics within the field).  Raises :class:`ValueError`
+        for empty filters, empty field names or empty value lists, so a
+        malformed HTTP/CLI filter fails loudly instead of matching nothing.
+        """
+        if not filters:
+            raise ValueError("filters must name at least one field")
+        canonical: Dict[str, List[str]] = {}
+        for field, wanted in filters.items():
+            key = normalise_field(field)
+            if isinstance(wanted, (str, bytes)) or not isinstance(wanted, Iterable):
+                values = [wanted]
+            else:
+                values = list(wanted)
+            if not values:
+                raise ValueError(f"filter field {field!r} has an empty value list")
+            canonical[key] = [normalise_value(value) for value in values]
+        return canonical
+
+    def matches(self, name: str, filters: Filters) -> bool:
+        """Whether document *name* passes *filters* (normalise-and-match).
+
+        Every filtered field must be present on the document and its
+        normalised value must equal one of the wanted values.  Documents
+        without a metadata record never match.
+        """
+        canonical = self.normalise_filters(filters)
+        record = self._normalised.get(name)
+        if record is None:
+            return False
+        return all(
+            record.get(field) in wanted for field, wanted in canonical.items()
+        )
+
+    def filter_mask(self, name_table: Sequence[str], filters: Filters) -> np.ndarray:
+        """Boolean mask over *name_table*: ``mask[i]`` iff document i matches.
+
+        This is the bitmap-level form the planner intersects query results
+        with; it is computed once per (name table, filters) pair and applied
+        to every result of a batch.
+        """
+        canonical = self.normalise_filters(filters)
+        mask = np.zeros(len(name_table), dtype=bool)
+        for i, name in enumerate(name_table):
+            record = self._normalised.get(name)
+            if record is not None and all(
+                record.get(field) in wanted for field, wanted in canonical.items()
+            ):
+                mask[i] = True
+        return mask
+
+    def apply(
+        self,
+        result: QueryResult,
+        filters: Filters,
+        *,
+        mask: Optional[np.ndarray] = None,
+        name_table: Optional[Sequence[str]] = None,
+    ) -> QueryResult:
+        """*result* restricted to documents passing *filters*.
+
+        Bitmap-native when the result carries doc ids (the batch-engine
+        form): the surviving ids are ``ids[mask[ids]]`` — one fancy-index,
+        no name materialisation.  Name-level results (the eager baseline
+        form) fall back to per-name matching.  ``filters_probed`` is
+        preserved: filtering is bookkeeping, not probing.  A pre-computed
+        *mask* (from :meth:`filter_mask`) short-circuits recomputation
+        across a batch.
+        """
+        table = result.name_table if name_table is None else name_table
+        if table is not None:
+            if mask is None:
+                mask = self.filter_mask(table, filters)
+            ids = result.doc_ids
+            return QueryResult(
+                doc_ids=ids[mask[ids]],
+                name_table=table,
+                filters_probed=result.filters_probed,
+            )
+        kept = frozenset(
+            name for name in result.documents if self.matches(name, filters)
+        )
+        return QueryResult(documents=kept, filters_probed=result.filters_probed)
+
+    def apply_batch(
+        self, results: Sequence[QueryResult], filters: Filters
+    ) -> List[QueryResult]:
+        """Filter a whole batch, computing each distinct name-table mask once."""
+        masks: Dict[int, np.ndarray] = {}
+        out: List[QueryResult] = []
+        for result in results:
+            table = result.name_table
+            if table is None:
+                out.append(self.apply(result, filters))
+                continue
+            key = id(table)
+            if key not in masks:
+                masks[key] = self.filter_mask(table, filters)
+            out.append(self.apply(result, filters, mask=masks[key]))
+        return out
+
+    # -- persistence --------------------------------------------------------------------
+
+    def to_dict(self) -> Dict:
+        """JSON-ready sidecar payload (raw values, versioned)."""
+        return {
+            "format_version": METADATA_FORMAT_VERSION,
+            "documents": {name: dict(fields) for name, fields in self._records.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "MetadataStore":
+        """Rebuild a store from :meth:`to_dict` output; validates the version."""
+        version = payload.get("format_version")
+        if version != METADATA_FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported metadata sidecar version {version!r} "
+                f"(this reader understands version {METADATA_FORMAT_VERSION})"
+            )
+        documents = payload.get("documents")
+        if not isinstance(documents, Mapping):
+            raise ValueError("metadata sidecar is missing the 'documents' mapping")
+        return cls(documents)
+
+    def save(self, path: PathLike) -> int:
+        """Write the sidecar JSON to *path*; returns the bytes written."""
+        data = json.dumps(self.to_dict(), indent=2, sort_keys=False) + "\n"
+        path = Path(path)
+        path.write_text(data, encoding="utf-8")
+        return len(data.encode("utf-8"))
+
+    @classmethod
+    def load(cls, path: PathLike) -> "MetadataStore":
+        """Load a sidecar written by :meth:`save`.
+
+        Raises :class:`ValueError` on malformed JSON or version mismatch and
+        lets :class:`FileNotFoundError` propagate for missing files.
+        """
+        path = Path(path)
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"{path} is not a valid metadata sidecar: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise ValueError(f"{path} is not a valid metadata sidecar (not an object)")
+        return cls.from_dict(payload)
+
+    def save_for(self, index_path: PathLike) -> Path:
+        """Write the sidecar next to the index artifact; returns its path."""
+        target = sidecar_path(index_path)
+        self.save(target)
+        return target
+
+    def __repr__(self) -> str:
+        return f"MetadataStore(documents={len(self._records)}, fields={self.fields()})"
+
+
+def load_sidecar_for(index_path: PathLike) -> Optional[MetadataStore]:
+    """The metadata store of the index at *index_path*, or ``None``.
+
+    Detection is by sidecar-file existence (``<index>.meta.json``), so
+    indexes written before the header extension — and sidecars copied next
+    to an old artifact by hand — are picked up identically.
+    """
+    target = sidecar_path(index_path)
+    if not target.exists():
+        return None
+    return MetadataStore.load(target)

@@ -1,0 +1,46 @@
+"""Cost-based query planning: pick the backend, order, and post-filters.
+
+The repository serves several queryable structures (RAMBO full/sparse,
+COBS, the SBT family, the inverted index) whose batch-size/selectivity
+sweet spots differ by an order of magnitude — and even one artifact offers
+several evaluation strategies (vectorised batch vs the scalar reference,
+full vs RAMBO+ sparse pruning).  This package turns backend choice from a
+caller-supplied constant into a measured decision:
+
+* :mod:`repro.plan.cost` — a tiny linear :class:`CostModel` per backend
+  (``setup + n_terms * (per_term + per_term_selectivity * selectivity)``),
+  fit from micro-measurements and persisted as versioned JSON next to the
+  index artifact.
+* :mod:`repro.plan.planner` — :class:`Planner`: estimates each registered
+  backend's cost for a concrete query batch, runs the cheapest, orders
+  conjunctive AND chains by estimated term selectivity (rarest term first,
+  so the early exit fires sooner) and applies post-query metadata filters
+  (:mod:`repro.meta`).
+
+The standing invariant: the planner is an **optimizer, not an oracle** —
+every planned execution returns the same document sets as the naive RAMBO
+full path on the same terms (property-tested, and gated unconditionally in
+``benchmarks/bench_planner.py``).
+"""
+
+from repro.plan.cost import (
+    COST_MODEL_FORMAT_VERSION,
+    CostModel,
+    cost_model_path,
+)
+from repro.plan.planner import (
+    Backend,
+    Planner,
+    QueryPlan,
+    choose_method,
+)
+
+__all__ = [
+    "COST_MODEL_FORMAT_VERSION",
+    "Backend",
+    "CostModel",
+    "Planner",
+    "QueryPlan",
+    "choose_method",
+    "cost_model_path",
+]

@@ -1,0 +1,421 @@
+"""The planner: estimate, choose, order, execute, post-filter.
+
+A :class:`Backend` is one *executable evaluation strategy*, not necessarily
+one data structure.  The planner's default choice set for a RAMBO artifact
+is three strategies over the **same** index object::
+
+    batch-full    query_terms_batch(method="full")   — the vectorised engine
+    batch-sparse  query_terms_batch(method="sparse") — RAMBO+ pruning
+    scalar-full   per-term query_term loop           — the scalar reference
+
+All three provably return the same document sets (RAMBO's sparse path is
+an exact pruning, and the batch engine is the vectorised form of the
+scalar loop), which is what lets the planner promise its standing
+invariant: planning changes *when and in what order* bits are probed,
+never *which documents come back*.  Structurally different indexes (COBS,
+SBT, inverted) expose the same ``capabilities()`` / ``cost_hints()`` hooks
+so a multi-artifact deployment can rank them too — but they are separate
+artifacts with their own false-positive profiles, so they are registered
+explicitly by the caller, never silently swapped in for a RAMBO query.
+
+Given a batch, the planner (1) estimates per-term selectivity through the
+index's cheap summary (one repetition-0 gather for RAMBO), (2) prices each
+backend with the :class:`~repro.plan.cost.CostModel` at the batch's
+``(n_terms, mean selectivity)`` point and runs the cheapest, (3) for
+conjunctive (AND-chain) queries reorders terms rarest-first so the
+engine's early exit fires as soon as possible, and (4) intersects the
+results with the metadata mask when the caller attached filters.
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.base import MembershipIndex, QueryResult, Term, check_query_method
+from repro.plan.cost import CostModel, measure_samples
+
+#: Terms sampled from a batch for the selectivity estimate that prices
+#: backends.  Conjunction ordering estimates every term (the estimate is
+#: ~1/R of a query and the ordering needs all of them); disjunctive
+#: pricing only needs the mean, so a bounded sample keeps planning O(1).
+SELECTIVITY_SAMPLE_TERMS = 64
+
+#: The two execution shapes the planner understands.
+PLAN_MODES = ("batch", "conjunction")
+
+
+class Backend:
+    """One executable evaluation strategy over one index artifact."""
+
+    def __init__(
+        self,
+        name: str,
+        index: MembershipIndex,
+        *,
+        method: str = "full",
+        scalar: bool = False,
+    ) -> None:
+        check_query_method(method)
+        self.name = name
+        self.index = index
+        self.method = method
+        self.scalar = scalar
+        self._term_takes_method = (
+            "method" in inspect.signature(index.query_term).parameters
+        )
+
+    def _scalar_term(self, term: Term) -> QueryResult:
+        if self._term_takes_method:
+            return self.index.query_term(term, method=self.method)
+        return self.index.query_term(term)
+
+    def run_batch(self, terms: Sequence[Term]) -> List[QueryResult]:
+        """Independent per-term results for the whole batch."""
+        if self.scalar:
+            return [self._scalar_term(term) for term in terms]
+        return self.index.query_terms_batch(terms, method=self.method)
+
+    def run_conjunction(self, terms: Sequence[Term]) -> QueryResult:
+        """Documents containing every term of the chain."""
+        if self.scalar:
+            return self._scalar_conjunction(terms)
+        return self.index.query_terms(terms, method=self.method)
+
+    def _scalar_conjunction(self, terms: Sequence[Term]) -> QueryResult:
+        documents: Optional[set] = None
+        probes = 0
+        for term in terms:
+            result = self._scalar_term(term)
+            probes += result.filters_probed
+            if documents is None:
+                documents = set(result.documents)
+            else:
+                documents &= result.documents
+            if not documents:
+                break
+        if documents is None:
+            documents = set(self.index.document_names)
+        return QueryResult(documents=frozenset(documents), filters_probed=probes)
+
+    def __repr__(self) -> str:
+        return f"Backend({self.name!r}, method={self.method!r}, scalar={self.scalar})"
+
+
+@dataclass
+class QueryPlan:
+    """What the planner decided for one batch, and why."""
+
+    mode: str
+    backend: str
+    requested: str
+    n_terms: int
+    estimated_selectivity: float
+    estimates: Dict[str, float] = field(default_factory=dict)
+    ordered: bool = False
+    filtered: bool = False
+
+    def as_dict(self) -> Dict:
+        """JSON-ready form, served by ``/stats`` and ``POST /query``."""
+        return {
+            "mode": self.mode,
+            "backend": self.backend,
+            "requested": self.requested,
+            "n_terms": self.n_terms,
+            "estimated_selectivity": round(self.estimated_selectivity, 6),
+            "estimates": {
+                name: round(seconds, 9) for name, seconds in sorted(self.estimates.items())
+            },
+            "ordered": self.ordered,
+            "filtered": self.filtered,
+        }
+
+
+@dataclass
+class PlannedExecution:
+    """A plan plus the results of running it."""
+
+    plan: QueryPlan
+    results: List[QueryResult]
+
+    @property
+    def result(self) -> QueryResult:
+        """The single result of a conjunction execution."""
+        if self.plan.mode != "conjunction":
+            raise AttributeError("batch executions carry .results, not .result")
+        return self.results[0]
+
+
+def choose_method(
+    index: MembershipIndex,
+    n_terms: int,
+    selectivity: float,
+    cost_model: Optional[CostModel] = None,
+) -> Tuple[str, Dict[str, float]]:
+    """The cheaper of ``full``/``sparse`` for *index* at a workload point.
+
+    The lightweight entry point the query service uses to resolve
+    ``backend="auto"`` into a concrete coalescable ``method`` without
+    building a full :class:`Planner` around a rotating snapshot.  Returns
+    the method and the per-strategy cost estimates that justified it.
+    """
+    model = default_cost_model(index)
+    if cost_model is not None:
+        model = cost_model.merged_with(model)
+    estimates = {"batch-full": model.estimate("batch-full", n_terms, selectivity)}
+    if index.capabilities().get("sparse") and "batch-sparse" in model:
+        estimates["batch-sparse"] = model.estimate("batch-sparse", n_terms, selectivity)
+    chosen = min(estimates, key=estimates.get)
+    return ("sparse" if chosen == "batch-sparse" else "full"), estimates
+
+
+def default_cost_model(index: MembershipIndex) -> CostModel:
+    """A model seeded from the index's :meth:`cost_hints` priors."""
+    model = CostModel()
+    for name, coefficients in index.cost_hints().items():
+        model.set_backend(name, coefficients)
+    if "batch-full" not in model:
+        # Structures without a batch kernel still price a "batch" entry —
+        # their query_terms_batch IS the scalar loop.
+        model.set_backend("batch-full", model.coefficients("scalar-full") or {})
+    return model
+
+
+class Planner:
+    """Cost-based executor over a set of registered backends."""
+
+    def __init__(
+        self,
+        backends: Sequence[Backend],
+        *,
+        cost_model: Optional[CostModel] = None,
+        metadata=None,
+        estimator: Optional[MembershipIndex] = None,
+    ) -> None:
+        if not backends:
+            raise ValueError("a Planner needs at least one backend")
+        self._backends: Dict[str, Backend] = {}
+        for backend in backends:
+            if backend.name in self._backends:
+                raise ValueError(f"duplicate backend name {backend.name!r}")
+            self._backends[backend.name] = backend
+        #: The index whose summaries drive selectivity estimation (and whose
+        #: cost_hints seed the default model): the first backend's artifact.
+        self._estimator = estimator if estimator is not None else backends[0].index
+        defaults = default_cost_model(self._estimator)
+        self.cost_model = (
+            cost_model.merged_with(defaults) if cost_model is not None else defaults
+        )
+        self.metadata = metadata
+        self._counters: Dict[str, object] = {
+            "plans": 0,
+            "auto": 0,
+            "filtered": 0,
+            "ordered": 0,
+            "by_backend": {},
+            "by_mode": {},
+        }
+
+    @classmethod
+    def for_index(
+        cls,
+        index: MembershipIndex,
+        *,
+        cost_model: Optional[CostModel] = None,
+        metadata=None,
+        include_scalar: bool = True,
+    ) -> "Planner":
+        """The standard single-artifact planner: three strategies, one index.
+
+        ``include_scalar=False`` drops the scalar reference from the choice
+        set (it exists so benchmarks can price the worst static choice; a
+        production planner never wants it chosen *or* offered).
+        """
+        backends = [Backend("batch-full", index, method="full")]
+        if index.capabilities().get("sparse"):
+            backends.append(Backend("batch-sparse", index, method="sparse"))
+        if include_scalar:
+            backends.append(Backend("scalar-full", index, method="full", scalar=True))
+        return cls(backends, cost_model=cost_model, metadata=metadata, estimator=index)
+
+    @property
+    def backend_names(self) -> List[str]:
+        return sorted(self._backends)
+
+    def backend(self, name: str) -> Backend:
+        try:
+            return self._backends[name]
+        except KeyError:
+            raise ValueError(
+                f"unknown backend {name!r} (expected 'auto' or one of "
+                f"{', '.join(self.backend_names)})"
+            ) from None
+
+    # -- planning ------------------------------------------------------------------------
+
+    def estimate_selectivities(self, terms: Sequence[Term]) -> np.ndarray:
+        """Per-term estimates through the estimator index's cheap summary."""
+        return self._estimator.estimate_selectivities(terms)
+
+    def plan(
+        self,
+        terms: Sequence[Term],
+        *,
+        mode: str = "batch",
+        backend: str = "auto",
+        per_term: Optional[np.ndarray] = None,
+    ) -> QueryPlan:
+        """Price every backend for this batch and pick one.
+
+        An explicit *backend* short-circuits the choice but still records
+        the estimates, so ``/stats`` shows what "auto" would have done.
+        """
+        if mode not in PLAN_MODES:
+            raise ValueError(f"unknown plan mode {mode!r} (expected one of {PLAN_MODES})")
+        n_terms = len(terms)
+        if per_term is None:
+            sample = terms[:SELECTIVITY_SAMPLE_TERMS]
+            per_term = self.estimate_selectivities(sample)
+        selectivity = float(np.mean(per_term)) if len(per_term) else 0.0
+        estimates = {
+            name: self.cost_model.estimate(name, n_terms, selectivity)
+            for name in self._backends
+            if name in self.cost_model
+        }
+        if backend == "auto":
+            if not estimates:
+                raise ValueError("no cost constants for any registered backend")
+            chosen = min(estimates, key=estimates.get)
+        else:
+            chosen = self.backend(backend).name
+        return QueryPlan(
+            mode=mode,
+            backend=chosen,
+            requested=backend,
+            n_terms=n_terms,
+            estimated_selectivity=selectivity,
+            estimates=estimates,
+        )
+
+    # -- execution -----------------------------------------------------------------------
+
+    def execute(
+        self,
+        terms: Sequence[Term],
+        *,
+        mode: str = "batch",
+        backend: str = "auto",
+        filters: Optional[Mapping] = None,
+        order_terms: bool = True,
+    ) -> PlannedExecution:
+        """Plan and run one batch; returns results plus the plan that made them.
+
+        ``mode="batch"`` answers every term independently (one result per
+        term, order preserved); ``mode="conjunction"`` answers the AND
+        chain, by default reordered rarest-term-first — reordering an AND
+        chain cannot change its intersection, only how soon the early exit
+        fires.  *filters* restrict results to documents matching the
+        attached metadata store (:meth:`repro.meta.MetadataStore.apply`).
+        """
+        terms = list(terms)
+        estimate_all = mode == "conjunction" and order_terms and len(terms) > 1
+        sample = terms if estimate_all else terms[:SELECTIVITY_SAMPLE_TERMS]
+        per_term = self.estimate_selectivities(sample)
+        plan = self.plan(terms, mode=mode, backend=backend, per_term=per_term)
+        chosen = self.backend(plan.backend)
+
+        if mode == "batch":
+            results = chosen.run_batch(terms)
+        else:
+            ordered_terms = terms
+            if estimate_all:
+                # Stable sort: uninformative (all-equal) estimates keep the
+                # caller's order, informative ones front-load rare terms.
+                order = np.argsort(per_term, kind="stable")
+                ordered_terms = [terms[i] for i in order]
+                plan.ordered = bool(np.any(order != np.arange(len(terms))))
+            results = [chosen.run_conjunction(ordered_terms)]
+
+        if filters:
+            if self.metadata is None:
+                raise ValueError(
+                    "cannot filter: this planner has no metadata store attached "
+                    "(was the index built with --metadata?)"
+                )
+            results = self.metadata.apply_batch(results, filters)
+            plan.filtered = True
+
+        self._count(plan)
+        return PlannedExecution(plan=plan, results=results)
+
+    def _count(self, plan: QueryPlan) -> None:
+        self._counters["plans"] += 1
+        if plan.requested == "auto":
+            self._counters["auto"] += 1
+        if plan.filtered:
+            self._counters["filtered"] += 1
+        if plan.ordered:
+            self._counters["ordered"] += 1
+        by_backend = self._counters["by_backend"]
+        by_backend[plan.backend] = by_backend.get(plan.backend, 0) + 1
+        by_mode = self._counters["by_mode"]
+        by_mode[plan.mode] = by_mode.get(plan.mode, 0) + 1
+
+    def stats(self) -> Dict:
+        """Plan-decision counters, JSON-ready (served under ``/stats``)."""
+        return {
+            "plans": self._counters["plans"],
+            "auto": self._counters["auto"],
+            "filtered": self._counters["filtered"],
+            "ordered": self._counters["ordered"],
+            "by_backend": dict(self._counters["by_backend"]),
+            "by_mode": dict(self._counters["by_mode"]),
+            "backends": self.backend_names,
+            "cost_model": self.cost_model.to_dict(),
+        }
+
+    # -- calibration ---------------------------------------------------------------------
+
+    def calibrate(
+        self,
+        *,
+        sizes: Sequence[int] = (16, 128, 512),
+        repeats: int = 3,
+        seed: int = 0,
+        terms: Optional[Sequence[Term]] = None,
+    ) -> CostModel:
+        """Micro-measure every backend on this machine and refit the model.
+
+        Probes are random 63-bit codes (almost all negative — the cheap
+        end of the selectivity axis) plus, when the caller supplies
+        *terms* actually present in the corpus, a positive pool whose
+        measured mean selectivity labels the expensive end.  The fitted
+        model replaces :attr:`cost_model` and is returned for persisting
+        (``CostModel.save_for``).
+        """
+        rng = np.random.default_rng(seed)
+        pool_size = max(max(sizes), 1)
+        negative = rng.integers(0, 2**63, size=pool_size, dtype=np.uint64)
+        pools: Dict[float, Sequence] = {}
+        pools[self._pool_selectivity(negative)] = negative
+        if terms is not None and len(terms):
+            positive = list(terms)
+            pools[self._pool_selectivity(positive)] = positive
+        runners = {
+            name: backend.run_batch for name, backend in self._backends.items()
+        }
+        samples = measure_samples(runners, pools, sizes, repeats=repeats)
+        fitted = CostModel()
+        fitted.fit(samples)
+        self.cost_model = fitted.merged_with(self.cost_model)
+        return self.cost_model
+
+    def _pool_selectivity(self, pool: Sequence[Term]) -> float:
+        estimates = self.estimate_selectivities(list(pool))
+        return float(np.mean(estimates)) if len(estimates) else 0.0
+
+    def __repr__(self) -> str:
+        return f"Planner(backends={self.backend_names})"

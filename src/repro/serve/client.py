@@ -77,23 +77,40 @@ class ServeClient:
         method: str = "full",
         canonical: bool = False,
         coalesce: bool = True,
+        backend: Optional[str] = None,
+        filters: Optional[Dict] = None,
     ) -> Dict:
-        """Per-term answers for *terms*; see ``POST /query`` for the schema."""
-        return self._request(
-            "/query",
-            {
-                "terms": list(terms),
-                "method": method,
-                "canonical": canonical,
-                "coalesce": coalesce,
-            },
-        )
+        """Per-term answers for *terms*; see ``POST /query`` for the schema.
+
+        *backend* (``"auto"``/``"full"``/``"sparse"``) routes the request
+        through the server's cost-based planner and *filters* restricts
+        results via the served metadata sidecar; either makes the response
+        carry a ``"plan"`` record.
+        """
+        payload: Dict = {
+            "terms": list(terms),
+            "method": method,
+            "canonical": canonical,
+            "coalesce": coalesce,
+        }
+        if backend is not None:
+            payload["backend"] = backend
+        if filters is not None:
+            payload["filters"] = dict(filters)
+        return self._request("/query", payload)
 
     def query_documents(
-        self, terms: Sequence[Term], method: str = "full", canonical: bool = False
+        self,
+        terms: Sequence[Term],
+        method: str = "full",
+        canonical: bool = False,
+        backend: Optional[str] = None,
+        filters: Optional[Dict] = None,
     ) -> List[List[str]]:
         """Just the sorted document-name lists, one per term, in term order."""
-        response = self.query(terms, method=method, canonical=canonical)
+        response = self.query(
+            terms, method=method, canonical=canonical, backend=backend, filters=filters
+        )
         return [entry["documents"] for entry in response["results"]]
 
     def stats(self, fill: bool = False) -> Dict:

@@ -7,13 +7,20 @@ blocked thread per in-flight request, not one index probe per request.
 The JSON surface:
 
 ``POST /query``
-    Body ``{"terms": [...], "method": "full"|"sparse", "canonical": bool,
-    "coalesce": bool}``.  Terms may be integer k-mer codes or strings;
-    k-length DNA strings are normalised to codes server-side with the same
-    rule the CLI build/query path uses.  Returns ``{"snapshot_id": id,
-    "results": [{"term": <as sent>, "documents": [...], "filters_probed":
-    n}]}`` with documents sorted.  ``"coalesce": false`` requests the
-    uncoalesced direct path (benchmark baseline).
+    Body ``{"terms": [...], "method": "full"|"sparse", "backend":
+    "auto"|"full"|"sparse", "filters": {field: value-or-list}, "canonical":
+    bool, "coalesce": bool}``.  Terms may be integer k-mer codes or
+    strings; k-length DNA strings are normalised to codes server-side with
+    the same rule the CLI build/query path uses.  ``backend`` supersedes
+    ``method`` when present: ``"auto"`` lets the cost-based planner pick
+    the evaluation strategy per batch (resolved before coalescing, so auto
+    requests still share ticks), and the response then carries a ``"plan"``
+    record.  ``filters`` restrict results to documents matching the served
+    index's metadata sidecar (normalise-and-match; requires an index built
+    with metadata).  Returns ``{"snapshot_id": id, "results": [{"term":
+    <as sent>, "documents": [...], "filters_probed": n}], "plan": {...}}``
+    with documents sorted.  ``"coalesce": false`` requests the uncoalesced
+    direct path (benchmark baseline).
 
 ``GET /stats``
     The service's full stats record (same index schema as ``repro-rambo
@@ -166,13 +173,28 @@ class ServeRequestHandler(BaseHTTPRequestHandler):
             self._send_error_json("terms must be integers or strings", 400)
             return
         method = payload.get("method", "full")
+        backend = payload.get("backend")
+        filters = payload.get("filters")
+        if filters is not None and not isinstance(filters, dict):
+            self._send_error_json("'filters' must be a JSON object", 400)
+            return
         canonical = bool(payload.get("canonical", False))
         coalesce = bool(payload.get("coalesce", True))
         service = self.server.service
         k = service.snapshots.active.index.k  # type: ignore[union-attr]
         normalised = [normalise_query_term(term, k, canonical=canonical) for term in terms]
+        plan = None
         try:
-            if coalesce:
+            if backend is not None or filters:
+                # The planned path: "backend" supersedes "method" (an
+                # explicit method is honoured as backend=<method>).
+                batch, plan = service.query_planned(
+                    normalised,
+                    backend=backend if backend is not None else method,
+                    filters=filters,
+                    coalesce=coalesce,
+                )
+            elif coalesce:
                 batch = service.query(normalised, method=method)
             else:
                 batch = service.query_direct(normalised, method=method)
@@ -182,19 +204,20 @@ class ServeRequestHandler(BaseHTTPRequestHandler):
         except Exception as exc:  # noqa: BLE001 - surfaced as a 500, not a dead socket
             self._send_error_json(f"query failed: {exc}", 500)
             return
-        self._send_json(
-            {
-                "snapshot_id": batch.snapshot_id,
-                "results": [
-                    {
-                        "term": term,
-                        "documents": sorted(result.documents),
-                        "filters_probed": result.filters_probed,
-                    }
-                    for term, result in zip(terms, batch.results)
-                ],
-            }
-        )
+        response = {
+            "snapshot_id": batch.snapshot_id,
+            "results": [
+                {
+                    "term": term,
+                    "documents": sorted(result.documents),
+                    "filters_probed": result.filters_probed,
+                }
+                for term, result in zip(terms, batch.results)
+            ],
+        }
+        if plan is not None:
+            response["plan"] = plan
+        self._send_json(response)
 
     def _parse_append_document(self, record, k: int, canonical: bool, min_count: int):
         """One JSON document record -> :class:`KmerDocument` (raises ValueError)."""

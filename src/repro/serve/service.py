@@ -32,7 +32,7 @@ from typing import Dict, Hashable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.core.base import QueryResult, check_query_method
+from repro.core.base import QUERY_METHODS, QueryResult, check_query_method
 from repro.core.rambo import Rambo
 from repro.core.serialization import describe_index
 from repro.serve.cache import DEFAULT_CACHE_SIZE, AnswerCache
@@ -40,6 +40,9 @@ from repro.serve.coalescer import DEFAULT_TICK_SECONDS, RequestCoalescer, Served
 from repro.serve.snapshot import Snapshot, SnapshotManager
 
 PathLike = Union[str, Path]
+
+#: Terms sampled per request when ``backend="auto"`` estimates selectivity.
+AUTO_SAMPLE_TERMS = 64
 
 
 def canonical_term(term: Hashable) -> Hashable:
@@ -84,7 +87,20 @@ class QueryService:
         )
         self.coalescer = RequestCoalescer(self._resolve, tick_seconds=tick_seconds)
         self.ingest = None
+        #: Metadata sidecar and calibrated cost model travelling with the
+        #: served artifact; reloaded on every rotation (see
+        #: :meth:`_reload_artifacts`).
+        self.metadata = None
+        self.cost_model = None
+        self._plan_counters: Dict[str, object] = {
+            "plans": 0,
+            "auto": 0,
+            "filtered": 0,
+            "by_method": {},
+        }
         self._closed = False
+        if path is not None:
+            self._reload_artifacts(path)
 
     @classmethod
     def open(cls, path: PathLike, mode: str = "r", **kwargs) -> "QueryService":
@@ -92,6 +108,24 @@ class QueryService:
         from repro.core.serialization import open_index
 
         return cls(open_index(path, mode=mode), path, **kwargs)
+
+    def _reload_artifacts(self, path: Optional[PathLike]) -> None:
+        """Pick up the sidecar artifacts of the index at *path*.
+
+        The metadata sidecar and the calibrated cost model are files next
+        to the index artifact, so they rotate with it: a ``swap``/``rotate``
+        to a new path re-resolves both (and drops them when the new artifact
+        has none — stale filters would be silently wrong).
+        """
+        from repro.meta import load_sidecar_for
+        from repro.plan.cost import CostModel
+
+        if path is None:
+            self.metadata = None
+            self.cost_model = None
+            return
+        self.metadata = load_sidecar_for(path)
+        self.cost_model = CostModel.load_for(path)
 
     # -- the resolver (ticker thread only) ----------------------------------------------
 
@@ -151,15 +185,110 @@ class QueryService:
             results = snapshot.index.query_terms_batch(list(terms), method=method)
             return ServedBatch(snapshot.snapshot_id, results)
 
+    # -- planned serving ----------------------------------------------------------------
+
+    def resolve_backend(self, terms: Sequence[Hashable], backend: str = "auto") -> Dict:
+        """Resolve a requested backend into a concrete coalescable method.
+
+        ``"auto"`` prices ``full`` vs ``sparse`` for this batch with the
+        artifact's calibrated cost model (falling back to the index's
+        ``cost_hints`` priors) under a brief snapshot lease; an explicit
+        method passes through unchanged.  Resolving *before* coalescer
+        submission is what makes auto requests tick-coalescable: by the
+        time a request joins a tick it names the same concrete method as
+        explicit requests, so they share one resolver call.
+
+        Returns the plan record served back in ``POST /query`` responses:
+        ``{"requested", "method", ...}`` plus estimates for auto plans.
+        """
+        if backend in QUERY_METHODS:
+            return {"requested": backend, "method": backend}
+        if backend != "auto":
+            raise ValueError(
+                f"unknown backend {backend!r} (expected 'auto' or one of "
+                f"{', '.join(QUERY_METHODS)})"
+            )
+        from repro.plan.planner import choose_method
+
+        with self.snapshots.lease() as snapshot:
+            assert snapshot.index is not None
+            sample = list(terms[:AUTO_SAMPLE_TERMS])
+            estimates = snapshot.index.estimate_selectivities(sample)
+            selectivity = float(np.mean(estimates)) if len(estimates) else 0.0
+            method, costs = choose_method(
+                snapshot.index, len(terms), selectivity, self.cost_model
+            )
+        return {
+            "requested": "auto",
+            "method": method,
+            "estimated_selectivity": round(selectivity, 6),
+            "estimates": {name: round(cost, 9) for name, cost in sorted(costs.items())},
+        }
+
+    def query_planned(
+        self,
+        terms: Sequence[Hashable],
+        backend: str = "auto",
+        filters: Optional[Dict] = None,
+        *,
+        coalesce: bool = True,
+        timeout: Optional[float] = None,
+    ) -> Tuple[ServedBatch, Dict]:
+        """The planned serving path: resolve, coalesce, post-filter.
+
+        Returns ``(batch, plan)``.  Filters are applied *after* the
+        coalescer at this request's edge, so the answer cache keeps storing
+        unfiltered per-term results that every client shares regardless of
+        its filters; the filtered batch is bit-identical to filtering the
+        unfiltered results locally (the HTTP round-trip identity the smoke
+        job asserts).  Raises :class:`ValueError` when filters are given
+        but the served artifact has no metadata sidecar.
+        """
+        terms = list(terms)
+        plan = self.resolve_backend(terms, backend)
+        if filters:
+            if self.metadata is None:
+                raise ValueError(
+                    "cannot filter: the served index has no metadata sidecar "
+                    "(was it built with --metadata?)"
+                )
+            # Validate eagerly so a malformed filter is a 400 before any probing.
+            self.metadata.normalise_filters(filters)
+        if coalesce:
+            batch = self.query(terms, method=plan["method"], timeout=timeout)
+        else:
+            batch = self.query_direct(terms, method=plan["method"])
+        if filters:
+            batch = ServedBatch(
+                batch.snapshot_id, self.metadata.apply_batch(batch.results, filters)
+            )
+            plan["filtered"] = True
+        self._count_plan(plan)
+        return batch, plan
+
+    def _count_plan(self, plan: Dict) -> None:
+        counters = self._plan_counters
+        counters["plans"] += 1
+        if plan["requested"] == "auto":
+            counters["auto"] += 1
+        if plan.get("filtered"):
+            counters["filtered"] += 1
+        by_method = counters["by_method"]
+        by_method[plan["method"]] = by_method.get(plan["method"], 0) + 1
+
     # -- rotation -----------------------------------------------------------------------
 
     def swap(self, index: Rambo, path: Optional[PathLike] = None) -> Snapshot:
         """Atomically serve *index* from now on (see :meth:`SnapshotManager.swap`)."""
-        return self.snapshots.swap(index, path)
+        snapshot = self.snapshots.swap(index, path)
+        self._reload_artifacts(path)
+        return snapshot
 
     def rotate(self, path: PathLike, mode: str = "r") -> Snapshot:
         """Open the index file at *path* and swap it in atomically."""
-        return self.snapshots.rotate_from(path, mode=mode)
+        snapshot = self.snapshots.rotate_from(path, mode=mode)
+        self._reload_artifacts(path)
+        return snapshot
 
     # -- streaming ingest ---------------------------------------------------------------
 
@@ -189,11 +318,20 @@ class QueryService:
         with self.snapshots.lease() as snapshot:
             assert snapshot.index is not None
             index_record = describe_index(snapshot.index, snapshot.path, fill=fill)
+        counters = self._plan_counters
         record = {
             "snapshots": self.snapshots.stats(),
             "cache": self.cache.stats(),
             "coalescer": self.coalescer.stats(),
             "index": index_record,
+            "planner": {
+                "plans": counters["plans"],
+                "auto": counters["auto"],
+                "filtered": counters["filtered"],
+                "by_method": dict(counters["by_method"]),
+                "metadata_documents": len(self.metadata) if self.metadata else 0,
+                "cost_model": self.cost_model.to_dict() if self.cost_model else None,
+            },
         }
         if self.ingest is not None:
             record["ingest"] = self.ingest.stats()

@@ -282,7 +282,7 @@ class TestQueryService:
 
     def test_stats_shares_describe_index_schema(self, service, index):
         stats = service.stats()
-        assert set(stats) == {"snapshots", "cache", "coalescer", "index"}
+        assert set(stats) == {"snapshots", "cache", "coalescer", "index", "planner"}
         reference = describe_index(index, None, fill=False)
         assert stats["index"] == reference
         assert stats["snapshots"]["active"]["snapshot_id"] == 1
