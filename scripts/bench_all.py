@@ -44,6 +44,7 @@ DEFAULT_BENCHES = (
     "benchmarks/bench_ingest.py",
     "benchmarks/bench_ablation.py",
     "benchmarks/bench_planner.py",
+    "benchmarks/bench_replication.py",
 )
 
 

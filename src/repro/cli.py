@@ -476,27 +476,63 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         raise SystemExit(f"--cache-size must be >= 0, got {args.cache_size}")
     if args.compact_after < 0:
         raise SystemExit(f"--compact-after must be >= 0, got {args.compact_after}")
-    service = QueryService.open(
-        args.index,
-        cache_size=args.cache_size,
-        tick_seconds=args.tick_ms / 1000.0,
-    )
-    if args.wal:
-        # Streaming ingest: recover the WAL directory's state (replaying any
-        # appends a previous process acknowledged but never compacted) and
-        # expose POST /append and /compact.  Appends published after this
-        # line are durable before they are acknowledged.
-        from repro.ingest import IngestEngine
+    if args.replicate_from:
+        # Warm standby: no local index file — the base snapshot comes from
+        # the primary (or a previous standby run of the same --wal dir).
+        if args.index:
+            raise SystemExit(
+                "--replicate-from takes no index argument (the base snapshot "
+                "is fetched from the primary)"
+            )
+        if not args.wal:
+            raise SystemExit("--replicate-from requires --wal DIR")
+        from repro.replicate import ReplicaEngine
 
-        engine = IngestEngine(
-            service, args.wal, auto_compact_docs=args.compact_after
+        service, _replica = ReplicaEngine.bootstrap(
+            args.replicate_from,
+            args.wal,
+            service_opts={
+                "cache_size": args.cache_size,
+                "tick_seconds": args.tick_ms / 1000.0,
+            },
+            segment_bytes=args.wal_segment_bytes,
+            promote_kwargs={
+                "auto_compact_docs": args.compact_after,
+                "group_commit_ms": args.group_commit_ms,
+                "replica_ack": args.replica_ack,
+            },
         )
-        service.attach_ingest(engine)
+        served = f"standby of {args.replicate_from}"
+    else:
+        if not args.index:
+            raise SystemExit("an index file is required unless --replicate-from is given")
+        service = QueryService.open(
+            args.index,
+            cache_size=args.cache_size,
+            tick_seconds=args.tick_ms / 1000.0,
+        )
+        served = args.index
+        if args.wal:
+            # Streaming ingest: recover the WAL directory's state (replaying any
+            # appends a previous process acknowledged but never compacted) and
+            # expose POST /append and /compact.  Appends published after this
+            # line are durable before they are acknowledged.
+            from repro.ingest import IngestEngine
+
+            engine = IngestEngine(
+                service,
+                args.wal,
+                auto_compact_docs=args.compact_after,
+                segment_bytes=args.wal_segment_bytes,
+                group_commit_ms=args.group_commit_ms,
+                replica_ack=args.replica_ack,
+            )
+            service.attach_ingest(engine)
     server, _thread = start_http_server(
         service, host=args.host, port=args.port, quiet=not args.verbose
     )
     host, port = server.server_address[:2]
-    print(f"serving {args.index} on http://{host}:{port}", flush=True)
+    print(f"serving {served} on http://{host}:{port}", flush=True)
     if args.ready_file:
         # Ops/CI handshake: the file appears only once the socket is bound,
         # so a supervisor can poll for it instead of parsing stdout.
@@ -510,6 +546,27 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     finally:
         server.shutdown()
         service.close()
+    return 0
+
+
+def _cmd_promote(args: argparse.Namespace) -> int:
+    """Promote a running standby to primary via ``POST /promote``."""
+    from repro.serve.client import ServeClient, ServeClientError
+
+    try:
+        record = ServeClient(args.server).promote()
+    except ServeClientError as exc:
+        raise SystemExit(f"promote failed: {exc}") from exc
+    if record.get("promoted"):
+        print(
+            f"promoted {args.server} to primary "
+            f"(generation {record.get('generation')})"
+        )
+    else:
+        print(
+            f"{args.server} is already a {record.get('role', 'primary')} "
+            f"(generation {record.get('generation')})"
+        )
     return 0
 
 
@@ -696,7 +753,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve = sub.add_parser(
         "serve", help="serve an index over JSON/HTTP with coalescing and caching"
     )
-    serve.add_argument("index", help="index file written by 'build' (v1 or mmap)")
+    serve.add_argument(
+        "index", nargs="?", default=None,
+        help="index file written by 'build' (v1 or mmap); omitted with "
+             "--replicate-from (the base snapshot comes from the primary)",
+    )
     serve.add_argument("--host", default="127.0.0.1", help="bind address (default 127.0.0.1)")
     serve.add_argument(
         "--port", type=int, default=8080,
@@ -722,6 +783,31 @@ def build_parser() -> argparse.ArgumentParser:
         help="with --wal: background-compact the delta into a new snapshot "
              "once it holds N documents (default 1024; 0 = manual "
              "compaction via POST /compact only)",
+    )
+    serve.add_argument(
+        "--replicate-from", metavar="URL", default=None,
+        help="run as a warm standby of the primary at URL: fetch its base "
+             "snapshot, tail its WAL stream into --wal DIR, serve read-only "
+             "queries; POST /promote turns this node into a primary",
+    )
+    serve.add_argument(
+        "--wal-segment-bytes", type=int, default=None, metavar="N",
+        help="with --wal: roll the WAL to a fresh segment once the current "
+             "one reaches N bytes (default REPRO_WAL_SEGMENT_BYTES or 64 MiB; "
+             "0 = one segment per generation)",
+    )
+    serve.add_argument(
+        "--group-commit-ms", type=float, default=None, metavar="MS",
+        help="with --wal: group-commit window — concurrent appends arriving "
+             "within MS share one fsync (default REPRO_GROUP_COMMIT_MS or 0 "
+             "= one fsync per batch)",
+    )
+    serve.add_argument(
+        "--replica-ack", type=int, default=0, metavar="N",
+        help="with --wal: acknowledge appends only after N standbys durably "
+             "applied them (default 0 = asynchronous replication); standbys "
+             "whose ack lease expires stop counting, so a dead standby "
+             "degrades to async instead of blocking writes",
     )
     serve.add_argument(
         "--ready-file", metavar="PATH", default=None,
@@ -765,6 +851,16 @@ def build_parser() -> argparse.ArgumentParser:
              "generation) after the last batch",
     )
     ingest.set_defaults(func=_cmd_ingest)
+
+    promote = sub.add_parser(
+        "promote",
+        help="promote a running standby ('serve --replicate-from') to primary",
+    )
+    promote.add_argument(
+        "--server", metavar="URL", required=True,
+        help="base URL of the standby to promote (idempotent on a primary)",
+    )
+    promote.set_defaults(func=_cmd_promote)
 
     calibrate = sub.add_parser(
         "calibrate",

@@ -53,10 +53,10 @@ from repro.core.rambo import Rambo
 from repro.core.serialization import open_index, save_index
 from repro.ingest.overlay import DeltaOverlayIndex
 from repro.io.walformat import (
-    WalWriter,
+    SegmentedWalWriter,
     _fsync_directory,
-    replay_wal,
-    truncate_torn_tail,
+    replay_wal_generation,
+    truncate_torn_generation,
     validate_document,
 )
 from repro.kmers.extraction import KmerDocument
@@ -67,6 +67,40 @@ MANIFEST_NAME = "MANIFEST.json"
 
 #: Default delta size (documents) at which the background compactor fires.
 DEFAULT_AUTO_COMPACT_DOCS = 1024
+
+#: Default WAL segment roll size (bytes); override with REPRO_WAL_SEGMENT_BYTES.
+DEFAULT_WAL_SEGMENT_BYTES = 64 * 1024 * 1024
+
+
+def _env_int(name: str, default: int) -> int:
+    raw = os.environ.get(name)
+    if raw is None:
+        return default
+    try:
+        return int(raw)
+    except ValueError as exc:
+        raise ValueError(f"{name} must be an integer, got {raw!r}") from exc
+
+
+def _env_float(name: str, default: float) -> float:
+    raw = os.environ.get(name)
+    if raw is None:
+        return default
+    try:
+        return float(raw)
+    except ValueError as exc:
+        raise ValueError(f"{name} must be a number, got {raw!r}") from exc
+
+
+class ReplicationLagError(RuntimeError):
+    """A semi-synchronous append was durable locally but the configured
+    number of standbys did not acknowledge it within the ack timeout.
+
+    The write IS in the primary's WAL — on a retry the recovery dedup (by
+    document name) makes it a no-op — but the caller must treat its fate
+    as unknown until a node holding it answers.  Surfaced over HTTP as a
+    503 so :class:`~repro.serve.client.FailoverClient` retries it.
+    """
 
 
 @dataclass(frozen=True)
@@ -98,7 +132,29 @@ class IngestEngine:
     fsync:
         Disable only in tests that measure the non-durability ceiling;
         production appends must fsync before acknowledging.
+    segment_bytes:
+        Roll the WAL to a fresh segment once the current one reaches this
+        size (``0`` = one segment per generation).  Defaults to
+        ``REPRO_WAL_SEGMENT_BYTES`` (64 MiB).
+    group_commit_ms:
+        Commit window for group-commit: concurrent appenders arriving
+        within the window share one fsync and are acknowledged together
+        after it returns.  ``0`` (the default, also via
+        ``REPRO_GROUP_COMMIT_MS``) keeps the one-fsync-per-batch path.
+    replica_ack:
+        Semi-synchronous replication: acknowledge an append only once this
+        many standbys have durably applied it (``0`` = asynchronous).  A
+        standby whose ack lease expires stops counting toward the quorum,
+        so a dead standby degrades the pair to async instead of wedging
+        every append.
+    replica_ack_timeout_s:
+        How long a semi-sync append waits for the standby quorum before
+        raising :class:`ReplicationLagError`.
     """
+
+    #: Replication role — :class:`~repro.replicate.replica.ReplicaEngine`
+    #: reports ``"replica"``; the HTTP layer rejects writes on replicas.
+    role = "primary"
 
     def __init__(
         self,
@@ -107,6 +163,10 @@ class IngestEngine:
         *,
         auto_compact_docs: int = 0,
         fsync: bool = True,
+        segment_bytes: Optional[int] = None,
+        group_commit_ms: Optional[float] = None,
+        replica_ack: int = 0,
+        replica_ack_timeout_s: float = 30.0,
     ) -> None:
         self.service = service
         self.wal_dir = Path(wal_dir)
@@ -114,6 +174,22 @@ class IngestEngine:
         self._lock = threading.RLock()
         self._fsync = fsync
         self._closed = False
+        if segment_bytes is None:
+            segment_bytes = _env_int(
+                "REPRO_WAL_SEGMENT_BYTES", DEFAULT_WAL_SEGMENT_BYTES
+            )
+        if group_commit_ms is None:
+            group_commit_ms = _env_float("REPRO_GROUP_COMMIT_MS", 0.0)
+        self.segment_bytes = int(segment_bytes)
+        self.group_commit_ms = float(group_commit_ms)
+        self._gc_cond = threading.Condition(threading.Lock())
+        self._gc_leader_active = False
+        # Durable watermark as (generation, committed_records): compaction
+        # bumps the generation, which lexicographically covers every record
+        # of older generations (they are durable via the snapshot commit
+        # point), so waiters never compare record counts across generations.
+        self._gc_committed = (0, 0)
+        self._gc_error: Optional[str] = None
         self.append_batches = 0
         self.appended_documents = 0
         self.compactions = 0
@@ -123,6 +199,14 @@ class IngestEngine:
         self.replay_skipped = 0
         self.torn_bytes_truncated = 0
         self._recover()
+        # Imported lazily: repro.replicate imports this module for promote().
+        from repro.replicate.log import ReplicationLog
+
+        self.replication = ReplicationLog(
+            self,
+            replica_ack=replica_ack,
+            ack_timeout_s=replica_ack_timeout_s,
+        )
         self.compactor: Optional[BackgroundCompactor] = (
             BackgroundCompactor(self, auto_compact_docs) if auto_compact_docs > 0 else None
         )
@@ -197,10 +281,13 @@ class IngestEngine:
         self._base = base
         self._base_path = base_path
         self._delta = Rambo(base.config)
-        wal_path = self.wal_dir / wal_name
-        if wal_path.exists():
-            replay = replay_wal(wal_path, expected_config=base.config)
-            self.torn_bytes_truncated = truncate_torn_tail(wal_path, replay)
+        replay = replay_wal_generation(
+            self.wal_dir, self.generation, expected_config=base.config
+        )
+        segments = None
+        if replay is not None:
+            self.torn_bytes_truncated = truncate_torn_generation(replay)
+            segments = replay.segments
             # Idempotence across the durable-but-unacknowledged crash
             # window: a record whose documents already made it into the
             # base (compaction raced the crash) replays as a no-op, and a
@@ -222,8 +309,13 @@ class IngestEngine:
             self.replayed_documents = len(fresh)
             if fresh:
                 self._delta.add_documents(fresh)
-        self._wal = WalWriter(
-            wal_path, base.config, self.generation, fsync=self._fsync
+        self._wal = SegmentedWalWriter(
+            self.wal_dir,
+            base.config,
+            self.generation,
+            segment_bytes=self.segment_bytes,
+            fsync=self._fsync,
+            segments=segments,
         )
         if manifest is None:
             self._write_manifest(self.generation, None, wal_name)
@@ -236,18 +328,22 @@ class IngestEngine:
 
         Only files this engine's naming scheme produced are candidates; the
         operator-supplied initial index lives outside ``wal_dir`` and is
-        never touched.
+        never touched.  All rolled segments of the *current* generation are
+        kept — they are the replication catch-up source until the next
+        compaction retires the whole generation at once.
         """
+        keep_prefix = f"wal-{self.generation:06d}"
         keep = {
-            self._wal_name(self.generation),
             self._snapshot_name(self.generation),
             MANIFEST_NAME,
         }
         for path in self.wal_dir.iterdir():
-            if path.name in keep:
+            if path.name in keep or (
+                path.name.startswith(keep_prefix) and path.suffix in (".log", ".seg")
+            ):
                 continue
             if (
-                (path.name.startswith("wal-") and path.suffix == ".log")
+                (path.name.startswith("wal-") and path.suffix in (".log", ".seg"))
                 or (path.name.startswith("snapshot-") and path.suffix == ".rambo2")
                 or path.suffix == ".tmp"
             ):
@@ -271,6 +367,18 @@ class IngestEngine:
         type) before any byte is written — a rejected batch leaves WAL,
         delta and the served snapshot untouched.  Concurrent appends serialise on the
         ingest lock; queries are unaffected (they lease snapshots).
+
+        With ``group_commit_ms > 0`` the WAL write is buffered and the
+        batch joins the open commit group: one appender becomes the
+        leader, sleeps out the window, fsyncs every buffered batch with a
+        single call, publishes one overlay covering them all, and wakes
+        the group.  Nothing is acknowledged — and nothing newly buffered
+        is served — before that shared fsync returns.
+
+        With ``replica_ack > 0`` the acknowledgement additionally waits
+        for that many standbys to durably apply the batch; a timeout
+        raises :class:`ReplicationLagError` (the write is locally durable
+        and a retry dedupes by name).
         """
         docs = list(documents)
         if not docs:
@@ -281,6 +389,7 @@ class IngestEngine:
                     self._delta.num_documents,
                     self._wal.size_bytes,
                 )
+        group = self.group_commit_ms > 0
         with self._lock:
             if self._closed:
                 raise ValueError("ingest engine is closed")
@@ -296,17 +405,85 @@ class IngestEngine:
                 validate_document(doc)  # WAL-encodable (name length, term types)
                 if len(doc):
                     doc.validated_hash_keys()
-            wal_bytes = self._wal.append(docs)  # durability point: fsynced
+            generation = self.generation
+            wal_bytes = self._wal.append(docs, sync=not group)
             self._delta.add_documents(docs)
             self.append_batches += 1
             self.appended_documents += len(docs)
-            snapshot = self._publish_overlay()
-            result = AppendResult(
-                len(docs), snapshot.snapshot_id, self._delta.num_documents, wal_bytes
-            )
+            if group:
+                # Buffered, not yet durable: the records of this batch end
+                # at committed + pending.  The group leader's sync commits
+                # them; only then may this batch be acknowledged or served.
+                target_records = self._wal.total_records
+            else:
+                target_records = self._wal.committed_records
+                snapshot = self._publish_overlay()
+                result = AppendResult(
+                    len(docs),
+                    snapshot.snapshot_id,
+                    self._delta.num_documents,
+                    wal_bytes,
+                )
+        if group:
+            self._group_commit((generation, target_records))
+            with self._lock:
+                result = AppendResult(
+                    len(docs),
+                    self.service.snapshots.active.snapshot_id,
+                    self._delta.num_documents,
+                    self._wal.size_bytes,
+                )
+        # Outside the ingest lock: the standby's catch-up reads take the
+        # same lock, so a semi-sync wait inside it would deadlock the pair.
+        self.replication.notify()
+        if self.replication.replica_ack > 0:
+            self.replication.wait_replicated(generation, target_records)
         if self.compactor is not None:
             self.compactor.maybe_trigger()
         return result
+
+    def _group_commit(self, target) -> None:
+        """Block until the durable watermark covers *target* ``(gen, records)``.
+
+        First appender to arrive while no leader is active becomes the
+        leader: it sleeps out the commit window (letting more appends
+        buffer), then — under the ingest lock — issues the one shared
+        fsync and publishes one overlay covering everything it committed.
+        Everyone else waits on the committed watermark.  A compaction that
+        races the window also advances the watermark (its snapshot commit
+        point makes every buffered record of the old generation durable).
+        """
+        while True:
+            with self._gc_cond:
+                while True:
+                    if self._gc_error is not None and self._gc_committed < target:
+                        raise ValueError(
+                            f"group commit failed; WAL poisoned: {self._gc_error}"
+                        )
+                    if self._gc_committed >= target:
+                        return
+                    if not self._gc_leader_active:
+                        self._gc_leader_active = True
+                        break
+                    self._gc_cond.wait()
+            try:
+                time.sleep(self.group_commit_ms / 1000.0)
+                with self._lock:
+                    self._wal.sync()
+                    self._publish_overlay()
+                    committed = (self.generation, self._wal.committed_records)
+                with self._gc_cond:
+                    self._gc_committed = max(self._gc_committed, committed)
+                    self._gc_leader_active = False
+                    self._gc_cond.notify_all()
+            except Exception as exc:
+                with self._gc_cond:
+                    self._gc_error = repr(exc)
+                    self._gc_leader_active = False
+                    self._gc_cond.notify_all()
+                raise
+            # This leader's own batch was buffered before its sync, so the
+            # watermark now covers it and the loop exits on the next pass.
 
     @property
     def delta_documents(self) -> int:
@@ -328,6 +505,11 @@ class IngestEngine:
             if self._closed or not self._delta.num_documents:
                 return None
             started = time.perf_counter()
+            # Drain any open group-commit window first: buffered records are
+            # already in the delta about to be folded, and sealing the old
+            # generation's WAL with unsynced bytes would leave replay and
+            # the fold disagreeing about what the generation holds.
+            self._wal.sync()
             generation = self.generation + 1
             merged = merge_indexes((self._base, self._delta))
             snapshot_name = self._snapshot_name(generation)
@@ -341,10 +523,11 @@ class IngestEngine:
             if self._fsync:
                 _fsync_directory(self.wal_dir)
             wal_name = self._wal_name(generation)
-            new_wal = WalWriter(
-                self.wal_dir / wal_name,
+            new_wal = SegmentedWalWriter(
+                self.wal_dir,
                 self._base.config,
                 generation,
+                segment_bytes=self.segment_bytes,
                 fsync=self._fsync,
             )
             # The commit point: after this rename the new generation is the
@@ -364,7 +547,7 @@ class IngestEngine:
             self.compactions += 1
             self.documents_compacted += documents_folded
             self.last_compaction_seconds = time.perf_counter() - started
-            return {
+            result = {
                 "generation": generation,
                 "snapshot_id": snapshot.snapshot_id,
                 "documents_folded": documents_folded,
@@ -372,13 +555,21 @@ class IngestEngine:
                 "wall_seconds": self.last_compaction_seconds,
                 "snapshot_path": str(snapshot_path),
             }
+        # The snapshot commit point made every old-generation record durable:
+        # release any group waiting on them, then point standbys at the new
+        # generation (their next stream read gets a generation-changed 409).
+        with self._gc_cond:
+            self._gc_committed = max(self._gc_committed, (generation, 0))
+            self._gc_cond.notify_all()
+        self.replication.notify()
+        return result
 
     # -- observability / lifecycle -----------------------------------------------------
 
     def stats(self) -> Dict:
         """JSON-ready WAL/delta/compaction counters (the ``/stats`` block)."""
         with self._lock:
-            return {
+            record = {
                 "generation": self.generation,
                 "wal": {
                     "path": str(self._wal.path),
@@ -387,6 +578,11 @@ class IngestEngine:
                     "replayed_documents": self.replayed_documents,
                     "replay_skipped": self.replay_skipped,
                     "torn_bytes_truncated": self.torn_bytes_truncated,
+                    "segments": self._wal.segment_count,
+                    "segment_bytes": self.segment_bytes,
+                    "records_total": self._wal.committed_records,
+                    "syncs": self._wal.sync_count,
+                    "group_commit_ms": self.group_commit_ms,
                 },
                 "delta": {
                     "documents": self._delta.num_documents,
@@ -408,6 +604,23 @@ class IngestEngine:
                     ),
                 },
             }
+        record["replication"] = self.replication.stats()
+        return record
+
+    def healthz(self) -> Dict:
+        """Readiness detail for ``GET /healthz``.
+
+        A constructed primary has already finished recovery (construction
+        *is* recovery), so it is always ready; the replica override reports
+        ready only once its replay has caught up to the primary.
+        """
+        return {
+            "role": self.role,
+            "ready": True,
+            "wal_attached": True,
+            "generation": self.generation,
+            "replication_lag": 0,
+        }
 
     def close(self) -> None:
         """Stop the background compactor and close the WAL segment."""
@@ -415,6 +628,7 @@ class IngestEngine:
             return
         if self.compactor is not None:
             self.compactor.stop()
+        self.replication.close()
         with self._lock:
             self._closed = True
             self._wal.close()

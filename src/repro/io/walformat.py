@@ -34,6 +34,18 @@ family as :mod:`repro.io.diskformat`'s container::
 The header pins the :class:`~repro.core.rambo.RamboConfig` and the snapshot
 generation the segment extends, so replaying a segment against the wrong
 base index fails loudly instead of silently building a divergent delta.
+Rolled segments (see :class:`SegmentedWalWriter`) additionally pin their
+``segment`` index and ``start_record`` — the global record index of the
+segment's first record within its generation — so a replication catch-up
+read can skip whole segments by header instead of walking every frame.
+
+Segment naming within one generation: the first segment is
+``wal-GGGGGG.log`` (unchanged from the single-segment era, so pre-rolling
+WAL directories replay without migration) and rolled continuations are
+``wal-GGGGGG-NNNN.seg`` for ``NNNN >= 1``.  :func:`replay_wal_generation`
+walks them in order; only the *last* segment may carry a torn tail (a
+crash can only tear the segment being written), torn damage anywhere
+else is corruption and raises.
 
 Crash semantics on replay (:func:`replay_wal`):
 
@@ -336,12 +348,18 @@ class WalWriter:
         generation: int,
         *,
         fsync: bool = True,
+        segment: int = 0,
+        start_record: int = 0,
     ) -> None:
         self.path = Path(path)
         self.config = config
         self.generation = int(generation)
+        self.segment = int(segment)
+        self.start_record = int(start_record)
         self.fsync = fsync
         self.records_appended = 0
+        self.sync_count = 0
+        self._pending_records = 0
         if self.path.exists():
             header, _ = read_wal_header(self.path)
             pinned = RamboConfig.from_dict(header["config"])
@@ -350,6 +368,8 @@ class WalWriter:
                     f"{self.path} belongs to another index generation "
                     f"(gen {header['generation']}, config {pinned})"
                 )
+            self.segment = int(header.get("segment", self.segment))
+            self.start_record = int(header.get("start_record", self.start_record))
             self._handle = open(self.path, "ab")
         else:
             header_bytes = json.dumps(
@@ -358,6 +378,8 @@ class WalWriter:
                     "kind": "rambo-wal",
                     "config": config.to_dict(),
                     "generation": self.generation,
+                    "segment": self.segment,
+                    "start_record": self.start_record,
                 },
                 separators=(",", ":"),
             ).encode("utf-8")
@@ -368,26 +390,31 @@ class WalWriter:
             self._handle.write(header_bytes)
             self._commit()
             _fsync_directory(self.path.parent)
+        self.committed_bytes = self._handle.tell()
 
     def _commit(self) -> None:
         self._handle.flush()
         if self.fsync:
             os.fsync(self._handle.fileno())
+        self.sync_count += 1
 
     @property
     def size_bytes(self) -> int:
-        """Current segment length (committed bytes)."""
+        """Current segment length (committed plus buffered bytes)."""
         return self._handle.tell()
 
-    def append(self, documents: Sequence[KmerDocument]) -> int:
-        """Durably append a document batch; returns the new segment length.
+    def append(self, documents: Sequence[KmerDocument], *, sync: bool = True) -> int:
+        """Append a document batch; returns the new segment length.
 
-        One flush+fsync per batch, after the last record — the batch is the
-        commit unit, matching the engine's ack granularity.  The whole batch
-        is encoded before any byte is buffered, and a write-path failure
-        truncates the segment back to its pre-batch length: a failed append
-        can never leave record bytes behind for a later commit to fsync as
-        if they had been acknowledged.
+        With ``sync=True`` (the default) one flush+fsync commits the batch
+        — the batch is the commit unit, matching the engine's ack
+        granularity.  With ``sync=False`` the records are buffered only: a
+        group-commit caller batches several appends behind one later
+        :meth:`sync` and must not acknowledge anything before it returns.
+        The whole batch is encoded before any byte is buffered, and a
+        write-path failure truncates the segment back to the batch start:
+        a failed append can never leave record bytes behind for a later
+        commit to fsync as if they had been acknowledged.
         """
         payloads = [encode_document(document) for document in documents]
         start = self._handle.tell()
@@ -397,7 +424,8 @@ class WalWriter:
                     _RECORD_PREFIX.pack(len(payload), zlib.crc32(payload))
                 )
                 self._handle.write(payload)
-            self._commit()
+            if sync:
+                self._commit()
         except Exception:
             try:
                 # truncate() flushes any buffered partial batch first, then
@@ -411,14 +439,362 @@ class WalWriter:
                 # no later append can commit the orphaned bytes.
                 self._handle.close()
             raise
-        self.records_appended += len(documents)
+        if sync:
+            self.records_appended += len(documents)
+            self.committed_bytes = self._handle.tell()
+        else:
+            self._pending_records += len(documents)
         return self._handle.tell()
+
+    def sync(self) -> int:
+        """Commit every buffered ``append(..., sync=False)`` batch at once.
+
+        The group-commit durability point: when this returns, all buffered
+        records are on stable storage and may be acknowledged.  Returns the
+        committed segment length.  A failed commit poisons the handle —
+        the storage is dying and no later append may silently succeed.
+        """
+        try:
+            self._commit()
+        except Exception:
+            self._handle.close()
+            raise
+        self.records_appended += self._pending_records
+        self._pending_records = 0
+        self.committed_bytes = self._handle.tell()
+        return self.committed_bytes
 
     def close(self) -> None:
         if not self._handle.closed:
             self._handle.close()
 
     def __enter__(self) -> "WalWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def wal_segment_name(generation: int, segment: int = 0) -> str:
+    """File name of one WAL segment within a generation.
+
+    Segment 0 keeps the pre-rolling name (``wal-GGGGGG.log``) so existing
+    WAL directories replay without migration; rolled continuations are
+    ``wal-GGGGGG-NNNN.seg``.
+    """
+    if segment <= 0:
+        return f"wal-{int(generation):06d}.log"
+    return f"wal-{int(generation):06d}-{int(segment):04d}.seg"
+
+
+def wal_segment_paths(directory: PathLike, generation: int) -> List[Path]:
+    """Existing segment files of one generation, in segment order.
+
+    Continuation segments without the base ``.log``, or a gap in the
+    continuation numbering, mean a file went missing — that is corruption
+    (segments are only pruned whole-generation at compaction) and raises.
+    """
+    directory = Path(directory)
+    base = directory / wal_segment_name(generation, 0)
+    continuations: List[Tuple[int, Path]] = []
+    prefix = f"wal-{int(generation):06d}-"
+    for path in directory.glob(f"{prefix}*.seg"):
+        try:
+            index = int(path.name[len(prefix) : -len(".seg")])
+        except ValueError:
+            continue
+        continuations.append((index, path))
+    continuations.sort()
+    if not base.exists():
+        if continuations:
+            raise WalFormatError(
+                f"{directory} holds rolled WAL segments for generation "
+                f"{generation} but the base segment {base.name} is missing"
+            )
+        return []
+    paths = [base]
+    for expected, (index, path) in enumerate(continuations, start=1):
+        if index != expected:
+            raise WalFormatError(
+                f"{directory} is missing WAL segment "
+                f"{wal_segment_name(generation, expected)} "
+                f"(found {path.name} after {paths[-1].name})"
+            )
+        paths.append(path)
+    return paths
+
+
+@dataclass
+class SegmentInfo:
+    """One segment's committed extent, as needed to resume writing or to
+    serve a replication catch-up read without re-walking every frame."""
+
+    path: Path
+    segment: int
+    start_record: int
+    records: int
+    committed_bytes: int
+    data_offset: int
+
+    @property
+    def end_record(self) -> int:
+        return self.start_record + self.records
+
+
+@dataclass
+class GenerationReplay:
+    """The outcome of replaying every segment of one generation.
+
+    ``documents`` concatenates the intact records of all segments in
+    order.  Only the final segment may carry torn-tail damage; its
+    per-segment :class:`WalReplay` is kept in ``tail`` so
+    :func:`truncate_torn_generation` can cut it back.
+    """
+
+    header: Dict
+    documents: List[KmerDocument] = field(default_factory=list)
+    records: int = 0
+    segments: List[SegmentInfo] = field(default_factory=list)
+    torn_bytes: int = 0
+    torn_reason: Optional[str] = None
+    tail: Optional[WalReplay] = None
+
+    @property
+    def generation(self) -> int:
+        return int(self.header["generation"])
+
+
+def replay_wal_generation(
+    directory: PathLike,
+    generation: int,
+    expected_config: Optional[RamboConfig] = None,
+) -> Optional[GenerationReplay]:
+    """Replay every segment of *generation* in order; ``None`` if none exist.
+
+    A torn tail is legal only in the **last** segment — a crash can only
+    tear the segment being written, and a new segment is opened only after
+    its predecessor's final batch committed.  Torn damage in any earlier
+    segment, or a segment whose pinned ``segment``/``start_record`` header
+    disagrees with its position, raises :class:`WalFormatError`.
+    """
+    paths = wal_segment_paths(directory, generation)
+    if not paths:
+        return None
+    result: Optional[GenerationReplay] = None
+    for position, path in enumerate(paths):
+        replay = replay_wal(path, expected_config)
+        header = replay.header
+        pinned_segment = int(header.get("segment", 0))
+        pinned_start = int(header.get("start_record", 0))
+        if pinned_segment != position:
+            raise WalFormatError(
+                f"{path} pins segment index {pinned_segment} but sits at "
+                f"position {position} of generation {generation}"
+            )
+        if result is None:
+            result = GenerationReplay(header=header)
+        if pinned_start != result.records:
+            raise WalFormatError(
+                f"{path} pins start_record {pinned_start} but "
+                f"{result.records} records precede it"
+            )
+        if replay.torn_bytes and position != len(paths) - 1:
+            raise WalFormatError(
+                f"{path} has torn-tail damage ({replay.torn_reason}) but is "
+                f"not the final segment of generation {generation} — a "
+                f"crash cannot tear a sealed segment; this is corruption"
+            )
+        _, data_offset = read_wal_header(path)
+        result.segments.append(
+            SegmentInfo(
+                path=path,
+                segment=position,
+                start_record=result.records,
+                records=replay.records,
+                committed_bytes=replay.valid_bytes,
+                data_offset=data_offset,
+            )
+        )
+        result.documents.extend(replay.documents)
+        result.records += replay.records
+        if position == len(paths) - 1:
+            result.torn_bytes = replay.torn_bytes
+            result.torn_reason = replay.torn_reason
+            result.tail = replay
+    return result
+
+
+def truncate_torn_generation(replay: GenerationReplay) -> int:
+    """Cut the generation's final segment back to its intact prefix."""
+    if replay.tail is None or replay.torn_bytes <= 0:
+        return 0
+    return truncate_torn_tail(replay.segments[-1].path, replay.tail)
+
+
+class SegmentedWalWriter:
+    """A :class:`WalWriter` that rolls to a fresh segment at a size bound.
+
+    Rolling bounds two things: the byte range any single replay or
+    replication catch-up read must walk, and the copy cost of shipping a
+    segment.  ``segment_bytes=0`` disables rolling (one segment per
+    generation — the pre-rolling behaviour).  The roll happens *before* a
+    batch once the current segment has reached the bound, so a batch never
+    straddles segments and the per-batch commit unit is unchanged.  Any
+    group-commit records still buffered in the old segment are synced as
+    part of sealing it — sealed segments are always fully committed, which
+    is what lets :func:`replay_wal_generation` treat torn damage anywhere
+    but the last segment as corruption.
+    """
+
+    def __init__(
+        self,
+        directory: PathLike,
+        config: RamboConfig,
+        generation: int,
+        *,
+        segment_bytes: int = 0,
+        fsync: bool = True,
+        segments: Optional[Sequence[SegmentInfo]] = None,
+    ) -> None:
+        self.directory = Path(directory)
+        self.config = config
+        self.generation = int(generation)
+        self.segment_bytes = int(segment_bytes)
+        self.fsync = fsync
+        self._sealed: List[SegmentInfo] = []
+        self._sealed_bytes = 0
+        self._sealed_records = 0
+        self._sealed_syncs = 0
+        self._sealed_session_records = 0
+        self._tail_resumed_records = 0
+        self.rolls = 0
+        if segments:
+            for info in segments[:-1]:
+                self._sealed.append(info)
+                self._sealed_bytes += info.committed_bytes
+                self._sealed_records += info.records
+            tail = segments[-1]
+            self._tail_resumed_records = tail.records
+            self._writer = WalWriter(
+                tail.path,
+                config,
+                self.generation,
+                fsync=fsync,
+                segment=tail.segment,
+                start_record=tail.start_record,
+            )
+        else:
+            self._writer = WalWriter(
+                self.directory / wal_segment_name(self.generation, 0),
+                config,
+                self.generation,
+                fsync=fsync,
+            )
+        _, self._writer_data_offset = read_wal_header(self._writer.path)
+
+    @property
+    def path(self) -> Path:
+        """The segment currently being written (stats / display)."""
+        return self._writer.path
+
+    @property
+    def size_bytes(self) -> int:
+        """Total WAL bytes across all segments of this generation."""
+        return self._sealed_bytes + self._writer.size_bytes
+
+    @property
+    def records_appended(self) -> int:
+        """Records committed through *this writer* since it was opened."""
+        return self._sealed_session_records + self._writer.records_appended
+
+    @property
+    def committed_records(self) -> int:
+        """Total committed records in the generation (all segments)."""
+        return (
+            self._sealed_records
+            + self._tail_resumed_records
+            + self._writer.records_appended
+        )
+
+    @property
+    def total_records(self) -> int:
+        """Committed plus still-buffered records (group-commit in flight)."""
+        return self.committed_records + self._writer._pending_records
+
+    @property
+    def sync_count(self) -> int:
+        """fsync batches issued across all segments (group-commit metric)."""
+        return self._sealed_syncs + self._writer.sync_count
+
+    @property
+    def segment_count(self) -> int:
+        return len(self._sealed) + 1
+
+    def segment_infos(self) -> List[SegmentInfo]:
+        """Committed extent of every segment, current one included."""
+        infos = list(self._sealed)
+        infos.append(
+            SegmentInfo(
+                path=self._writer.path,
+                segment=self._writer.segment,
+                start_record=self._writer.start_record,
+                records=self.committed_records - self._writer.start_record,
+                committed_bytes=self._writer.committed_bytes,
+                data_offset=self._writer_data_offset,
+            )
+        )
+        return infos
+
+    def _maybe_roll(self) -> None:
+        if self.segment_bytes <= 0:
+            return
+        if self._writer.size_bytes < self.segment_bytes:
+            return
+        self._writer.sync()
+        next_segment = self._writer.segment + 1
+        next_start = self.committed_records
+        sealed = SegmentInfo(
+            path=self._writer.path,
+            segment=self._writer.segment,
+            start_record=self._writer.start_record,
+            records=next_start - self._writer.start_record,
+            committed_bytes=self._writer.committed_bytes,
+            data_offset=self._writer_data_offset,
+        )
+        self._sealed.append(sealed)
+        self._sealed_bytes += sealed.committed_bytes
+        self._sealed_records += sealed.records
+        self._sealed_syncs += self._writer.sync_count
+        self._sealed_session_records += self._writer.records_appended
+        self._tail_resumed_records = 0
+        self._writer.close()
+        self._writer = WalWriter(
+            self.directory / wal_segment_name(self.generation, next_segment),
+            self.config,
+            self.generation,
+            fsync=self.fsync,
+            segment=next_segment,
+            start_record=next_start,
+        )
+        _, self._writer_data_offset = read_wal_header(self._writer.path)
+        self.rolls += 1
+
+    def append(self, documents: Sequence[KmerDocument], *, sync: bool = True) -> int:
+        """Append a batch (rolling first if the bound is reached); returns
+        the generation's total WAL length."""
+        self._maybe_roll()
+        self._writer.append(documents, sync=sync)
+        return self.size_bytes
+
+    def sync(self) -> int:
+        """Commit buffered group-commit batches; returns committed records."""
+        self._writer.sync()
+        return self.committed_records
+
+    def close(self) -> None:
+        self._writer.close()
+
+    def __enter__(self) -> "SegmentedWalWriter":
         return self
 
     def __exit__(self, *exc_info) -> None:

@@ -26,7 +26,7 @@ the serving benchmark asserts this unconditionally.
 """
 
 from repro.serve.cache import DEFAULT_CACHE_SIZE, AnswerCache
-from repro.serve.client import ServeClient, ServeClientError
+from repro.serve.client import FailoverClient, ServeClient, ServeClientError
 from repro.serve.coalescer import (
     DEFAULT_TICK_SECONDS,
     RequestCoalescer,
@@ -41,6 +41,7 @@ __all__ = [
     "AnswerCache",
     "DEFAULT_CACHE_SIZE",
     "DEFAULT_TICK_SECONDS",
+    "FailoverClient",
     "QueryService",
     "RequestCoalescer",
     "ServeClient",

@@ -12,6 +12,9 @@ the in-process API.
 from __future__ import annotations
 
 import json
+import random
+import threading
+import time
 import urllib.error
 import urllib.request
 from typing import Dict, List, Optional, Sequence, Union
@@ -150,3 +153,161 @@ class ServeClient:
     def compact(self) -> Dict:
         """Fold the server's delta into a new snapshot generation."""
         return self._request("/compact", {})
+
+    def promote(self) -> Dict:
+        """Promote a standby server to primary (idempotent on a primary)."""
+        return self._request("/promote", {})
+
+
+class FailoverClient:
+    """A client over an endpoint list that retries and fails over.
+
+    Reads (``query``/``stats``/``healthz``) and writes (``append``/
+    ``compact``) are retried on transport failures, 500s and 503s — a 503
+    is how a replica says "not me, try the primary" — rotating through the
+    endpoints with exponential backoff plus jitter until the retry budget
+    runs out.  Other 4xx responses raise immediately: the server answered,
+    the request itself is wrong.
+
+    Fate-unknown semantics for appends: a transport error after the
+    request may have been transmitted leaves the batch's fate unknown —
+    it may be durable on a node we can no longer reach.  Retrying is safe
+    because WAL recovery (and the live append path) dedupe by document
+    name, making appends effectively idempotent; when a retry lands after
+    the original *did* apply, the server's "already indexed" rejection is
+    translated back into a success acknowledgement (``{"appended": 0,
+    "already_indexed": True}``) — but only when this very call previously
+    saw an unknown-fate failure, so a genuinely duplicate append still
+    raises.
+
+    Parameters
+    ----------
+    endpoints:
+        Base URLs in preference order (the first healthy one sticks until
+        it fails).
+    timeout:
+        Per-request socket timeout — deliberately shorter than
+        :class:`ServeClient`'s default: failover time is bounded by it.
+    retries:
+        Retry budget per call (total attempts = ``retries + 1``).
+    backoff_s / backoff_cap_s / jitter:
+        Exponential backoff between attempts: ``min(cap, backoff * 2**n)``
+        scaled by ``1 + jitter * random()``.
+    rng:
+        Seedable randomness source for the jitter (tests).
+    """
+
+    def __init__(
+        self,
+        endpoints: Sequence[str],
+        *,
+        timeout: float = 10.0,
+        retries: int = 6,
+        backoff_s: float = 0.05,
+        backoff_cap_s: float = 1.0,
+        jitter: float = 0.5,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        if isinstance(endpoints, str):
+            endpoints = [endpoints]
+        if not endpoints:
+            raise ValueError("FailoverClient needs at least one endpoint")
+        self.clients = [ServeClient(url, timeout=timeout) for url in endpoints]
+        self.retries = int(retries)
+        self.backoff_s = float(backoff_s)
+        self.backoff_cap_s = float(backoff_cap_s)
+        self.jitter = float(jitter)
+        self._rng = rng if rng is not None else random.Random()
+        self._lock = threading.Lock()
+        self._preferred = 0
+        self.failovers = 0
+        self.retried_calls = 0
+        self.unknown_fate_retries = 0
+
+    @property
+    def endpoints(self) -> List[str]:
+        return [client.base_url for client in self.clients]
+
+    def _sleep_backoff(self, attempt: int) -> None:
+        base = min(self.backoff_cap_s, self.backoff_s * (2**attempt))
+        time.sleep(base * (1.0 + self.jitter * self._rng.random()))
+
+    def _advance(self) -> None:
+        with self._lock:
+            self._preferred = (self._preferred + 1) % len(self.clients)
+            self.failovers += 1
+
+    def _call(self, op, *args, write: bool = False, **kwargs):
+        """Run ``op(client, *args, **kwargs)`` with retry/failover."""
+        unknown_fate = False
+        last_error: Optional[ServeClientError] = None
+        for attempt in range(self.retries + 1):
+            if attempt:
+                self.retried_calls += 1
+                self._sleep_backoff(attempt - 1)
+            with self._lock:
+                client = self.clients[self._preferred]
+            try:
+                return op(client, *args, **kwargs)
+            except ServeClientError as exc:
+                last_error = exc
+                status = exc.status
+                if status is not None and 400 <= status < 500 and status != 503:
+                    if (
+                        write
+                        and unknown_fate
+                        and status == 400
+                        and "already indexed" in str(exc)
+                    ):
+                        # The lost attempt DID apply: translate the dedup
+                        # rejection back into the acknowledgement the
+                        # caller never received.
+                        self.unknown_fate_retries += 1
+                        return {"appended": 0, "already_indexed": True}
+                    raise
+                if write and status is None:
+                    unknown_fate = True
+                self._advance()
+        raise ServeClientError(
+            f"all {len(self.clients)} endpoints failed after "
+            f"{self.retries + 1} attempts; last error: {last_error}",
+            status=last_error.status if last_error else None,
+        ) from last_error
+
+    # -- the mirrored surface ----------------------------------------------------------
+
+    def query(self, terms: Sequence[Term], **kwargs) -> Dict:
+        return self._call(lambda c: c.query(terms, **kwargs))
+
+    def query_documents(self, terms: Sequence[Term], **kwargs) -> List[List[str]]:
+        return self._call(lambda c: c.query_documents(terms, **kwargs))
+
+    def stats(self, fill: bool = False) -> Dict:
+        return self._call(lambda c: c.stats(fill=fill))
+
+    def healthz(self) -> Dict:
+        return self._call(lambda c: c.healthz())
+
+    def append(
+        self,
+        documents: Sequence[Dict],
+        canonical: bool = False,
+        min_count: int = 1,
+    ) -> Dict:
+        return self._call(
+            lambda c: c.append(documents, canonical=canonical, min_count=min_count),
+            write=True,
+        )
+
+    def compact(self) -> Dict:
+        return self._call(lambda c: c.compact(), write=True)
+
+    def promote(self, endpoint: Optional[str] = None) -> Dict:
+        """Promote *endpoint* (or the current preferred node) to primary."""
+        if endpoint is not None:
+            target = endpoint.rstrip("/")
+            for client in self.clients:
+                if client.base_url == target:
+                    return client.promote()
+            raise ValueError(f"{endpoint!r} is not one of this client's endpoints")
+        return self._call(lambda c: c.promote(), write=True)

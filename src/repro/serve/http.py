@@ -132,24 +132,21 @@ class ServeRequestHandler(BaseHTTPRequestHandler):
     # -- endpoints ----------------------------------------------------------------------
 
     def do_GET(self) -> None:  # noqa: N802 - stdlib naming
-        """Dispatch ``GET /stats`` and ``GET /healthz``."""
+        """Dispatch ``GET /stats``, ``/healthz``, ``/wal/stream`` and ``/wal/snapshot``."""
         path, _, query = self.path.partition("?")
         if path == "/stats":
             self._send_json(self.server.service.stats(fill="fill=1" in query))
         elif path == "/healthz":
-            snapshot = self.server.service.snapshots.active
-            self._send_json(
-                {
-                    "ok": True,
-                    "snapshot_id": snapshot.snapshot_id,
-                    "documents": snapshot.index.num_documents if snapshot.index else 0,
-                }
-            )
+            self._handle_healthz()
+        elif path == "/wal/stream":
+            self._handle_wal_stream(query)
+        elif path == "/wal/snapshot":
+            self._handle_wal_snapshot()
         else:
             self._send_error_json(f"unknown endpoint {path!r}", 404)
 
     def do_POST(self) -> None:  # noqa: N802 - stdlib naming
-        """Dispatch ``POST /query``, ``/rotate``, ``/append`` and ``/compact``."""
+        """Dispatch the JSON POST endpoints."""
         if self.path == "/query":
             self._handle_query()
         elif self.path == "/rotate":
@@ -158,8 +155,38 @@ class ServeRequestHandler(BaseHTTPRequestHandler):
             self._handle_append()
         elif self.path == "/compact":
             self._handle_compact()
+        elif self.path == "/wal/ack":
+            self._handle_wal_ack()
+        elif self.path == "/promote":
+            self._handle_promote()
         else:
             self._send_error_json(f"unknown endpoint {self.path!r}", 404)
+
+    def _handle_healthz(self) -> None:
+        """Readiness detail; 503 until the node can serve consistent answers.
+
+        A static server and a recovered primary are ready immediately; a
+        replica is ready only once its replay has caught up to the
+        primary's cursor (queries before that would silently answer from a
+        stale prefix while claiming health).
+        """
+        service = self.server.service
+        snapshot = service.snapshots.active
+        record = {
+            "ok": True,
+            "snapshot_id": snapshot.snapshot_id,
+            "documents": snapshot.index.num_documents if snapshot.index else 0,
+            "role": "static",
+            "ready": True,
+            "wal_attached": service.ingest is not None,
+            "replication_lag": 0,
+        }
+        ingest = service.ingest
+        healthz = getattr(ingest, "healthz", None)
+        if callable(healthz):
+            record.update(healthz())
+            record["ok"] = bool(record.get("ready", True))
+        self._send_json(record, status=200 if record["ok"] else 503)
 
     def _handle_query(self) -> None:
         payload = self._read_json_body()
@@ -249,12 +276,32 @@ class ServeRequestHandler(BaseHTTPRequestHandler):
             return KmerDocument(name, np.asarray(normalised, dtype=np.uint64))
         return KmerDocument(name, frozenset(normalised), source_format="text")
 
-    def _handle_append(self) -> None:
+    def _writable_ingest(self):
+        """The attached ingest engine, or ``None`` after sending the error.
+
+        A replica answers 503 (not 400): the request is valid, this node
+        just cannot take it — a :class:`~repro.serve.client.FailoverClient`
+        rotates to the primary on that signal.
+        """
         service = self.server.service
         if service.ingest is None:
             self._send_error_json(
                 "streaming ingest is not enabled; restart the server with --wal", 400
             )
+            return None
+        if getattr(service.ingest, "role", "primary") == "replica":
+            self._send_error_json(
+                "this node is a read-only replica; retry on the primary "
+                "(or POST /promote here first)",
+                503,
+            )
+            return None
+        return service.ingest
+
+    def _handle_append(self) -> None:
+        service = self.server.service
+        ingest = self._writable_ingest()
+        if ingest is None:
             return
         payload = self._read_json_body()
         if payload is None:
@@ -277,12 +324,16 @@ class ServeRequestHandler(BaseHTTPRequestHandler):
                 self._parse_append_document(record, k, canonical, min_count)
                 for record in records
             ]
-            result = service.ingest.append(documents)
+            result = ingest.append(documents)
         except ValueError as exc:
             self._send_error_json(str(exc), 400)
             return
         except Exception as exc:  # noqa: BLE001 - surfaced as a 500, not a dead socket
-            self._send_error_json(f"append failed: {exc}", 500)
+            # A semi-sync append that timed out waiting for its standby
+            # quorum is locally durable but of unknown replicated fate:
+            # 503 tells the failover client to retry (recovery dedupes).
+            status = 503 if type(exc).__name__ == "ReplicationLagError" else 500
+            self._send_error_json(f"append failed: {exc}", status)
             return
         self._send_json(
             {
@@ -293,25 +344,25 @@ class ServeRequestHandler(BaseHTTPRequestHandler):
             }
         )
 
-    def _handle_compact(self) -> None:
-        service = self.server.service
-        if service.ingest is None:
-            self._send_error_json(
-                "streaming ingest is not enabled; restart the server with --wal", 400
-            )
-            return
-        # /compact takes no parameters, so an empty body is legal; drain
-        # whatever body the client did send — fully, however large — so no
-        # unread bytes corrupt the next pipelined request on this
-        # keep-alive connection.
+    def _drain_body(self) -> None:
+        """Read and discard the request body — fully, however large — so no
+        unread bytes corrupt the next pipelined request on this
+        keep-alive connection."""
         remaining = int(self.headers.get("Content-Length", 0) or 0)
         while remaining > 0:
             chunk = self.rfile.read(min(remaining, 1 << 20))
             if not chunk:
                 break
             remaining -= len(chunk)
+
+    def _handle_compact(self) -> None:
+        ingest = self._writable_ingest()
+        if ingest is None:
+            return
+        # /compact takes no parameters, so an empty body is legal.
+        self._drain_body()
         try:
-            record = service.ingest.compact()
+            record = ingest.compact()
         except Exception as exc:  # noqa: BLE001 - surfaced as a 500, not a dead socket
             self._send_error_json(f"compaction failed: {exc}", 500)
             return
@@ -319,6 +370,187 @@ class ServeRequestHandler(BaseHTTPRequestHandler):
             self._send_json({"compacted": False})
         else:
             self._send_json({"compacted": True, **record})
+
+    # -- replication -------------------------------------------------------------------
+
+    def _handle_wal_stream(self, query: str) -> None:
+        """Chunked stream of committed WAL record frames from a cursor.
+
+        ``?generation=G&offset=N`` resumes at record ``N`` of generation
+        ``G``; a 409 (with the current generation in the body) tells the
+        standby to re-sync from the snapshot.  The stream long-polls: after
+        draining everything committed it waits up to ``wait_s`` for more,
+        and ends cleanly once a wait comes up empty — the standby just
+        reconnects with its advanced cursor.
+        """
+        from urllib.parse import parse_qs
+
+        service = self.server.service
+        replication = getattr(service.ingest, "replication", None)
+        if replication is None:
+            self._send_error_json(
+                "this node has no primary WAL to stream (not a primary)", 400
+            )
+            return
+        params = parse_qs(query)
+        try:
+            generation = int(params.get("generation", ["0"])[0])
+            offset = int(params.get("offset", ["0"])[0])
+            wait_s = min(float(params.get("wait_s", ["25"])[0]), 60.0)
+            max_bytes = min(int(params.get("max_bytes", [str(1 << 20)])[0]), 32 << 20)
+        except ValueError as exc:
+            self._send_error_json(f"bad stream parameters: {exc}", 400)
+            return
+        try:
+            data, n_records, committed = replication.read(
+                generation, offset, max_bytes=max_bytes
+            )
+        except ValueError as exc:
+            self._send_error_json(str(exc), 400)
+            return
+        except Exception as exc:  # noqa: BLE001 - GenerationChanged, duck-typed
+            if type(exc).__name__ != "GenerationChanged":
+                raise
+            self._send_json(
+                {"error": str(exc), "generation": exc.generation}, status=409
+            )
+            return
+        self.send_response(200)
+        self.send_header("Content-Type", "application/octet-stream")
+        self.send_header("Transfer-Encoding", "chunked")
+        self.send_header("X-Wal-Generation", str(generation))
+        self.send_header("X-Wal-Start-Offset", str(offset))
+        self.send_header("X-Wal-Records", str(committed))
+        self.end_headers()
+        cursor = offset
+        try:
+            while True:
+                if data:
+                    self.wfile.write(b"%x\r\n" % len(data) + data + b"\r\n")
+                    self.wfile.flush()
+                    cursor += n_records
+                elif not replication.wait_for_records(generation, cursor, wait_s):
+                    break  # idle: end the stream, the standby reconnects
+                try:
+                    data, n_records, _ = replication.read(
+                        generation, cursor, max_bytes=max_bytes
+                    )
+                except Exception as exc:  # noqa: BLE001 - generation retired mid-stream
+                    if type(exc).__name__ != "GenerationChanged":
+                        raise
+                    break  # the standby's re-request gets the 409
+            self.wfile.write(b"0\r\n\r\n")
+            self.wfile.flush()
+        except OSError:
+            pass  # standby went away mid-stream; its cursor makes resume safe
+        finally:
+            # The chunked framing was written by hand; never let a second
+            # request parse on this connection.
+            self.close_connection = True
+
+    def _handle_wal_snapshot(self) -> None:
+        """Stream the serving base artifact (for standby bootstrap/re-sync).
+
+        The file is opened under the ingest lock — compaction can unlink
+        it a moment later, but the open descriptor keeps the bytes alive
+        for the duration of the copy (and the standby's next stream
+        request would 409 onto the newer generation anyway).
+
+        ``X-Content-Sha256`` carries the artifact's digest so the standby
+        can verify the transfer end-to-end: a snapshot is raw bitmap
+        bytes, and a flipped bit here would silently poison every answer
+        the standby serves after rotating it in.
+        """
+        import hashlib as _hashlib
+        import os as _os
+
+        service = self.server.service
+        ingest = service.ingest
+        if ingest is None:
+            self._send_error_json(
+                "this node has no WAL directory (not a primary)", 400
+            )
+            return
+        with ingest._lock:  # noqa: SLF001 - pin base path + generation together
+            generation = ingest.generation
+            handle = open(ingest._base_path, "rb")  # noqa: SLF001
+        try:
+            size = _os.fstat(handle.fileno()).st_size
+            digest = _hashlib.sha256()
+            while True:
+                chunk = handle.read(1 << 20)
+                if not chunk:
+                    break
+                digest.update(chunk)
+            handle.seek(0)
+            self.send_response(200)
+            self.send_header("Content-Type", "application/octet-stream")
+            self.send_header("Content-Length", str(size))
+            self.send_header("X-Wal-Generation", str(generation))
+            self.send_header("X-Content-Sha256", digest.hexdigest())
+            self.end_headers()
+            while True:
+                chunk = handle.read(1 << 20)
+                if not chunk:
+                    break
+                self.wfile.write(chunk)
+        except OSError:
+            self.close_connection = True
+        finally:
+            handle.close()
+
+    def _handle_wal_ack(self) -> None:
+        service = self.server.service
+        replication = getattr(service.ingest, "replication", None)
+        if replication is None:
+            self._send_error_json(
+                "this node accepts no replication acks (not a primary)", 400
+            )
+            return
+        payload = self._read_json_body()
+        if payload is None:
+            return
+        peer = payload.get("peer")
+        if not isinstance(peer, str) or not peer:
+            self._send_error_json("'peer' must be a non-empty string", 400)
+            return
+        try:
+            generation = int(payload.get("generation", 0))
+            records = int(payload.get("records", 0))
+        except (TypeError, ValueError):
+            self._send_error_json("'generation'/'records' must be integers", 400)
+            return
+        replication.ack(peer, generation, records)
+        self._send_json({"ok": True, "replica_ack": replication.replica_ack})
+
+    def _handle_promote(self) -> None:
+        """Promote a standby to primary; idempotent on an existing primary."""
+        service = self.server.service
+        ingest = service.ingest
+        if ingest is None:
+            self._send_error_json(
+                "nothing to promote: streaming ingest is not enabled", 400
+            )
+            return
+        self._drain_body()
+        promote = getattr(ingest, "promote", None)
+        if not callable(promote):
+            self._send_json(
+                {
+                    "promoted": False,
+                    "role": getattr(ingest, "role", "primary"),
+                    "generation": ingest.generation,
+                }
+            )
+            return
+        try:
+            engine = promote()
+        except Exception as exc:  # noqa: BLE001 - surfaced as a 500, not a dead socket
+            self._send_error_json(f"promote failed: {exc}", 500)
+            return
+        self._send_json(
+            {"promoted": True, "role": engine.role, "generation": engine.generation}
+        )
 
     def _handle_rotate(self) -> None:
         payload = self._read_json_body()

@@ -1,0 +1,206 @@
+"""Programmable network fault injection for replication/client tests.
+
+:class:`FaultyProxy` is a TCP proxy that sits between a client and a real
+server and applies a *fault schedule*: each accepted connection consumes
+the next :class:`Fault` from the schedule (the default ``pass`` fault
+forwards cleanly forever once the schedule is exhausted).  Faults model
+the failure surface a replication stream actually meets:
+
+* ``reset_after(n)`` — forward *n* bytes of the server's response, then
+  hard-RST the client (``SO_LINGER 0``): a connection torn mid-exchange,
+  the fate-unknown case for appends and a mid-frame cut for WAL streams;
+* ``corrupt_after(n)`` — forward everything but flip a byte at position
+  *n* of the server's stream: a torn/damaged frame that must be caught by
+  the record CRC, not applied;
+* ``stall(seconds)`` — accept, forward the request, then sit silent
+  before serving the response: a slow peer that must trip client
+  timeouts rather than wedge the caller forever.
+
+The proxy is deliberately transport-level — it never parses HTTP — so the
+same helper drives :class:`~repro.serve.client.ServeClient` error-path
+tests and the replication state machine.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+import threading
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+@dataclass
+class Fault:
+    """One connection's behaviour. ``kind`` ∈ {pass, reset, corrupt, stall}."""
+
+    kind: str = "pass"
+    after_bytes: int = 0
+    stall_seconds: float = 0.0
+
+    @classmethod
+    def passthrough(cls) -> "Fault":
+        return cls("pass")
+
+    @classmethod
+    def reset_after(cls, n: int) -> "Fault":
+        return cls("reset", after_bytes=n)
+
+    @classmethod
+    def corrupt_after(cls, n: int) -> "Fault":
+        return cls("corrupt", after_bytes=n)
+
+    @classmethod
+    def stall(cls, seconds: float) -> "Fault":
+        return cls("stall", stall_seconds=seconds)
+
+
+class FaultyProxy:
+    """TCP proxy applying one scheduled :class:`Fault` per accepted connection."""
+
+    def __init__(self, target_host: str, target_port: int) -> None:
+        self.target = (target_host, target_port)
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind(("127.0.0.1", 0))
+        self._listener.listen(32)
+        self.host, self.port = self._listener.getsockname()
+        self._lock = threading.Lock()
+        self._schedule: List[Fault] = []
+        self._stopping = threading.Event()
+        self.connections = 0
+        self.faults_fired = 0
+        self._threads: List[threading.Thread] = []
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="faulty-proxy-accept", daemon=True
+        )
+        self._accept_thread.start()
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def schedule(self, *faults: Fault) -> None:
+        """Append faults; each accepted connection consumes the next one."""
+        with self._lock:
+            self._schedule.extend(faults)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._schedule.clear()
+
+    def _next_fault(self) -> Fault:
+        with self._lock:
+            self.connections += 1
+            if self._schedule:
+                fault = self._schedule.pop(0)
+                if fault.kind != "pass":
+                    self.faults_fired += 1
+                return fault
+        return Fault.passthrough()
+
+    def _accept_loop(self) -> None:
+        while not self._stopping.is_set():
+            try:
+                client, _addr = self._listener.accept()
+            except OSError:
+                return
+            fault = self._next_fault()
+            thread = threading.Thread(
+                target=self._serve, args=(client, fault), daemon=True
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    def _serve(self, client: socket.socket, fault: Fault) -> None:
+        upstream: Optional[socket.socket] = None
+        try:
+            upstream = socket.create_connection(self.target, timeout=10.0)
+            if fault.kind == "stall":
+                # Forward the request, then go silent: the response never
+                # comes and the client's timeout is what must save it.
+                self._pump(client, upstream, limit=None)
+                self._stopping.wait(fault.stall_seconds)
+                return
+            # Full duplex: request upstream on a side thread, response back
+            # on this one (where byte-counting faults apply).
+            request_pump = threading.Thread(
+                target=self._pump, args=(client, upstream), daemon=True
+            )
+            request_pump.start()
+            forwarded = 0
+            while True:
+                data = upstream.recv(65536)
+                if not data:
+                    break
+                if fault.kind == "corrupt" and forwarded <= fault.after_bytes < (
+                    forwarded + len(data)
+                ):
+                    index = fault.after_bytes - forwarded
+                    data = data[:index] + bytes([data[index] ^ 0xFF]) + data[index + 1 :]
+                if fault.kind == "reset":
+                    remaining = fault.after_bytes - forwarded
+                    if remaining < len(data):
+                        if remaining > 0:
+                            client.sendall(data[:remaining])
+                        # SO_LINGER 0: close sends RST, not FIN — the
+                        # client sees ECONNRESET mid-read, exactly what a
+                        # kill -9'd server produces.
+                        client.setsockopt(
+                            socket.SOL_SOCKET,
+                            socket.SO_LINGER,
+                            struct.pack("ii", 1, 0),
+                        )
+                        # The request pump is blocked in recv() on this
+                        # socket, and the kernel defers the close (and the
+                        # RST with it) while that syscall holds the file
+                        # description — the client would see a silent hang
+                        # until its own timeout instead of ECONNRESET.
+                        # shutdown(SHUT_RD) is wire-silent but wakes the
+                        # pump's recv with EOF, so the close in ``finally``
+                        # actually fires the reset.
+                        try:
+                            client.shutdown(socket.SHUT_RD)
+                        except OSError:
+                            pass
+                        return
+                client.sendall(data)
+                forwarded += len(data)
+        except OSError:
+            pass
+        finally:
+            for sock in (client, upstream):
+                if sock is not None:
+                    try:
+                        sock.close()
+                    except OSError:
+                        pass
+
+    def _pump(self, source: socket.socket, sink: socket.socket, limit=None) -> None:
+        """Copy bytes source → sink until EOF (request direction)."""
+        try:
+            while True:
+                data = source.recv(65536)
+                if not data:
+                    break
+                sink.sendall(data)
+        except OSError:
+            pass
+        finally:
+            try:
+                sink.shutdown(socket.SHUT_WR)
+            except OSError:
+                pass
+
+    def close(self) -> None:
+        self._stopping.set()
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "FaultyProxy":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -26,6 +26,7 @@ import json
 import shutil
 import struct
 import tempfile
+import threading
 import time
 import zlib
 from pathlib import Path
@@ -673,6 +674,139 @@ class TestIngestHTTP:
             assert "Content-Length" in json.loads(response.read())["error"]
         finally:
             conn.close()
+
+
+class TestSegmentedWal:
+    """WAL segment rolling: bounded segment files, ordered replay, pruning."""
+
+    def test_appends_roll_into_ordered_segments_and_replay(self, ingest_stack):
+        engine = ingest_stack.restart(segment_bytes=256)
+        docs = []
+        for i in range(8):
+            batch = [make_doc(f"s{i}", [i, 50 - i])]
+            engine.append(batch)
+            docs.extend(batch)
+        stats = engine.stats()["wal"]
+        assert stats["segments"] > 1
+        assert stats["segment_bytes"] == 256
+        assert stats["records_total"] == 8
+        segment_files = {
+            path.name
+            for path in ingest_stack.wal_dir.iterdir()
+            if path.suffix in (".log", ".seg")
+        }
+        assert "wal-000000.log" in segment_files  # the generation's base
+        rolled = sorted(segment_files - {"wal-000000.log"})
+        assert rolled == [
+            f"wal-000000-{n:04d}.seg" for n in range(1, len(rolled) + 1)
+        ]
+        # Recovery walks every segment in order and replays all of it.
+        engine = ingest_stack.restart(segment_bytes=256)
+        assert engine.stats()["wal"]["replayed_documents"] == 8
+        reference = build_reference(CONFIG, ingest_stack.base_docs + docs)
+        assert_identical(ingest_stack.served_index(), reference, range(TERM_UNIVERSE))
+        # And appending after a segmented recovery keeps rolling.
+        engine.append([make_doc("post", [44])])
+        assert engine.stats()["wal"]["records_total"] == 9
+
+    def test_torn_tail_in_the_last_segment_recovers(self, ingest_stack):
+        engine = ingest_stack.restart(segment_bytes=256)
+        docs = [make_doc(f"t{i}", [i + 10]) for i in range(5)]
+        for doc in docs:
+            engine.append([doc])
+        assert engine.stats()["wal"]["segments"] > 1
+        last_segment = Path(engine.stats()["wal"]["path"])
+        ingest_stack.stop()
+        payload = encode_document(make_doc("torn", [60, 61]))
+        framed = struct.pack("<II", len(payload), zlib.crc32(payload)) + payload
+        with open(last_segment, "ab") as handle:
+            handle.write(framed[: len(framed) - 3])
+        engine = ingest_stack.start(segment_bytes=256)
+        stats = engine.stats()["wal"]
+        assert stats["replayed_documents"] == 5
+        assert stats["torn_bytes_truncated"] == len(framed) - 3
+        reference = build_reference(CONFIG, ingest_stack.base_docs + docs)
+        assert_identical(ingest_stack.served_index(), reference, range(TERM_UNIVERSE))
+
+    def test_compaction_retires_every_segment_of_the_old_generation(self, ingest_stack):
+        engine = ingest_stack.restart(segment_bytes=256)
+        for i in range(6):
+            engine.append([make_doc(f"c{i}", [i + 20])])
+        assert engine.stats()["wal"]["segments"] > 1
+        engine.compact()
+        leftovers = [
+            path.name
+            for path in ingest_stack.wal_dir.iterdir()
+            if path.name.startswith("wal-000000")
+        ]
+        assert leftovers == []
+        assert engine.stats()["wal"]["segments"] == 1
+        reference = build_reference(
+            CONFIG,
+            ingest_stack.base_docs + [make_doc(f"c{i}", [i + 20]) for i in range(6)],
+        )
+        assert_identical(ingest_stack.served_index(), reference, range(TERM_UNIVERSE))
+
+
+class TestGroupCommit:
+    """Concurrent appends share one fsync; acks still mean durable."""
+
+    def test_concurrent_appends_share_fsyncs(self, ingest_stack):
+        engine = ingest_stack.restart(group_commit_ms=25.0)
+        errors = []
+        batches = 12
+
+        def one_append(i):
+            try:
+                engine.append([make_doc(f"g{i}", [i, i + 30])])
+            except Exception as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=one_append, args=(i,)) for i in range(batches)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        stats = engine.stats()
+        assert stats["appends"] == {"batches": batches, "documents": batches}
+        # The whole point: far fewer fsyncs than acknowledged batches.
+        assert 0 < stats["wal"]["syncs"] < batches
+        assert stats["wal"]["group_commit_ms"] == 25.0
+        docs = [make_doc(f"g{i}", [i, i + 30]) for i in range(batches)]
+        reference = build_reference(CONFIG, ingest_stack.base_docs + docs)
+        assert_identical(ingest_stack.served_index(), reference, range(TERM_UNIVERSE))
+        # Every acknowledged append survives a restart: the ack came after
+        # the shared fsync, never before.
+        engine = ingest_stack.restart()
+        assert engine.stats()["wal"]["replayed_documents"] == batches
+        assert_identical(ingest_stack.served_index(), reference, range(TERM_UNIVERSE))
+
+    def test_zero_window_keeps_per_batch_fsync_behaviour(self, ingest_stack):
+        engine = ingest_stack.engine  # default: group_commit_ms=0
+        assert engine.stats()["wal"]["group_commit_ms"] == 0.0
+        before = engine.stats()["wal"]["syncs"]  # header commit counts as one
+        for i in range(3):
+            engine.append([make_doc(f"z{i}", [i + 40])])
+        assert engine.stats()["wal"]["syncs"] == before + 3  # one fsync per batch
+
+    def test_group_commit_composes_with_compaction(self, ingest_stack):
+        engine = ingest_stack.restart(group_commit_ms=10.0)
+        engine.append([make_doc("gc0", [11]), make_doc("gc1", [12])])
+        record = engine.compact()
+        assert record["documents_folded"] == 2
+        engine.append([make_doc("gc2", [13])])
+        reference = build_reference(
+            CONFIG,
+            ingest_stack.base_docs
+            + [make_doc("gc0", [11]), make_doc("gc1", [12]), make_doc("gc2", [13])],
+        )
+        assert_identical(ingest_stack.served_index(), reference, range(TERM_UNIVERSE))
+        engine = ingest_stack.restart()
+        assert engine.generation == 1
+        assert_identical(ingest_stack.served_index(), reference, range(TERM_UNIVERSE))
 
 
 class IngestConsistencyMachine(RuleBasedStateMachine):

@@ -1,0 +1,657 @@
+"""Warm-standby replication: WAL streaming, failover, fault injection.
+
+The file asserts one claim from four directions, mirroring the ingest
+suite's structure:
+
+    After any interleaving of appends, primary compactions, stream
+    faults (resets, corruption), standby crashes and a promotion, every
+    surviving node's served answers are bit-identical — documents AND
+    probe counts — to a from-scratch build of exactly the acknowledged
+    documents.
+
+1. ``TestReplicationLog`` proves the primary-side read/cursor/quorum
+   protocol in-process (no sockets).
+2. ``TestReplicaEngine`` proves the standby lifecycle over real HTTP:
+   bootstrap, catch-up identity, compaction follow, crash-resume,
+   promote.
+3. ``TestFailoverClient`` / ``TestFaultInjection`` prove the client and
+   stream survive injected transport faults (:mod:`faultinject`).
+4. ``ReplicationMachine`` lets Hypothesis interleave all of the above
+   and re-checks the identity after every rule.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+import tempfile
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+
+from faultinject import Fault, FaultyProxy
+from hypothesis_profiles import tier
+from repro.core.rambo import Rambo, RamboConfig
+from repro.core.serialization import save_index
+from repro.ingest import IngestEngine
+from repro.ingest.engine import ReplicationLagError
+from repro.io.walformat import _RECORD_PREFIX, decode_document, replay_wal_generation
+from repro.kmers.extraction import KmerDocument
+from repro.replicate import GenerationChanged, ReplicaEngine
+from repro.replicate.replica import ReplicaError
+from repro.serve.client import FailoverClient, ServeClient, ServeClientError
+from repro.serve.http import start_http_server
+from repro.serve.service import QueryService
+
+CONFIG = RamboConfig(num_partitions=4, repetitions=3, bfu_bits=1 << 10, k=9, seed=11)
+TERM_UNIVERSE = 64
+
+
+def make_doc(name: str, terms) -> KmerDocument:
+    return KmerDocument(name, np.asarray(sorted(set(terms)), dtype=np.uint64))
+
+
+def build_reference(config: RamboConfig, documents) -> Rambo:
+    index = Rambo(config)
+    if documents:
+        index.add_documents(list(documents))
+    return index
+
+
+def fingerprint(index: Rambo, terms, method: str):
+    return [
+        (sorted(result.documents), result.filters_probed)
+        for result in index.query_terms_batch(list(terms), method=method)
+    ]
+
+
+def assert_identical(served: Rambo, reference: Rambo, terms) -> None:
+    for method in ("full", "sparse"):
+        assert fingerprint(served, terms, method) == fingerprint(reference, terms, method)
+
+
+def wait_until(predicate, timeout: float = 15.0, interval: float = 0.01) -> bool:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return bool(predicate())
+
+
+def decode_stream(data: bytes):
+    """Split raw streamed bytes back into documents (re-checking framing)."""
+    documents = []
+    cursor = 0
+    while cursor < len(data):
+        length, _crc = _RECORD_PREFIX.unpack_from(data, cursor)
+        payload = data[cursor + _RECORD_PREFIX.size : cursor + _RECORD_PREFIX.size + length]
+        documents.append(decode_document(payload))
+        cursor += _RECORD_PREFIX.size + length
+    return documents
+
+
+class Cluster:
+    """A primary (service + engine + HTTP) plus an optional proxied standby."""
+
+    def __init__(self, root, **engine_kwargs):
+        self.root = Path(root)
+        self.base_docs = [make_doc(f"base{i}", [i, i + 1, i + 2]) for i in range(4)]
+        base = build_reference(CONFIG, self.base_docs)
+        self.base_path = self.root / "base.rambo2"
+        save_index(base, self.base_path, format="mmap")
+        self.primary_wal = self.root / "primary-wal"
+        self.standby_wal = self.root / "standby-wal"
+        self.engine_kwargs = dict(engine_kwargs)
+        self.acked = list(self.base_docs)
+        self.proxy = None
+        self.standby_service = None
+        self.standby_server = None
+        self.replica = None
+        self.primary_dead = False
+        self._start_primary()
+
+    def _start_primary(self):
+        self.primary_service = QueryService.open(self.base_path, tick_seconds=0.0)
+        self.primary = IngestEngine(
+            self.primary_service, self.primary_wal, **self.engine_kwargs
+        )
+        self.primary_service.attach_ingest(self.primary)
+        self.primary_server, _ = start_http_server(self.primary_service)
+        self.primary_port = self.primary_server.server_address[1]
+        self.primary_url = f"http://127.0.0.1:{self.primary_port}"
+        self.primary_dead = False
+
+    def kill_primary(self):
+        """All a standby or client can observe of a dead primary: the port
+        stops answering."""
+        self.primary_server.shutdown()
+        self.primary_server.server_close()
+        self.primary_service.close()
+        self.primary_dead = True
+
+    def start_standby(self, *, via_proxy: bool = False, **kwargs):
+        if via_proxy and self.proxy is None:
+            self.proxy = FaultyProxy("127.0.0.1", self.primary_port)
+        url = self.proxy.url if via_proxy else self.primary_url
+        opts = dict(
+            poll_wait_s=0.5,
+            backoff_s=0.01,
+            backoff_cap_s=0.2,
+            peer_id="standby-a",
+            connect_timeout_s=10.0,
+            # A corrupt byte in the HTTP chunk framing (not the WAL frame)
+            # wedges the read until the socket timeout; keep that bound
+            # well inside the semi-sync ack timeout so injected corruption
+            # shows up as a reconnect, never as ReplicationLagError.
+            read_timeout_s=2.0,
+        )
+        opts.update(kwargs)
+        self.standby_service, self.replica = ReplicaEngine.bootstrap(
+            url, self.standby_wal, service_opts={"tick_seconds": 0.0}, **opts
+        )
+        self.standby_server, _ = start_http_server(self.standby_service)
+        self.standby_port = self.standby_server.server_address[1]
+        self.standby_url = f"http://127.0.0.1:{self.standby_port}"
+        return self.replica
+
+    def stop_standby(self):
+        if self.standby_server is not None:
+            self.standby_server.shutdown()
+        if self.standby_service is not None:
+            self.standby_service.close()
+        self.standby_server = self.standby_service = self.replica = None
+
+    def append(self, docs):
+        self.primary.append(docs)
+        self.acked.extend(docs)
+        return docs
+
+    def fresh_docs(self, count, start):
+        return [make_doc(f"doc{start + i:04d}", [start + i, 60 - i]) for i in range(count)]
+
+    def wait_caught_up(self, timeout: float = 15.0):
+        def caught():
+            if self.primary_dead:
+                return False
+            generation, committed = self.primary.replication.position()
+            return (
+                self.replica.generation == generation
+                and self.replica.applied >= committed
+            )
+
+        assert wait_until(caught, timeout), (
+            f"standby never caught up: {self.replica.stats()['replication']}"
+        )
+
+    def assert_node_identical(self, service):
+        reference = build_reference(CONFIG, self.acked)
+        assert_identical(
+            service.snapshots.active.index, reference, range(TERM_UNIVERSE)
+        )
+
+    def close(self):
+        self.stop_standby()
+        if not self.primary_dead:
+            self.kill_primary()
+        if self.proxy is not None:
+            self.proxy.close()
+
+
+@pytest.fixture()
+def cluster(tmp_path):
+    node = Cluster(tmp_path)
+    yield node
+    node.close()
+
+
+class TestReplicationLog:
+    def test_read_resumes_at_any_record_offset_across_segments(self, tmp_path):
+        cluster = Cluster(tmp_path, segment_bytes=256)
+        try:
+            docs = []
+            for i in range(8):  # one batch per record so the segment rolls
+                docs.extend(cluster.append(cluster.fresh_docs(1, i)))
+            replication = cluster.primary.replication
+            generation, committed = replication.position()
+            assert committed == 8
+            assert cluster.primary.stats()["wal"]["segments"] > 1
+            for offset in range(committed + 1):
+                streamed = []
+                cursor = offset
+                while cursor < committed:
+                    data, n_records, total = replication.read(generation, cursor)
+                    assert total == committed and n_records > 0
+                    streamed.extend(decode_stream(data))
+                    cursor += n_records
+                assert [d.name for d in streamed] == [d.name for d in docs[offset:]]
+            # Caught-up cursor: empty read, no error.
+            data, n_records, total = replication.read(generation, committed)
+            assert data == b"" and n_records == 0 and total == committed
+        finally:
+            cluster.close()
+
+    def test_tiny_max_bytes_still_ships_whole_frames(self, cluster):
+        cluster.append(cluster.fresh_docs(3, 0))
+        replication = cluster.primary.replication
+        data, n_records, _ = replication.read(0, 0, max_bytes=1)
+        assert n_records == 1  # never a partial frame, never zero progress
+        assert len(decode_stream(data)) == 1
+
+    def test_read_rejects_a_retired_generation(self, cluster):
+        cluster.append(cluster.fresh_docs(2, 0))
+        cluster.primary.compact()
+        with pytest.raises(GenerationChanged) as excinfo:
+            cluster.primary.replication.read(0, 0)
+        assert excinfo.value.generation == 1
+
+    def test_wait_for_records_sees_commits_and_generation_moves(self, cluster):
+        replication = cluster.primary.replication
+        assert replication.wait_for_records(0, 0, timeout=0.05) is False
+        cluster.append(cluster.fresh_docs(1, 0))
+        assert replication.wait_for_records(0, 0, timeout=0.05) is True
+        cluster.primary.compact()
+        assert replication.wait_for_records(0, 99, timeout=0.05) is True  # gen moved
+
+    def test_semi_sync_quorum_acks_leases_and_degradation(self, tmp_path):
+        cluster = Cluster(tmp_path, replica_ack=1, replica_ack_timeout_s=0.3)
+        try:
+            replication = cluster.primary.replication
+            # No live peers: degrade to async rather than wedge the primary.
+            cluster.append(cluster.fresh_docs(1, 0))
+            # A peer that is behind (and stays behind) trips the timeout.
+            replication.ack("peer-1", 0, 1)
+            with pytest.raises(ReplicationLagError):
+                cluster.primary.append(cluster.fresh_docs(1, 10))
+            # Catch the peer up: the next append is acknowledged.
+            committed = replication.position()[1]
+            replication.ack("peer-1", 0, committed + 1)
+            cluster.primary.append(cluster.fresh_docs(1, 20))
+            # A peer on a LATER generation counts (its snapshot covers us).
+            replication.ack("peer-1", 5, 0)
+            cluster.primary.append(cluster.fresh_docs(1, 30))
+            peers = cluster.primary.stats()["replication"]["peers"]
+            assert peers["peer-1"]["live"] is True
+        finally:
+            cluster.close()
+
+
+class TestWalHttpEndpoints:
+    def test_stream_endpoint_ships_committed_frames(self, cluster):
+        docs = cluster.append(cluster.fresh_docs(3, 0))
+        url = f"{cluster.primary_url}/wal/stream?generation=0&offset=1&wait_s=0"
+        with urllib.request.urlopen(url, timeout=10) as response:
+            assert response.headers["X-Wal-Generation"] == "0"
+            assert int(response.headers["X-Wal-Records"]) == 3
+            body = response.read()
+        assert [d.name for d in decode_stream(body)] == [d.name for d in docs[1:]]
+
+    def test_stream_stale_generation_is_a_409_with_the_new_generation(self, cluster):
+        cluster.append(cluster.fresh_docs(1, 0))
+        cluster.primary.compact()
+        url = f"{cluster.primary_url}/wal/stream?generation=0&offset=0&wait_s=0"
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(url, timeout=10)
+        assert excinfo.value.code == 409
+        assert json.loads(excinfo.value.read())["generation"] == 1
+
+    def test_snapshot_endpoint_serves_the_exact_base_artifact(self, cluster):
+        with urllib.request.urlopen(
+            f"{cluster.primary_url}/wal/snapshot", timeout=10
+        ) as response:
+            assert response.headers["X-Wal-Generation"] == "0"
+            body = response.read()
+        assert body == cluster.base_path.read_bytes()
+
+    def test_ack_endpoint_registers_the_peer(self, cluster):
+        client = ServeClient(cluster.primary_url)
+        response = client._request(  # noqa: SLF001 - raw endpoint under test
+            "/wal/ack", {"peer": "peer-x", "generation": 0, "records": 0}
+        )
+        assert response["ok"] is True
+        peers = cluster.primary.stats()["replication"]["peers"]
+        assert "peer-x" in peers
+
+    def test_promote_on_a_primary_is_an_idempotent_no_op(self, cluster):
+        response = ServeClient(cluster.primary_url).promote()
+        assert response == {"promoted": False, "role": "primary", "generation": 0}
+
+    def test_healthz_carries_role_and_readiness_detail(self, cluster):
+        record = ServeClient(cluster.primary_url).healthz()
+        assert record["ok"] is True and record["ready"] is True
+        assert record["role"] == "primary"
+        assert record["wal_attached"] is True
+        assert record["replication_lag"] == 0
+        assert "generation" in record and "snapshot_id" in record
+
+
+class TestReplicaEngine:
+    def test_standby_catches_up_bit_identically(self, cluster):
+        cluster.append(cluster.fresh_docs(3, 0))
+        replica = cluster.start_standby()
+        cluster.append(cluster.fresh_docs(3, 10))
+        cluster.wait_caught_up()
+        cluster.assert_node_identical(cluster.standby_service)
+        cluster.assert_node_identical(cluster.primary_service)
+        stats = replica.stats()["replication"]
+        assert stats["role"] == "replica"
+        assert stats["cursor"] == {"generation": 0, "records": 6}
+        assert stats["lag_records"] == 0 and stats["lag_seconds"] == 0.0
+        assert wait_until(lambda: replica.healthz()["ready"], timeout=5.0)
+        record = ServeClient(cluster.standby_url).healthz()
+        assert record["role"] == "replica" and record["ok"] is True
+        # The standby's lease is registered on the primary.
+        peers = cluster.primary.stats()["replication"]["peers"]
+        assert peers["standby-a"]["live"] is True
+
+    def test_standby_refuses_writes_with_a_503(self, cluster):
+        cluster.start_standby()
+        client = ServeClient(cluster.standby_url)
+        for call in (
+            lambda: client.append([{"name": "x", "terms": [1]}]),
+            lambda: client.compact(),
+        ):
+            with pytest.raises(ServeClientError) as excinfo:
+                call()
+            assert excinfo.value.status == 503
+            assert "read-only replica" in str(excinfo.value)
+        with pytest.raises(ReplicaError):
+            cluster.replica.append([make_doc("x", [1])])
+
+    def test_standby_follows_a_primary_compaction(self, cluster):
+        cluster.start_standby()
+        cluster.append(cluster.fresh_docs(3, 0))
+        cluster.wait_caught_up()
+        cluster.primary.compact()
+        cluster.append(cluster.fresh_docs(2, 10))
+        assert wait_until(lambda: cluster.replica.generation == 1)
+        cluster.wait_caught_up()
+        cluster.assert_node_identical(cluster.standby_service)
+        stats = cluster.replica.stats()
+        assert stats["replication"]["snapshot_fetches"] >= 1
+        assert stats["replication"]["cursor"] == {"generation": 1, "records": 2}
+        # The standby pruned its old generation after the follow.
+        names = {path.name for path in cluster.standby_wal.iterdir()}
+        assert "wal-000000.log" not in names
+        assert "snapshot-000000.rambo2" not in names
+
+    def test_standby_crash_resumes_from_its_durable_cursor(self, cluster):
+        cluster.start_standby()
+        cluster.append(cluster.fresh_docs(3, 0))
+        cluster.wait_caught_up()
+        cluster.stop_standby()
+        cluster.append(cluster.fresh_docs(2, 10))  # streamed to nobody
+        replica = cluster.start_standby()
+        # Resume path: replayed the locally durable records, re-used the
+        # local snapshot instead of re-downloading it.
+        assert replica.replayed_documents == 3
+        assert replica.snapshot_fetches == 0
+        cluster.wait_caught_up()
+        cluster.assert_node_identical(cluster.standby_service)
+
+    def test_promote_preserves_every_acknowledged_write(self, tmp_path):
+        cluster = Cluster(tmp_path, replica_ack=1, replica_ack_timeout_s=5.0)
+        try:
+            cluster.start_standby()
+            # First append may degrade to async (no lease yet); it also
+            # registers the standby's lease once applied.
+            cluster.append(cluster.fresh_docs(1, 0))
+            cluster.wait_caught_up()
+            # These appends are semi-sync: acked only after the standby
+            # durably applied them — the promote commit point.
+            cluster.append(cluster.fresh_docs(3, 10))
+            cluster.kill_primary()
+            response = ServeClient(cluster.standby_url).promote()
+            assert response["promoted"] is True and response["role"] == "primary"
+            # Idempotent over HTTP too: the node now answers as a primary.
+            again = ServeClient(cluster.standby_url).promote()
+            assert again["promoted"] is False and again["role"] == "primary"
+            cluster.assert_node_identical(cluster.standby_service)
+            # The promoted node accepts writes and stays identical.
+            client = ServeClient(cluster.standby_url)
+            client.append([{"name": "after-promote", "terms": [7, 8]}])
+            cluster.acked.append(
+                KmerDocument(
+                    "after-promote", frozenset({7, 8}), source_format="text"
+                )
+            )
+            cluster.assert_node_identical(cluster.standby_service)
+            assert client.healthz()["role"] == "primary"
+        finally:
+            cluster.close()
+
+
+class TestFailoverClient:
+    def test_reads_fail_over_to_the_standby(self, cluster):
+        cluster.start_standby()
+        cluster.append(cluster.fresh_docs(2, 0))
+        cluster.wait_caught_up()
+        client = FailoverClient(
+            [cluster.primary_url, cluster.standby_url],
+            timeout=2.0,
+            backoff_s=0.01,
+            backoff_cap_s=0.05,
+        )
+        before = client.query_documents([0])
+        cluster.kill_primary()
+        assert client.query_documents([0]) == before
+        assert client.failovers >= 1
+        assert client.healthz()["role"] == "replica"
+
+    def test_writes_land_after_promotion_with_zero_loss(self, cluster):
+        cluster.start_standby()
+        cluster.append(cluster.fresh_docs(2, 0))
+        cluster.wait_caught_up()
+        client = FailoverClient(
+            [cluster.primary_url, cluster.standby_url],
+            timeout=2.0,
+            retries=8,
+            backoff_s=0.01,
+            backoff_cap_s=0.05,
+        )
+        cluster.kill_primary()
+        # Both nodes refuse (dead / read-only) until the standby is promoted.
+        with pytest.raises(ServeClientError):
+            FailoverClient(
+                [cluster.primary_url, cluster.standby_url],
+                timeout=1.0,
+                retries=2,
+                backoff_s=0.01,
+                backoff_cap_s=0.02,
+            ).append([{"name": "lost?", "terms": [1]}])
+        client.promote(endpoint=cluster.standby_url)
+        response = client.append([{"name": "post-failover", "terms": [9]}])
+        assert response["appended"] == 1
+        cluster.acked.append(
+            KmerDocument("post-failover", frozenset({9}), source_format="text")
+        )
+        cluster.assert_node_identical(cluster.standby_service)
+
+    def test_client_errors_do_not_burn_the_retry_budget(self, cluster):
+        client = FailoverClient(cluster.primary_url, backoff_s=0.01)
+        with pytest.raises(ServeClientError) as excinfo:
+            client.append([{"name": "base0", "terms": [1]}])  # already in base
+        assert excinfo.value.status == 400
+        assert client.retried_calls == 0 and client.failovers == 0
+
+    def test_unknown_fate_retry_translates_the_dedup_rejection(self, cluster):
+        with FaultyProxy("127.0.0.1", cluster.primary_port) as proxy:
+            client = FailoverClient(
+                proxy.url, timeout=5.0, backoff_s=0.01, backoff_cap_s=0.05
+            )
+            # The request reaches the primary and applies; the response is
+            # torn away — the client cannot know its fate.
+            proxy.schedule(Fault.reset_after(0))
+            response = client.append([{"name": "torn-ack", "terms": [3]}])
+            assert response == {"appended": 0, "already_indexed": True}
+            assert client.unknown_fate_retries == 1
+            cluster.acked.append(
+                KmerDocument("torn-ack", frozenset({3}), source_format="text")
+            )
+            cluster.assert_node_identical(cluster.primary_service)
+            # WITHOUT a preceding unknown-fate failure, the same rejection
+            # is a genuine duplicate and must raise.
+            with pytest.raises(ServeClientError) as excinfo:
+                client.append([{"name": "torn-ack", "terms": [3]}])
+            assert excinfo.value.status == 400
+
+    def test_stalled_endpoint_times_out_and_fails_over(self, cluster):
+        with FaultyProxy("127.0.0.1", cluster.primary_port) as proxy:
+            proxy.schedule(Fault.stall(30.0))
+            client = FailoverClient(
+                [proxy.url, cluster.primary_url],
+                timeout=0.5,
+                backoff_s=0.01,
+                backoff_cap_s=0.02,
+            )
+            started = time.monotonic()
+            assert client.healthz()["ok"] is True
+            assert time.monotonic() - started < 5.0
+            assert client.failovers >= 1
+
+
+class TestFaultInjection:
+    def test_stream_survives_connection_resets(self, cluster):
+        cluster.start_standby(via_proxy=True)
+        cluster.append(cluster.fresh_docs(2, 0))
+        cluster.wait_caught_up()
+        # Tear the next few stream connections mid-response; the cursor
+        # resumes each time from the standby's durable prefix.
+        cluster.proxy.schedule(
+            Fault.reset_after(40), Fault.reset_after(120), Fault.reset_after(300)
+        )
+        cluster.append(cluster.fresh_docs(4, 10))
+        assert wait_until(lambda: cluster.proxy.faults_fired >= 3, timeout=30.0)
+        cluster.wait_caught_up(timeout=30.0)
+        cluster.assert_node_identical(cluster.standby_service)
+
+    def test_corrupted_stream_records_are_never_applied(self, cluster):
+        cluster.start_standby(via_proxy=True)
+        cluster.append(cluster.fresh_docs(2, 0))
+        cluster.wait_caught_up()
+        # Flip one byte somewhere in the next responses: depending on where
+        # it lands this breaks either the HTTP chunk framing or a record
+        # CRC — both must drop the connection, neither may apply garbage.
+        cluster.proxy.schedule(Fault.corrupt_after(260), Fault.corrupt_after(400))
+        cluster.append(cluster.fresh_docs(4, 10))
+        assert wait_until(lambda: cluster.proxy.faults_fired >= 2, timeout=30.0)
+        cluster.wait_caught_up(timeout=30.0)
+        cluster.assert_node_identical(cluster.standby_service)
+
+    def test_standby_crash_mid_replay_never_acks_lost_records(self, cluster):
+        cluster.start_standby(via_proxy=True)
+        cluster.append(cluster.fresh_docs(3, 0))
+        cluster.wait_caught_up()
+        applied_before = cluster.replica.applied
+        cluster.stop_standby()  # "crash" between two streamed batches
+        cluster.append(cluster.fresh_docs(3, 10))
+        replica = cluster.start_standby(via_proxy=True)
+        # Whatever the standby durably applied before the crash is exactly
+        # where its cursor resumes; a from-disk replay agrees.
+        replay = replay_wal_generation(cluster.standby_wal, replica.generation)
+        assert replay is not None and replay.records >= applied_before
+        cluster.wait_caught_up()
+        cluster.assert_node_identical(cluster.standby_service)
+
+
+term_sets = st.lists(
+    st.integers(min_value=0, max_value=TERM_UNIVERSE - 1), min_size=1, max_size=6
+)
+
+
+class ReplicationMachine(RuleBasedStateMachine):
+    """Hypothesis drives append / compact / fault / standby-crash / promote.
+
+    The model is the list of acknowledged documents.  After every rule the
+    primary's served answers must be bit-identical to a from-scratch build
+    of that list, and — once the standby has caught up — so must the
+    standby's.  Promotion kills the primary and hands the model to the
+    survivor, whose answers must cover every acknowledged write (appends
+    after the standby's registered lease are semi-sync under
+    ``replica_ack=1``).
+    """
+
+    def __init__(self):
+        super().__init__()
+        self.tmp = Path(tempfile.mkdtemp(prefix="replicate-machine-"))
+        self.cluster = Cluster(self.tmp, replica_ack=1, replica_ack_timeout_s=10.0)
+        self.cluster.start_standby(via_proxy=True)
+        # Semi-sync from the first modelled append: register the lease now.
+        self.cluster.append(self.cluster.fresh_docs(1, 9000))
+        self.cluster.wait_caught_up()
+        self.counter = 0
+        self.promoted = False
+
+    def _next_docs(self, term_lists):
+        docs = []
+        for terms in term_lists:
+            docs.append(make_doc(f"m{self.counter:04d}", terms))
+            self.counter += 1
+        return docs
+
+    @rule(term_lists=st.lists(term_sets, min_size=1, max_size=2))
+    def append(self, term_lists):
+        docs = self._next_docs(term_lists)
+        if self.promoted:
+            self.cluster.replica._promoted.append(docs)  # noqa: SLF001
+            self.cluster.acked.extend(docs)
+        else:
+            self.cluster.append(docs)
+
+    @precondition(lambda self: not self.promoted)
+    @rule()
+    def compact_primary(self):
+        self.cluster.primary.compact()
+
+    @precondition(lambda self: not self.promoted)
+    @rule(cut=st.integers(min_value=20, max_value=600))
+    def inject_stream_reset(self, cut):
+        self.cluster.proxy.schedule(Fault.reset_after(cut))
+
+    @precondition(lambda self: not self.promoted)
+    @rule(cut=st.integers(min_value=250, max_value=600))
+    def inject_stream_corruption(self, cut):
+        self.cluster.proxy.schedule(Fault.corrupt_after(cut))
+
+    @precondition(lambda self: not self.promoted)
+    @rule()
+    def crash_and_restart_standby(self):
+        self.cluster.stop_standby()
+        self.cluster.start_standby(via_proxy=True)
+        self.cluster.wait_caught_up(timeout=30.0)
+
+    @precondition(lambda self: not self.promoted)
+    @rule()
+    def promote_standby(self):
+        self.cluster.wait_caught_up(timeout=30.0)
+        self.cluster.kill_primary()
+        self.cluster.replica.promote()
+        self.promoted = True
+
+    @invariant()
+    def survivors_serve_exactly_the_acked_documents(self):
+        if self.promoted:
+            self.cluster.assert_node_identical(self.cluster.standby_service)
+        else:
+            self.cluster.assert_node_identical(self.cluster.primary_service)
+            self.cluster.wait_caught_up(timeout=30.0)
+            self.cluster.assert_node_identical(self.cluster.standby_service)
+
+    def teardown(self):
+        try:
+            self.cluster.close()
+        finally:
+            shutil.rmtree(self.tmp, ignore_errors=True)
+
+
+ReplicationMachine.TestCase.settings = tier("stateful")
+
+
+class TestReplicationStateful(ReplicationMachine.TestCase):
+    """Run the replication machine under the ``stateful`` tier."""

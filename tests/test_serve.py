@@ -472,6 +472,62 @@ class TestHTTPServer:
         assert excinfo.value.status == 404
 
 
+class TestClientFaultPaths:
+    """Mid-exchange transport failures surface as ``ServeClientError``.
+
+    A server killed between accepting a request and finishing the
+    response raises a raw socket error inside ``urllib`` — callers must
+    still see the client's one error type (with ``status=None``, the
+    fate-unknown marker the failover layer keys on), never a naked
+    ``OSError``.
+    """
+
+    @pytest.fixture()
+    def proxied_server(self):
+        from faultinject import FaultyProxy
+
+        service = QueryService(_build_index(), tick_seconds=0.0)
+        server, _thread = start_http_server(service)
+        proxy = FaultyProxy("127.0.0.1", server.server_address[1])
+        client = ServeClient(proxy.url, timeout=2.0)
+        yield client, proxy
+        proxy.close()
+        server.shutdown()
+        service.close()
+
+    def test_connection_reset_mid_response_is_a_serve_client_error(
+        self, proxied_server
+    ):
+        from faultinject import Fault
+
+        client, proxy = proxied_server
+        assert client.healthz()["ok"] is True  # clean pass-through first
+        for cut in (0, 30):  # before the status line / inside the headers
+            proxy.schedule(Fault.reset_after(cut))
+            with pytest.raises(ServeClientError) as excinfo:
+                client.query([1, 2, 3])
+            assert excinfo.value.status is None
+        assert client.healthz()["ok"] is True  # the client object survives
+
+    def test_stalled_response_times_out_as_a_serve_client_error(self, proxied_server):
+        from faultinject import Fault
+
+        client, proxy = proxied_server
+        proxy.schedule(Fault.stall(30.0))
+        started = time.monotonic()
+        with pytest.raises(ServeClientError) as excinfo:
+            client.stats()
+        assert excinfo.value.status is None
+        assert time.monotonic() - started < 10.0  # the timeout, not the stall
+
+    def test_connection_refused_is_a_serve_client_error(self):
+        client = ServeClient("http://127.0.0.1:9", timeout=1.0)  # discard port
+        with pytest.raises(ServeClientError) as excinfo:
+            client.healthz()
+        assert excinfo.value.status is None
+        assert "127.0.0.1:9" in str(excinfo.value)
+
+
 class TestCLI:
     def test_info_json_matches_describe_index(self, index, tmp_path, capsys):
         from repro.cli import main
